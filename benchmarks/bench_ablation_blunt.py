@@ -1,0 +1,80 @@
+"""Ablation — the §6 tradeoff: targeted vs blunt countermeasures.
+
+The paper rejects app suspension and mandatory app secrets because of
+collateral damage to legitimate users, and instead builds the targeted
+ladder (invalidation, IP limits, AS blocking).  This bench quantifies
+the tradeoff on one trace: every option stops the collusion network,
+but only the targeted one leaves organic app users untouched.
+"""
+
+from repro.apps.catalog import AppCatalog
+from repro.collusion.ecosystem import build_ecosystem
+from repro.collusion.profiles import HTC_SENSE
+from repro.core.config import StudyConfig
+from repro.core.world import World
+from repro.countermeasures.blunt import (
+    mandate_app_secret,
+    measure_collateral,
+    suspend_application,
+)
+from repro.honeypot.account import create_honeypot
+from repro.workloads.organic import OrganicWorkload
+
+from conftest import once
+
+
+def _measure(option: str):
+    world = World(StudyConfig(scale=0.002, seed=77))
+    AppCatalog(world.apps, world.rng.stream("catalog"),
+               tail_apps=0).build()
+    ecosystem = build_ecosystem(world, network_limit=1)
+    network = ecosystem.network("hublaa.me")
+    honeypot = create_honeypot(world, network)
+    organic = OrganicWorkload(world, [HTC_SENSE])
+    organic.create_users(40)
+
+    baseline_post = world.platform.create_post(honeypot.account_id, "b")
+    baseline = network.submit_like_request(honeypot.account_id,
+                                           baseline_post.post_id)
+
+    if option == "suspend-app":
+        suspend_application(world, HTC_SENSE)
+    elif option == "mandate-secret":
+        mandate_app_secret(world, HTC_SENSE)
+    elif option == "targeted-invalidation":
+        for member, token in list(network.token_db.items()):
+            world.tokens.invalidate(token, "targeted")
+    else:
+        raise ValueError(option)
+
+    after_post = world.platform.create_post(honeypot.account_id, "a")
+    after = network.submit_like_request(honeypot.account_id,
+                                        after_post.post_id)
+    return {
+        "baseline_likes": baseline.delivered,
+        "likes_after": after.delivered,
+        "collateral": measure_collateral(world, organic.users),
+    }
+
+
+def test_bench_ablation_blunt_countermeasures(benchmark):
+    def sweep():
+        return {option: _measure(option)
+                for option in ("suspend-app", "mandate-secret",
+                               "targeted-invalidation")}
+
+    table = once(benchmark, sweep)
+
+    print()
+    for option, row in table.items():
+        print(f"  {option:<22} likes {row['baseline_likes']} -> "
+              f"{row['likes_after']}; organic users broken: "
+              f"{row['collateral']:.0%}")
+
+    for option, row in table.items():
+        assert row["baseline_likes"] > 0
+        assert row["likes_after"] == 0  # all three stop the abuse
+    # But only the targeted option avoids collateral damage (§6).
+    assert table["suspend-app"]["collateral"] == 1.0
+    assert table["mandate-secret"]["collateral"] == 1.0
+    assert table["targeted-invalidation"]["collateral"] == 0.0

@@ -1,0 +1,60 @@
+"""Ablation — honeypot count vs milking coverage (§6.5).
+
+The paper notes a honeypot's very frequent like requests could expose
+it, and proposes spreading the workload over multiple honeypots.  The
+sweep shows coverage is a function of total draws, not honeypot count:
+N honeypots splitting the same request budget observe the same
+membership while each individual account requests N-times less often.
+"""
+
+import pytest
+
+from repro.apps.catalog import AppCatalog
+from repro.collusion.ecosystem import build_ecosystem
+from repro.core.config import StudyConfig
+from repro.core.world import World
+from repro.honeypot.account import create_honeypot
+
+from conftest import once
+
+TOTAL_REQUESTS = 60
+HONEYPOT_COUNTS = (1, 3, 6)
+
+
+def _coverage_with(n_honeypots):
+    world = World(StudyConfig(scale=0.004, seed=66))
+    AppCatalog(world.apps, world.rng.stream("catalog"),
+               tail_apps=0).build()
+    ecosystem = build_ecosystem(world, network_limit=1)
+    network = ecosystem.network("hublaa.me")
+    honeypots = [create_honeypot(world, network)
+                 for _ in range(n_honeypots)]
+    seen = set()
+    for i in range(TOTAL_REQUESTS):
+        honeypot = honeypots[i % n_honeypots]
+        post = world.platform.create_post(honeypot.account_id, f"p{i}")
+        network.submit_like_request(honeypot.account_id, post.post_id)
+        seen.update(world.platform.get_post(post.post_id).liker_ids())
+    per_honeypot = TOTAL_REQUESTS // n_honeypots
+    return {"observed": len(seen), "requests_each": per_honeypot,
+            "pool": network.member_count()}
+
+
+def test_bench_ablation_honeypots(benchmark):
+    def sweep():
+        return {n: _coverage_with(n) for n in HONEYPOT_COUNTS}
+
+    table = once(benchmark, sweep)
+
+    print()
+    for n, row in table.items():
+        print(f"  {n} honeypot(s): observed {row['observed']:,} of "
+              f"{row['pool']:,} members "
+              f"({row['requests_each']} requests each)")
+
+    single = table[1]["observed"]
+    for n in HONEYPOT_COUNTS[1:]:
+        # Same total budget, same coverage (within sampling noise)...
+        assert table[n]["observed"] == pytest.approx(single, rel=0.1)
+        # ...but each honeypot's own request volume drops linearly.
+        assert table[n]["requests_each"] <= TOTAL_REQUESTS // n

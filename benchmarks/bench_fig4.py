@@ -1,0 +1,37 @@
+"""Figure 4 — cumulative likes vs cumulative unique accounts.
+
+Paper: like totals grow linearly with post index (fixed likes/request)
+while the unique-account curve flattens — repetition rises as the token
+pool gets milked dry.
+"""
+
+import pytest
+
+from repro.experiments import fig4
+
+
+def test_bench_fig4(benchmark, bench_artifacts):
+    milking = bench_artifacts["milking"]
+
+    result = benchmark(fig4.run, milking)
+
+    for domain, curve in result.curves.items():
+        likes = curve.cumulative_likes
+        unique = curve.cumulative_unique
+        posts = curve.posts
+        assert posts >= 4, domain
+        # Likes grow linearly: the middle of the curve sits where a
+        # straight line would put it.
+        mid = posts // 2
+        linear_estimate = likes[-1] * (mid + 1) / posts
+        assert likes[mid] == pytest.approx(linear_estimate, rel=0.15)
+        # The unique curve is concave: the first half contributes more
+        # new accounts than the second half.
+        first_half = unique[mid]
+        second_half = unique[-1] - unique[mid]
+        assert first_half > second_half, domain
+        # And the tail keeps finding *some* new accounts but at a rate
+        # well below one-per-like.
+        assert 0 <= curve.new_unique_rate() < 0.9
+    print()
+    print(result.render())

@@ -1,0 +1,97 @@
+"""Figure 5 — the countermeasure campaign timeline.
+
+Paper shape:
+* reduced token rate limit: official-liker.net dips (<200 from ~390)
+  for about a week, then adapts back; hublaa.me unaffected;
+* invalidate-all: sharp drop for both, partial bounce-back;
+* daily invalidation: sustained suppression, never a full stop;
+* IP limits (day 46): official-liker.net effectively dead immediately;
+* AS blocking (day 70): hublaa.me ceases entirely.
+
+The heavy campaign itself is timed once; shape checks run against the
+session campaign.
+"""
+
+import pytest
+
+from repro.apps.catalog import AppCatalog
+from repro.collusion.ecosystem import build_ecosystem
+from repro.core.config import StudyConfig
+from repro.core.world import World
+from repro.countermeasures.campaign import (
+    CampaignConfig,
+    CountermeasureCampaign,
+)
+from repro.experiments import fig5
+
+from conftest import once
+
+
+def test_bench_fig5_campaign(benchmark):
+    """Time a compact countermeasure campaign end to end."""
+    def run_campaign():
+        world = World(StudyConfig(scale=0.005, seed=2))
+        AppCatalog(world.apps, world.rng.stream("catalog"),
+                   tail_apps=0).build()
+        ecosystem = build_ecosystem(world, network_limit=2)
+        config = CampaignConfig(
+            days=20, posts_per_day=6, rate_limit_day=4,
+            invalidate_half_day=7, invalidate_all_day=9,
+            daily_half_start_day=10, daily_all_start_day=12,
+            ip_limit_day=14, clustering_start_day=16,
+            clustering_interval_days=2, as_block_day=18,
+            hublaa_outage=None, outgoing_per_hour=2.0)
+        return CountermeasureCampaign(world, ecosystem, config).run()
+
+    results = once(benchmark, run_campaign)
+    assert results.tokens_invalidated > 0
+
+
+def test_bench_fig5_shape(benchmark, bench_artifacts):
+    campaign = bench_artifacts["campaign"]
+
+    result = benchmark(fig5.run, campaign)
+
+    official = "official-liker.net"
+    hublaa = "hublaa.me"
+    base_o = result.phase_avg(official, "baseline")
+    base_h = result.phase_avg(hublaa, "baseline")
+    assert base_o == pytest.approx(390, rel=0.05)
+    assert base_h == pytest.approx(350, rel=0.05)
+
+    # Token rate limit: hurts the hot-set network only.
+    rl_o = result.phase_avg(official, "reduced token rate limit")
+    rl_h = result.phase_avg(hublaa, "reduced token rate limit")
+    assert rl_o < 0.85 * base_o
+    assert rl_h > 0.95 * base_h
+
+    # Adaptation: by the end of the rate-limit phase official-liker.net
+    # has bounced back to its full quota.
+    series_o = result.series[official]
+    config = campaign.config
+    assert max(series_o[config.rate_limit_day:
+                        config.invalidate_half_day - 1]) > 0.9 * base_o
+
+    # Invalidation: sharp drop, then sustained suppression under daily
+    # invalidation — but never a complete stop.
+    daily_o = result.phase_avg(official, "daily full invalidation")
+    daily_h = result.phase_avg(hublaa, "daily full invalidation")
+    assert daily_o < 0.4 * base_o
+    assert 0 < daily_h < 0.6 * base_h
+
+    # IP limits kill official-liker.net, not hublaa.me.
+    ip_o = result.phase_avg(official, "IP rate limits")
+    ip_h = result.phase_avg(hublaa, "IP rate limits")
+    assert ip_o < 0.1 * base_o
+    assert ip_h > 0.1 * base_h
+
+    # AS blocking finally stops hublaa.me.
+    as_h = result.phase_avg(hublaa, "AS blocking")
+    assert as_h == 0.0
+
+    # Clustering achieved essentially nothing (§6.3).
+    killed_by_clustering = sum(
+        o.tokens_invalidated for _, o in campaign.clustering_outcomes)
+    assert killed_by_clustering < 100
+    print()
+    print(result.render())

@@ -1,0 +1,29 @@
+"""Figure 6 — posts liked per colluding account.
+
+Paper: account rotation means most colluding accounts like very few of
+the honeypot's posts — 76% of hublaa.me accounts and 30% of
+official-liker.net accounts like at most one post; official-liker.net's
+(smaller-pool) distribution is shifted right of hublaa.me's.
+"""
+
+from repro.experiments import fig6
+
+
+def test_bench_fig6(benchmark, bench_artifacts):
+    world = bench_artifacts["world"]
+    campaign = bench_artifacts["campaign"]
+    ecosystem = bench_artifacts["ecosystem"]
+
+    result = benchmark(fig6.run, world, campaign, ecosystem)
+
+    hublaa = result.histograms["hublaa.me"]
+    official = result.histograms["official-liker.net"]
+    # Most accounts touch at most a couple of posts.
+    assert hublaa.share_at_most(2) > 0.5
+    # hublaa.me's bigger pool repeats accounts less than
+    # official-liker.net's (76% vs 30% at <=1 post in the paper).
+    assert hublaa.share_at_most(1) > official.share_at_most(1)
+    # Only a small minority of accounts appear on 10+ posts.
+    assert hublaa.shares.get(10, 0.0) < 0.25
+    print()
+    print(result.render())

@@ -1,0 +1,28 @@
+"""Figure 7 — hourly likes performed by honeypot accounts.
+
+Paper: networks spread each token's outgoing likes over time — the
+honeypots' hourly like counts sit in a 5-10/hour band around the clock,
+with no burst hours (the behaviour that defeats temporal clustering).
+"""
+
+from repro.experiments import fig7
+
+
+def test_bench_fig7(benchmark, bench_artifacts):
+    world = bench_artifacts["world"]
+    campaign = bench_artifacts["campaign"]
+
+    result = benchmark(fig7.run, world, campaign)
+
+    per_hour_target = campaign.config.outgoing_per_hour
+    for domain, series in result.series.items():
+        assert series.total_actions > 100, domain
+        # The mean hourly rate tracks the configured spreading rate.
+        assert 0.3 * per_hour_target < series.mean < 2.0 * per_hour_target
+        # Activity covers the whole day with no binge hour: the peak
+        # stays within a small multiple of the mean.
+        active_hours = sum(1 for v in series.hourly_average if v > 0)
+        assert active_hours == 24
+        assert series.peak < 3.0 * series.mean
+    print()
+    print(result.render())

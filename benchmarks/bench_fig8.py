@@ -1,0 +1,37 @@
+"""Figure 8 — source IPs and ASes behind the like traffic.
+
+Paper: a few IPs carry the vast majority of official-liker.net's likes
+(hence per-IP limits kill it); hublaa.me spreads across >6,000 addresses
+— all inside two bulletproof-hosting ASes (hence AS blocking).
+"""
+
+from repro.collusion.profiles import BULLETPROOF_ASNS
+from repro.experiments import fig8
+
+
+def test_bench_fig8(benchmark, bench_artifacts):
+    world = bench_artifacts["world"]
+    campaign = bench_artifacts["campaign"]
+
+    result = benchmark(fig8.run, world, campaign)
+
+    official = result.breakdowns["official-liker.net"]
+    hublaa = result.breakdowns["hublaa.me"]
+
+    # official-liker.net: single-digit IP pool, heavy concentration.
+    assert official.distinct_ips <= 10
+    assert official.top_ip_share(top_n=3) > 0.6
+    assert official.distinct_asns == 1
+
+    # hublaa.me: two orders of magnitude more IPs, no concentration,
+    # exactly the two bulletproof ASes.
+    assert hublaa.distinct_ips > 30 * official.distinct_ips
+    assert hublaa.top_ip_share(top_n=3) < 0.15
+    assert hublaa.distinct_asns == 2
+    asns = {int(s.source[2:]) for s in hublaa.per_as}
+    assert asns == set(BULLETPROOF_ASNS)
+    for stats in hublaa.per_as:
+        assert world.as_registry.get(
+            int(stats.source[2:])).is_bulletproof
+    print()
+    print(result.render())

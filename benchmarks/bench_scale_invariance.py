@@ -1,0 +1,71 @@
+"""Ablation — the scaling methodology itself.
+
+EXPERIMENTS.md compares paper numbers against runs at reduced `scale`,
+on the claim that per-request quotas, orderings and coverage ratios are
+scale-invariant.  This bench runs the same milking campaign at two
+scales and checks that claim: quotas identical, membership proportional
+to scale, ordering unchanged, coverage ratio (observed / target) equal.
+"""
+
+import pytest
+
+from repro.apps.catalog import AppCatalog
+from repro.collusion.ecosystem import build_ecosystem
+from repro.core.config import StudyConfig
+from repro.core.world import World
+from repro.honeypot.milker import MilkingCampaign
+
+from conftest import once
+
+SCALES = (0.005, 0.01)
+NETWORKS = 6
+DAYS = 10
+
+
+def _milk_at(scale: float):
+    world = World(StudyConfig(scale=scale, seed=2024, milking_days=DAYS))
+    AppCatalog(world.apps, world.rng.stream("catalog"),
+               tail_apps=0).build()
+    ecosystem = build_ecosystem(world, network_limit=NETWORKS)
+    results = MilkingCampaign(world, ecosystem).run(DAYS)
+    out = {}
+    for domain, r in results.per_network.items():
+        target = ecosystem.network(domain).profile.membership_target
+        out[domain] = {
+            "avg_likes": r.avg_likes_per_post,
+            "membership": r.membership_estimate,
+            "coverage": r.membership_estimate / (target * scale),
+        }
+    return out
+
+
+def test_bench_scale_invariance(benchmark):
+    def sweep():
+        return {scale: _milk_at(scale) for scale in SCALES}
+
+    table = once(benchmark, sweep)
+
+    small, large = (table[s] for s in SCALES)
+    print()
+    for domain in small:
+        print(f"  {domain:<22} avg likes {small[domain]['avg_likes']:.0f}"
+              f" / {large[domain]['avg_likes']:.0f}   coverage "
+              f"{small[domain]['coverage']:.2f} / "
+              f"{large[domain]['coverage']:.2f}")
+
+    big_networks = ("hublaa.me", "official-liker.net", "mg-likers.com",
+                    "monkeyliker.com")
+    for domain in big_networks:
+        # Per-request quotas are identical across scales...
+        assert small[domain]["avg_likes"] == pytest.approx(
+            large[domain]["avg_likes"], rel=0.05), domain
+        # ...and calibrated coverage holds at both (within 15%).
+        assert small[domain]["coverage"] == pytest.approx(1.0, abs=0.15)
+        assert large[domain]["coverage"] == pytest.approx(1.0, abs=0.15)
+        # Membership scales with `scale`.
+        ratio = large[domain]["membership"] / small[domain]["membership"]
+        assert ratio == pytest.approx(SCALES[1] / SCALES[0], rel=0.2)
+    # Ordering is preserved across scales.
+    order_small = sorted(small, key=lambda d: -small[d]["membership"])
+    order_large = sorted(large, key=lambda d: -large[d]["membership"])
+    assert order_small[:4] == order_large[:4]

@@ -1,0 +1,27 @@
+"""Table 1 — scan the top-100 apps for token-leakage susceptibility.
+
+Paper: 55/100 susceptible; 46 short-term, 9 long-term; the long-term
+list is headed by Spotify (50M MAU) and every entry has >=1M MAU.
+"""
+
+from repro.experiments import table1
+from repro.oauth.tokens import TokenLifetime
+
+
+def test_bench_table1(benchmark, bench_artifacts):
+    world = bench_artifacts["world"]
+    catalog = bench_artifacts["catalog"]
+
+    result = benchmark(table1.run, world, catalog)
+
+    # --- shape assertions against the paper -------------------------
+    assert result.scanned == 100
+    assert result.susceptible == 55
+    assert result.susceptible_short_term == 46
+    assert result.susceptible_long_term == 9
+    assert len(result.rows) == 9
+    assert result.rows[0][1] == "Spotify"
+    assert result.rows[0][2] == 50_000_000
+    assert all(mau >= 1_000_000 for _, _, mau in result.rows)
+    print()
+    print(result.render())

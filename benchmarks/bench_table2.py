@@ -1,0 +1,31 @@
+"""Table 2 — rank the 50 collusion-network sites by traffic.
+
+Paper: hublaa.me ranks ~8K globally, official-liker.net ~17K; the top 8
+networks sit inside the global top 100K; India dominates visitor shares
+(Turkey for begeniyor.com, Vietnam for autolike.vn, Egypt for
+arabfblike.com).
+"""
+
+from repro.experiments import table2
+
+
+def test_bench_table2(benchmark, bench_artifacts):
+    world = bench_artifacts["world"]
+
+    result = benchmark(table2.run, world)
+
+    rows = result.rows
+    assert rows[0][0] == "hublaa.me"
+    assert rows[1][0] == "official-liker.net"
+    # Top 8 inside the global top ~100K.
+    assert all(rank <= 140_000 for _, rank, _, _ in rows[:8])
+    by_domain = {r[0]: r for r in rows}
+    assert by_domain["hublaa.me"][2] == "IN"
+    assert by_domain["begeniyor.com"][2] == "TR"
+    assert by_domain["autolike.vn"][2] == "VN"
+    assert by_domain["arabfblike.com"][2] == "EG"
+    # India is the modal top country across the list.
+    top_countries = [r[2] for r in rows if r[2]]
+    assert top_countries.count("IN") > len(top_countries) * 0.7
+    print()
+    print(result.render())

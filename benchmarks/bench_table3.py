@@ -1,0 +1,34 @@
+"""Table 3 — usage stats of the applications collusion networks exploit.
+
+Paper: HTC Sense (1M DAU, DAU rank 40, MAU rank 85), Nokia Account
+(100K DAU, rank 249; MAU rank 213), Sony Xperia smartphone (10K DAU,
+rank 866; MAU rank 1563) — a strict ordering HTC > Nokia > Sony on both
+axes, with HTC inside the DAU top ~50.
+"""
+
+from repro.experiments import table3
+
+
+def test_bench_table3(benchmark, bench_artifacts):
+    world = bench_artifacts["world"]
+
+    result = benchmark(table3.run, world)
+
+    rows = {r.name: r for r in result.rows}
+    htc = rows["HTC Sense"]
+    nokia = rows["Nokia Account"]
+    sony = rows["Sony Xperia smartphone"]
+    # DAU buckets: 1M / 100K / 10K.
+    assert htc.dau >= 1_000_000
+    assert 100_000 <= nokia.dau < 1_000_000
+    assert 10_000 <= sony.dau < 100_000
+    # Rank ordering on both axes.
+    assert htc.dau_rank < nokia.dau_rank < sony.dau_rank
+    assert htc.mau_rank <= nokia.mau_rank < sony.mau_rank
+    # HTC Sense is a top-50 app by daily usage.
+    assert htc.dau_rank <= 50
+    # Nokia/Sony rank in the hundreds-to-thousands, as in the paper.
+    assert 100 <= nokia.dau_rank <= 500
+    assert 500 <= sony.dau_rank <= 2500
+    print()
+    print(result.render())

@@ -1,0 +1,69 @@
+"""Table 4 — the milking campaign statistics.
+
+Paper (at 1:1 scale): 11,751 posts, 2.75M likes, 238 avg likes/post;
+membership ordering hublaa.me (295K) > official-liker.net (233K) >
+mg-likers.com (178K) > ... > fast-liker.com (834); ~12% of memberships
+are accounts colluding in more than one network.
+
+The bench times the *full milking campaign* (the expensive pipeline
+stage) on a fresh world, then checks the table against the session run.
+"""
+
+import pytest
+
+from repro.apps.catalog import AppCatalog
+from repro.collusion.ecosystem import build_ecosystem
+from repro.collusion.profiles import MILKED_PROFILES
+from repro.core.config import StudyConfig
+from repro.core.world import World
+from repro.experiments import table4
+from repro.honeypot.milker import MilkingCampaign
+
+from conftest import once
+
+
+def test_bench_table4_milking_campaign(benchmark):
+    """Time a compact milking campaign end to end."""
+    def milk():
+        world = World(StudyConfig(scale=0.004, seed=1, milking_days=10))
+        AppCatalog(world.apps, world.rng.stream("catalog"),
+                   tail_apps=0).build()
+        ecosystem = build_ecosystem(world, network_limit=6)
+        return world, MilkingCampaign(world, ecosystem).run(10)
+
+    world, results = once(benchmark, milk)
+    assert results.total_likes() > 0
+
+
+def test_bench_table4_shape(benchmark, bench_artifacts):
+    milking = bench_artifacts["milking"]
+    scale = bench_artifacts["config"].scale
+
+    result = benchmark(table4.run, milking, scale)
+
+    # --- membership ordering matches the paper ----------------------
+    domains = [r.domain for r in result.rows]
+    assert domains[:3] == ["hublaa.me", "official-liker.net",
+                           "mg-likers.com"]
+    assert domains[-1] in ("fast-liker.com", "arabfblike.com")
+
+    # --- absolute numbers land within 20% of scaled paper values ----
+    paper = {p.domain: p for p in MILKED_PROFILES}
+    for row in result.rows:
+        target = paper[row.domain].membership_target * scale
+        assert row.membership_size == pytest.approx(target, rel=0.25), \
+            row.domain
+
+    # --- fixed likes-per-request behaviour --------------------------
+    for domain in ("hublaa.me", "official-liker.net", "mg-likers.com"):
+        row = result.row_for(domain)
+        quota = paper[domain].likes_per_request
+        assert row.avg_likes_per_post == pytest.approx(quota, rel=0.1)
+
+    # --- overall volume: ~238 avg likes/post, ~12% overlap ----------
+    overall_avg = result.total_likes / result.total_posts
+    assert overall_avg == pytest.approx(238, rel=0.15)
+    overlap = 1 - result.unique_accounts / result.total_memberships
+    assert 0.03 < overlap < 0.25
+    print()
+    print(result.render())

@@ -1,0 +1,30 @@
+"""Table 5 — short-URL analytics.
+
+Paper: 13 goo.gl links; goo.gl/jZ7Nyl (June 2014, mg-likers.com) leads
+with ~148M clicks; several links share the HTC Sense dialog long URL
+totalling 236M clicks; distinct long URLs sum past 289M.
+"""
+
+from repro.experiments import table5
+
+
+def test_bench_table5(benchmark, bench_artifacts):
+    world = bench_artifacts["world"]
+    ecosystem = bench_artifacts["ecosystem"]
+
+    result = benchmark(table5.run, world, ecosystem)
+
+    assert len(result.rows) == 13
+    top = result.rows[0]
+    assert top.label == "goo.gl/jZ7Nyl"
+    assert top.report.short_url_clicks >= 147_959_735
+    assert top.report.top_referrer == "mg-likers.com"
+    assert top.app_name == "HTC Sense"
+    # Shared long URL: the HTC dialog totals 236M+ across its links.
+    assert top.report.long_url_clicks >= 236_194_576
+    # Paper: the sum of clicks over unique long URLs exceeds 289M.
+    assert result.total_long_url_clicks() > 289_000_000
+    # Click geolocation is dominated by the paper's visitor countries.
+    assert top.report.top_countries[0][0] == "IN"
+    print()
+    print(result.render())

@@ -1,0 +1,34 @@
+"""Table 6 — lexical analysis of auto-comments.
+
+Paper: 7 networks provide auto-comments; only 187 of 12,959 comments are
+unique (1.4%); lexical richness 1.4% overall (max 8.8%); ARI 13-25;
+20.6% of words are not English dictionary words.
+"""
+
+from repro.experiments import table6
+
+
+def test_bench_table6(benchmark, bench_artifacts):
+    milking = bench_artifacts["milking"]
+
+    result = benchmark(table6.run, milking)
+
+    assert len(result.per_network) == 7
+    overall = result.overall
+    # Tiny unique-comment share: finite dictionaries, heavy repetition.
+    assert overall.unique_comment_pct < 15
+    assert overall.lexical_richness_pct < 15
+    # Roughly a fifth of tokens are non-dictionary junk.
+    assert 8 < overall.non_dictionary_pct < 40
+    # ARI lands in the paper's teens-to-twenties band.
+    assert 8 < overall.ari < 30
+    for domain, a in result.per_network.items():
+        assert a.unique_comments <= 60, domain  # small fixed dictionary
+        assert a.comments > a.unique_comments, domain
+    # kdliker provides the most comments/post (47), arabfblike least (2).
+    per_post = {d: a.avg_comments_per_post
+                for d, a in result.per_network.items()}
+    assert max(per_post, key=per_post.get) == "kdliker.com"
+    assert min(per_post, key=per_post.get) == "arabfblike.com"
+    print()
+    print(result.render())

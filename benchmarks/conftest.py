@@ -1,0 +1,60 @@
+"""Shared state for the benchmark harness.
+
+Each ``bench_*`` module regenerates one of the paper's tables or figures
+(plus shape assertions against the paper's qualitative results) and
+times the regeneration with pytest-benchmark.  The expensive shared
+pipeline — world build, milking campaign, countermeasure campaign — runs
+once per session at ``BENCH_SCALE`` and is reused by the per-experiment
+benches; the heavyweight stages are themselves timed by dedicated
+benches with ``rounds=1``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.catalog import AppCatalog
+from repro.collusion.ecosystem import build_ecosystem
+from repro.core.config import StudyConfig
+from repro.core.world import World
+from repro.countermeasures.campaign import (
+    CampaignConfig,
+    CountermeasureCampaign,
+)
+from repro.honeypot.milker import MilkingCampaign
+
+#: Benchmark scale: 1/100th of the paper.  Shapes (orderings, ratios,
+#: crossovers) are scale-invariant; absolute counts scale linearly.
+BENCH_SCALE = 0.01
+BENCH_SEED = 2017
+MILKING_DAYS = 30
+CAMPAIGN_DAYS = 75
+
+
+@pytest.fixture(scope="session")
+def bench_artifacts():
+    """Build + milk + campaign, once per benchmark session."""
+    config = StudyConfig(scale=BENCH_SCALE, seed=BENCH_SEED,
+                         milking_days=MILKING_DAYS,
+                         campaign_days=CAMPAIGN_DAYS)
+    world = World(config)
+    catalog = AppCatalog(world.apps, world.rng.stream("catalog"))
+    catalog.build()
+    ecosystem = build_ecosystem(world)
+    milking = MilkingCampaign(world, ecosystem).run(MILKING_DAYS)
+    campaign = CountermeasureCampaign(
+        world, ecosystem, CampaignConfig(days=CAMPAIGN_DAYS)).run()
+    return {
+        "config": config,
+        "world": world,
+        "catalog": catalog,
+        "ecosystem": ecosystem,
+        "milking": milking,
+        "campaign": campaign,
+    }
+
+
+def once(benchmark, func, *args, **kwargs):
+    """Time ``func`` exactly once (for non-repeatable pipeline stages)."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Why temporal clustering misses collusion networks (§6.3).
+
+Feeds two abuse traces to the same SynchroTrap detector:
+
+* a naive lockstep botnet — the same 40 accounts like every target
+  within minutes of each other; and
+* a collusion-network trace — every request served by a fresh random
+  sample from a large token pool.
+
+The botnet is flagged wholesale; the collusion accounts evade.
+
+Usage:  python examples/detect_lockstep.py
+"""
+
+import random
+
+from repro.detection.actions import Action
+from repro.detection.evaluation import evaluate_detection
+from repro.detection.lockstep import LockstepDetector
+from repro.detection.synchrotrap import SynchroTrap
+
+
+def botnet_trace(n_bots=40, n_targets=25):
+    bots = [f"bot{i}" for i in range(n_bots)]
+    actions = []
+    for t in range(n_targets):
+        base = t * 7200
+        for i, bot in enumerate(bots):
+            actions.append(Action(bot, f"victim-post-{t}", base + i * 3))
+    return bots, actions
+
+
+def collusion_trace(pool=20_000, n_targets=25, likes_per_target=350,
+                    seed=7):
+    rng = random.Random(seed)
+    members = [f"member{i}" for i in range(pool)]
+    actions = []
+    for t in range(n_targets):
+        base = t * 7200
+        for member in rng.sample(members, likes_per_target):
+            actions.append(Action(member, f"customer-post-{t}", base))
+    return members, actions
+
+
+def report(name, detector, truth, actions):
+    result = detector.detect(actions)
+    metrics = evaluate_detection(result, truth)
+    print(f"  {name:<24} flagged {result.flagged_count:>6,} accounts   "
+          f"recall {metrics.recall:6.1%}   precision {metrics.precision:6.1%}")
+
+
+def main() -> None:
+    synchrotrap = SynchroTrap(min_cluster_size=10)
+    lockstep = LockstepDetector(min_common_targets=5, min_cluster_size=10)
+
+    bots, botnet_actions = botnet_trace()
+    members, collusion_actions = collusion_trace()
+
+    print("Lockstep botnet (same 40 accounts on every target):")
+    report("SynchroTrap", synchrotrap, bots, botnet_actions)
+    report("Lockstep baseline", lockstep, bots, botnet_actions)
+    print()
+    print("Collusion network (random samples from a 20,000-token pool):")
+    report("SynchroTrap", synchrotrap, members, collusion_actions)
+    report("Lockstep baseline", lockstep, members, collusion_actions)
+    print()
+    print("Same detector, same thresholds: pool sampling plus per-token "
+          "spreading keeps every pairwise similarity below threshold — "
+          "the paper's §6.3 negative result.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""The paper's §8 future work, implemented: ML token-abuse detection.
+
+Generates a mixed Graph API trace — collusion-network likes plus
+legitimate app users — then compares the temporal-clustering detector
+the paper evaluated (and found evadable, §6.3) against a feature-based
+classifier keyed on infrastructure signals.
+
+Usage:  python examples/ml_abuse_detection.py
+"""
+
+from repro import Study, StudyConfig
+from repro.collusion.profiles import HTC_SENSE
+from repro.detection import (
+    LogisticAbuseClassifier,
+    SynchroTrap,
+    actions_from_request_log,
+    detect_abusive_tokens,
+    extract_token_features,
+)
+from repro.detection.mlabuse import FEATURE_NAMES, train_test_split
+from repro.honeypot.account import create_honeypot
+from repro.sim.clock import DAY
+from repro.workloads.organic import OrganicWorkload
+
+
+def main() -> None:
+    study = Study(StudyConfig(scale=0.005, seed=2017, network_limit=2))
+    study.build()
+    world = study.world
+    network = study.ecosystem.network("official-liker.net")
+    honeypot = create_honeypot(world, network)
+    organic = OrganicWorkload(world, [HTC_SENSE],
+                              likes_per_user_per_day=3.0)
+    organic.create_users(100)
+
+    print("Generating one simulated week of mixed traffic ...")
+    for day in range(7):
+        for i in range(5):
+            post = world.platform.create_post(honeypot.account_id,
+                                              f"day{day} post{i}")
+            network.submit_like_request(honeypot.account_id,
+                                        post.post_id)
+        organic.run_day()
+        world.clock.advance(DAY)
+
+    colluding = set(network.token_db) | network.dead_members
+    organic_users = {u.account_id for u in organic.users}
+
+    # Temporal clustering (the §6.3 result).
+    st = SynchroTrap(min_cluster_size=10, max_bucket_actors=120)
+    st_result = st.detect(actions_from_request_log(world.api.log))
+    caught = len(st_result.flagged_accounts & colluding)
+    print(f"\nSynchroTrap: flagged {caught:,} of {len(colluding):,} "
+          f"colluding accounts ({caught / len(colluding):.1%})")
+
+    # Feature-based classifier (the §8 proposal).
+    features = [f for f in extract_token_features(world.api.log)
+                if f.user_id in colluding or f.user_id in organic_users]
+    labels = [1 if f.user_id in colluding else 0 for f in features]
+    train_x, train_y, test_x, test_y = train_test_split(
+        features, labels, test_fraction=0.3, seed=7)
+    classifier = LogisticAbuseClassifier().fit(train_x, train_y)
+    result = detect_abusive_tokens(classifier, test_x)
+    positives = {s.token for s, l in zip(test_x, test_y) if l}
+    negatives = {s.token for s, l in zip(test_x, test_y) if not l}
+    recall = len(result.flagged_tokens & positives) / len(positives)
+    fpr = len(result.flagged_tokens & negatives) / max(1, len(negatives))
+    print(f"Feature classifier: recall {recall:.1%}, false-positive "
+          f"rate on organic users {fpr:.1%}")
+
+    print("\nLearned feature weights (standardized):")
+    for name, weight in zip(FEATURE_NAMES, classifier.weights):
+        print(f"  {name:<24} {weight:+.2f}")
+    print("\nIP co-tenancy and datacenter origin do the separating — "
+          "timing-based evasion does not help against infrastructure "
+          "features.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Follow the money and the operators (§5).
+
+Builds the ecosystem and walks the paper's §5 analyses: monetization
+(ad networks behind redirect domains, anti-adblock, premium plans) and
+ownership (WHOIS privacy, registrant countries, the operators' inflated
+social presence fed by member tokens).
+
+Usage:  python examples/ownership_and_monetization.py
+"""
+
+from repro import Study, StudyConfig
+from repro.collusion.economics import (
+    demonetization_impact,
+    estimate_economics,
+)
+from repro.collusion.ownership import ownership_report
+
+
+def main() -> None:
+    study = Study(StudyConfig(scale=0.01, seed=2017, network_limit=6))
+    study.build()
+    world = study.world
+    ecosystem = study.ecosystem
+
+    # --- §5.1 monetization -------------------------------------------
+    print("Monetization (§5.1)")
+    for domain, network in list(ecosystem.networks.items())[:4]:
+        scan = world.ad_scanner.scan(domain)
+        plans = network.monetization.premium_plans
+        nets = ", ".join(sorted(n.value for n in scan.networks_seen))
+        print(f"  {domain}:")
+        print(f"    ad networks: {nets} "
+              f"(reputable ones only after a redirect: "
+              f"{scan.uses_redirect_monetization}; anti-adblock: "
+              f"{scan.anti_adblock_detected})")
+        ladder = " / ".join(f"{p.name} ${p.monthly_price_usd:.2f} -> "
+                            f"{p.likes_per_request} likes"
+                            for p in plans)
+        print(f"    premium ladder: {ladder}")
+
+    # A member upgrades and immediately gets a bigger burst.
+    network = ecosystem.network("mg-likers.com")
+    member = network.join()
+    free_post = world.platform.create_post(member, "free tier post")
+    network.submit_like_request(member, free_post.post_id)
+    network.monetization.subscribe(member, "ultimate")
+    paid_post = world.platform.create_post(member, "ultimate tier post")
+    network.submit_like_request(member, paid_post.post_id)
+    free_likes = world.platform.get_post(free_post.post_id).like_count
+    paid_likes = world.platform.get_post(paid_post.post_id).like_count
+    print(f"\n  free plan delivered {free_likes} likes; 'ultimate' "
+          f"($29.99/mo) delivered {paid_likes}")
+
+    # --- §5.2 ownership ----------------------------------------------
+    print()
+    # Let the networks spend some member tokens promoting their owners.
+    for domain, net in ecosystem.networks.items():
+        for m in list(net.token_db)[:30]:
+            net.use_member_token_for_background(m, 5)
+    print(ownership_report(world, ecosystem).render())
+
+    # --- §8: the money, and the demonetization lever ------------------
+    print("\nEconomics (monthly, modeled):")
+    for domain in ("hublaa.me", "official-liker.net", "monkeyliker.com"):
+        network = ecosystem.network(domain)
+        pnl = estimate_economics(world, network)
+        impact = demonetization_impact(world, network)
+        print(f"  {domain:<22} ads ${pnl.ad_revenue_monthly:>9,.0f}  "
+              f"premium ${pnl.premium_revenue_monthly:>7,.0f}  "
+              f"costs ${pnl.cost_monthly:>7,.0f}  "
+              f"profit ${pnl.profit_monthly:>9,.0f}")
+        print(f"  {'':<22} if ad networks blacklist the redirect "
+              f"domains: profit ${impact['profit_after']:>9,.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""OAuth token leakage, step by step (§2).
+
+Walks both RFC 6749 flows against the simulated authorization server and
+shows precisely why the Fig. 2 security settings decide exploitability:
+
+* implicit flow + no app-secret requirement  ->  token abusable;
+* implicit flow + app-secret required        ->  leaked token useless;
+* client-side flow disabled                  ->  nothing leaks at all.
+
+Usage:  python examples/token_leakage_demo.py
+"""
+
+from repro.core.config import StudyConfig
+from repro.core.world import World
+from repro.graphapi.errors import AppSecretRequiredError
+from repro.oauth.apps import AppSecuritySettings
+from repro.oauth.errors import FlowDisabledError
+from repro.oauth.scopes import PermissionScope
+from repro.oauth.server import AuthorizationRequest
+from repro.oauth.tokens import TokenLifetime
+
+
+def demo_app(world, name, client_flow, require_secret):
+    return world.apps.register(
+        name, f"https://{name.lower().replace(' ', '')}.example/callback",
+        security=AppSecuritySettings(
+            client_side_flow_enabled=client_flow,
+            require_app_secret=require_secret),
+        approved_permissions=PermissionScope.full(),
+        token_lifetime=TokenLifetime.LONG_TERM,
+    )
+
+
+def attack(world, app, victim, target_post):
+    """Play the collusion network: leak a token, then abuse it."""
+    request = AuthorizationRequest(
+        app_id=app.app_id, redirect_uri=app.redirect_uri,
+        response_type="token", scope=app.approved_permissions)
+    try:
+        result = world.auth_server.authorize(request, victim.account_id)
+    except FlowDisabledError:
+        return "SAFE: client-side flow disabled -- no token ever reaches " \
+               "the browser"
+    token = result.token_from_fragment()
+    print(f"    token leaked via redirect fragment: {token[:18]}…")
+    try:
+        world.api.like_post(token, target_post.post_id,
+                            source_ip="10.60.0.99")
+    except AppSecretRequiredError:
+        return ("SAFE: Graph API demands appsecret_proof -- the bare "
+                "token is useless to the attacker")
+    return "EXPLOITED: fake like placed with the victim's leaked token"
+
+
+def main() -> None:
+    world = World(StudyConfig(scale=0.01, seed=1))
+    victim = world.platform.register_account("Victim User")
+    author = world.platform.register_account("Target Author")
+    scenarios = [
+        ("Susceptible app (implicit flow, no secret required)",
+         demo_app(world, "Weak Player", True, False)),
+        ("Hardened app (implicit flow, appsecret_proof required)",
+         demo_app(world, "Proofed Player", True, True)),
+        ("Server-side-only app (client flow disabled)",
+         demo_app(world, "Server Player", False, False)),
+    ]
+    for title, app in scenarios:
+        print(title)
+        post = world.platform.create_post(author.account_id, "a post")
+        print(f"    -> {attack(world, app, victim, post)}\n")
+
+    # The server-side flow never exposes the token: the code is
+    # exchanged app-server-to-platform, authenticated by the secret.
+    app = scenarios[2][1]
+    result = world.auth_server.authorize(
+        AuthorizationRequest(app.app_id, app.redirect_uri, "code",
+                             app.approved_permissions),
+        victim.account_id)
+    print("Server-side flow redirect carries only a single-use code:")
+    print(f"    {result.redirect_url}")
+    token = world.auth_server.exchange_code(
+        app.app_id, app.redirect_uri, result.authorization_code,
+        app.secret)
+    print(f"    exchanged (with app secret) for token {token.token[:18]}… "
+          f"on the app server, invisible to the browser")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""repro — a full reproduction of "Measuring and Mitigating OAuth Access
+Token Abuse by Collusion Networks" (Farooqi et al., IMC 2017).
+
+The paper measured live Facebook collusion networks and deployed
+countermeasures with Facebook; both are long gone, so this library builds
+the entire stack as a deterministic simulation — an OSN platform with
+OAuth 2.0 and a Graph API, the collusion-network services, the honeypot
+measurement apparatus, and the countermeasure suite — and regenerates
+every table and figure from the paper's evaluation.
+
+Quick start::
+
+    from repro import Study, StudyConfig
+
+    study = Study(StudyConfig(scale=0.02, seed=2017))
+    report = study.run_all()
+    print(report.render())
+"""
+
+from repro.core.config import StudyConfig
+from repro.core.study import Study
+from repro.core.world import World
+
+__version__ = "1.0.0"
+
+__all__ = ["Study", "StudyConfig", "World", "__version__"]

@@ -1,0 +1,27 @@
+"""Third-party application catalog and the susceptibility scanner.
+
+``catalog`` builds the synthetic top-100 application population (plus the
+lower-ranked apps collusion networks exploit); ``scanner`` reimplements the
+paper's §2.2 scanning tool that drives each app's login flow end-to-end to
+decide whether it can be exploited for reputation manipulation.
+"""
+
+from repro.apps.catalog import (
+    AppCatalog,
+    AppSpec,
+    NAMED_SUSCEPTIBLE_APPS,
+    COLLUSION_APPS,
+    mau_bucket,
+)
+from repro.apps.scanner import AppScanner, ScanVerdict, SusceptibilityReport
+
+__all__ = [
+    "AppCatalog",
+    "AppSpec",
+    "NAMED_SUSCEPTIBLE_APPS",
+    "COLLUSION_APPS",
+    "mau_bucket",
+    "AppScanner",
+    "ScanVerdict",
+    "SusceptibilityReport",
+]

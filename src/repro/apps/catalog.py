@@ -1,0 +1,279 @@
+"""The synthetic third-party application population.
+
+Reproduces the structure the paper measured:
+
+* a top-100 catalog (by MAU) in which 55 apps are susceptible — 46 with
+  short-term tokens and 9 with long-term tokens (Table 1);
+* the three lower-ranked applications collusion networks actually exploit
+  (Table 3): HTC Sense, Nokia Account, Sony Xperia smartphone.
+
+Named applications keep their real numeric platform ids so table output
+matches the paper row-for-row.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.oauth.apps import Application, ApplicationRegistry, AppSecuritySettings
+from repro.oauth.scopes import PermissionScope
+from repro.oauth.tokens import TokenLifetime
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Blueprint for one catalog application."""
+
+    app_id: str
+    name: str
+    monthly_active_users: int
+    daily_active_users: int
+    client_side_flow_enabled: bool
+    require_app_secret: bool
+    token_lifetime: TokenLifetime
+    has_publish_actions: bool = True
+
+
+#: Table 1 — the 9 susceptible top-100 apps issued long-term tokens.
+NAMED_SUSCEPTIBLE_APPS: Tuple[AppSpec, ...] = (
+    AppSpec("174829003346", "Spotify", 50_000_000, 8_000_000,
+            True, False, TokenLifetime.LONG_TERM),
+    AppSpec("100577877361", "PlayStation Network", 5_000_000, 900_000,
+            True, False, TokenLifetime.LONG_TERM),
+    AppSpec("241284008322", "Deezer", 5_000_000, 850_000,
+            True, False, TokenLifetime.LONG_TERM),
+    AppSpec("139475280761", "Pandora", 5_000_000, 800_000,
+            True, False, TokenLifetime.LONG_TERM),
+    AppSpec("193278124048833", "HTC Sense", 1_000_000, 250_000,
+            True, False, TokenLifetime.LONG_TERM),
+    AppSpec("153996561399852", "Flipagram", 1_000_000, 240_000,
+            True, False, TokenLifetime.LONG_TERM),
+    AppSpec("226681500790782", "TownShip", 1_000_000, 230_000,
+            True, False, TokenLifetime.LONG_TERM),
+    AppSpec("137234499712326", "Tango", 1_000_000, 220_000,
+            True, False, TokenLifetime.LONG_TERM),
+    # Exact MAU 1.9M still reports as the "1M" bucket; the value places
+    # HTC Sense near the paper's MAU rank of 85 once the tail exists.
+    AppSpec("41158896424", "HTC Sense", 1_900_000, 1_000_000,
+            True, False, TokenLifetime.LONG_TERM),
+)
+
+#: Table 3 — the applications collusion networks exploit.  HTC Sense
+#: (41158896424) is also in Table 1; the other two rank below the top 100.
+COLLUSION_APPS: Tuple[AppSpec, ...] = (
+    NAMED_SUSCEPTIBLE_APPS[-1],  # HTC Sense, DAU 1M (rank 40)
+    AppSpec("200758583311692", "Nokia Account", 1_000_000, 100_000,
+            True, False, TokenLifetime.LONG_TERM),
+    AppSpec("104018109673165", "Sony Xperia smartphone", 100_000, 10_000,
+            True, False, TokenLifetime.LONG_TERM),
+)
+
+_SYNTH_NAME_STEMS = (
+    "Candy", "Farm", "Quiz", "Photo", "Music", "Daily", "Word", "Bubble",
+    "Video", "Pet", "City", "Star", "Puzzle", "Chef", "Racing", "Poker",
+    "Horoscope", "Birthday", "Travel", "Fitness", "Weather", "News",
+    "Karaoke", "Trivia", "Garden", "Galaxy", "Pirate", "Jungle", "Magic",
+    "Soccer", "Cricket", "Bingo", "Slots", "Diary", "Sticker", "Recipe",
+)
+_SYNTH_NAME_SUFFIXES = (
+    "Saga", "Story", "Mania", "World", "Life", "Heroes", "Blast", "Crush",
+    "Quest", "Villa", "Land", "Dash", "Party", "Club", "Zone", "Go",
+)
+
+
+def mau_bucket(value: int) -> int:
+    """Round an exact user count down to its order-of-magnitude bucket.
+
+    Mirrors the Graph API's coarse reporting (1M, 100K, 10K, ...) used in
+    Tables 1 and 3.
+    """
+    if value <= 0:
+        return 0
+    bucket = 1
+    while bucket * 10 <= value:
+        bucket *= 10
+    return (value // bucket) * bucket
+
+
+def _mau_for_rank(rank: int) -> int:
+    """A smooth, decreasing MAU curve consistent with Table 1/3 anchors.
+
+    Calibrated (exponent 1.38) so the top-100 floor sits near 1.2M MAU:
+    with the long tail sampled below that floor, the named apps land at
+    Graph-API usage ranks close to the paper's (HTC Sense MAU rank ~85,
+    Nokia Account ~213, Sony Xperia ~1563).
+    """
+    return int(600_000_000 / (rank ** 1.38)) + 50_000
+
+
+class AppCatalog:
+    """Builds and registers the full application population."""
+
+    def __init__(self, registry: ApplicationRegistry, rng: random.Random,
+                 top_n: int = 100, susceptible_short_term: int = 46,
+                 tail_apps: int = 1500) -> None:
+        """``susceptible_short_term`` + the 9 named long-term apps gives
+        the paper's 55 susceptible apps out of ``top_n``.
+
+        ``tail_apps`` synthesizes the long tail of applications below the
+        top 100, so the Graph API usage ranks of Table 3 (Nokia Account
+        MAU rank ~213, Sony Xperia MAU rank ~1563) land in a realistic
+        range instead of saturating at ~100.
+        """
+        if susceptible_short_term + len(NAMED_SUSCEPTIBLE_APPS) > top_n:
+            raise ValueError("more susceptible apps than catalog slots")
+        if tail_apps < 0:
+            raise ValueError("tail_apps cannot be negative")
+        self._registry = registry
+        self._rng = rng
+        self._top_n = top_n
+        self._susceptible_short_term = susceptible_short_term
+        self._tail_apps = tail_apps
+        self._specs: List[AppSpec] = []
+        self._apps: Dict[str, Application] = {}
+
+    @property
+    def specs(self) -> List[AppSpec]:
+        return list(self._specs)
+
+    def build(self) -> List[Application]:
+        """Create all catalog apps in the registry and return them."""
+        if self._apps:
+            raise RuntimeError("catalog already built")
+        specs = self._make_specs()
+        self._specs = specs
+        collusion_only = {spec.app_id for spec in COLLUSION_APPS[1:]}
+        self._top100_ids = [
+            s.app_id for s in specs
+            if s.app_id not in collusion_only
+            and not s.name.startswith("Longtail ")
+        ][:self._top_n]
+        full_scope = PermissionScope.full()
+        read_scope = PermissionScope.basic()
+        for spec in specs:
+            approved = full_scope if spec.has_publish_actions else read_scope
+            app = self._registry.register(
+                name=spec.name,
+                redirect_uri=f"https://{self._slug(spec.name)}.example/callback",
+                security=AppSecuritySettings(
+                    client_side_flow_enabled=spec.client_side_flow_enabled,
+                    require_app_secret=spec.require_app_secret,
+                ),
+                approved_permissions=approved,
+                token_lifetime=spec.token_lifetime,
+                monthly_active_users=spec.monthly_active_users,
+                daily_active_users=spec.daily_active_users,
+                app_id=spec.app_id,
+            )
+            self._apps[spec.app_id] = app
+        return list(self._apps.values())
+
+    @staticmethod
+    def _slug(name: str) -> str:
+        return "".join(ch for ch in name.lower() if ch.isalnum()) or "app"
+
+    def top_100(self) -> List[Application]:
+        """The designated leaderboard apps (the scanner's input).
+
+        The paper scanned a fixed AppData leaderboard list; we return the
+        catalog's designated top-``top_n`` (the 9 named Table 1 apps plus
+        the synthetic leaders), ordered by MAU.
+        """
+        members = [self._apps[app_id] for app_id in self._top100_ids]
+        members.sort(key=lambda a: (-a.monthly_active_users, a.app_id))
+        return members
+
+    def get(self, app_id: str) -> Application:
+        app = self._apps.get(app_id)
+        if app is None:
+            raise KeyError(f"app not in catalog: {app_id}")
+        return app
+
+    # ------------------------------------------------------------------
+    # Spec generation
+    # ------------------------------------------------------------------
+    def _make_specs(self) -> List[AppSpec]:
+        specs: List[AppSpec] = list(NAMED_SUSCEPTIBLE_APPS)
+        specs.extend(COLLUSION_APPS[1:])  # Nokia + Sony (below top 100)
+        synthetic_needed = self._top_n - len(NAMED_SUSCEPTIBLE_APPS)
+        # Which of the synthetic top-100 slots are susceptible/short-term.
+        susceptible_slots = set(self._rng.sample(
+            range(synthetic_needed), self._susceptible_short_term))
+        names = self._make_names(synthetic_needed)
+        used_ids = {spec.app_id for spec in specs}
+        rank = 0
+        for i in range(synthetic_needed):
+            rank += 1
+            mau = _mau_for_rank(rank)
+            app_id = self._mint_numeric_id(used_ids)
+            used_ids.add(app_id)
+            if i in susceptible_slots:
+                # Susceptible: client-side flow on, secret not required,
+                # but only short-term tokens (limited abuse window).
+                spec = AppSpec(
+                    app_id, names[i], mau, max(1, mau // 5),
+                    client_side_flow_enabled=True,
+                    require_app_secret=False,
+                    token_lifetime=TokenLifetime.SHORT_TERM,
+                )
+            else:
+                # Not susceptible: either the client-side flow is off or
+                # the app demands its secret on API calls.
+                secure_by_secret = self._rng.random() < 0.5
+                spec = AppSpec(
+                    app_id, names[i], mau, max(1, mau // 5),
+                    client_side_flow_enabled=secure_by_secret,
+                    require_app_secret=secure_by_secret,
+                    token_lifetime=(TokenLifetime.LONG_TERM
+                                    if self._rng.random() < 0.2
+                                    else TokenLifetime.SHORT_TERM),
+                )
+            specs.append(spec)
+        specs.extend(self._make_tail_specs(
+            {s.app_id for s in specs},
+            floor_mau=_mau_for_rank(max(1, synthetic_needed))))
+        return specs
+
+    def _make_tail_specs(self, used_ids: set, floor_mau: int) -> List[AppSpec]:
+        """The long tail below the top 100: log-uniform MAU under the
+        top-100 floor, varied DAU/MAU engagement ratios, read-only
+        permissions (they are never scanned or exploited)."""
+        tail: List[AppSpec] = []
+        low = math.log(60_000)
+        high = math.log(max(61_000, floor_mau))
+        for i in range(self._tail_apps):
+            mau = int(math.exp(self._rng.uniform(low, high)))
+            engagement = math.exp(self._rng.uniform(math.log(4),
+                                                    math.log(60)))
+            app_id = self._mint_numeric_id(used_ids)
+            used_ids.add(app_id)
+            tail.append(AppSpec(
+                app_id, f"Longtail App {i + 1}", mau,
+                max(1, int(mau / engagement)),
+                client_side_flow_enabled=False,
+                require_app_secret=True,
+                token_lifetime=TokenLifetime.SHORT_TERM,
+                has_publish_actions=False,
+            ))
+        return tail
+
+    def _make_names(self, count: int) -> List[str]:
+        names: List[str] = []
+        seen = set()
+        while len(names) < count:
+            name = (f"{self._rng.choice(_SYNTH_NAME_STEMS)} "
+                    f"{self._rng.choice(_SYNTH_NAME_SUFFIXES)}")
+            if name in seen:
+                name = f"{name} {len(names) + 2}"
+            seen.add(name)
+            names.append(name)
+        return names
+
+    def _mint_numeric_id(self, used: set) -> str:
+        while True:
+            candidate = str(self._rng.randrange(10**11, 10**12))
+            if candidate not in used:
+                return candidate

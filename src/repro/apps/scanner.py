@@ -1,0 +1,152 @@
+"""The application scanning tool of §2.2.
+
+For each application the scanner drives the *actual* login flow against
+the authorization server with a test account — no shortcuts through app
+metadata — and then probes the Graph API with the retrieved token:
+
+1. launch the app's login URL and infer the OAuth redirect URI;
+2. install the app on the test account with its full approved scope via
+   the client-side (implicit) flow;
+3. retrieve the access token from the redirect fragment;
+4. call the API to read the test account's public profile; and
+5. like a test post.
+
+An app is *susceptible to reputation manipulation* only if every step
+succeeds without presenting the application secret.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.graphapi.api import GraphApi
+from repro.graphapi.errors import AppSecretRequiredError, PermissionDeniedError
+from repro.oauth.apps import Application
+from repro.oauth.errors import FlowDisabledError, OAuthError
+from repro.oauth.server import AuthorizationRequest, AuthorizationServer
+from repro.oauth.tokens import TokenLifetime
+from repro.socialnet.platform import SocialPlatform
+
+
+class ScanVerdict(enum.Enum):
+    """Why an app is (or is not) exploitable."""
+
+    SUSCEPTIBLE = "susceptible"
+    CLIENT_FLOW_DISABLED = "client_side_flow_disabled"
+    APP_SECRET_REQUIRED = "app_secret_required"
+    NO_PUBLISH_PERMISSION = "no_publish_permission"
+    OAUTH_ERROR = "oauth_error"
+
+
+@dataclass(frozen=True)
+class SusceptibilityReport:
+    """The scanner's conclusion for one application."""
+
+    app_id: str
+    app_name: str
+    verdict: ScanVerdict
+    token_lifetime: Optional[TokenLifetime]
+    monthly_active_users: int
+    redirect_uri: Optional[str] = None
+
+    @property
+    def susceptible(self) -> bool:
+        return self.verdict is ScanVerdict.SUSCEPTIBLE
+
+
+class AppScanner:
+    """Runs the end-to-end susceptibility probe against applications."""
+
+    def __init__(self, platform: SocialPlatform,
+                 auth_server: AuthorizationServer, api: GraphApi) -> None:
+        self._platform = platform
+        self._auth = auth_server
+        self._api = api
+        self._test_account = platform.register_account(
+            "Scanner Test Account", is_honeypot=True)
+
+    @property
+    def test_account_id(self) -> str:
+        return self._test_account.account_id
+
+    def scan(self, app: Application) -> SusceptibilityReport:
+        """Probe one application end to end."""
+        # Step 1: launch the login URL; the redirect URI is inferred from
+        # the login-flow redirections (here: read off the dialog URL).
+        self._auth.login_dialog_url(
+            app.app_id, "token", app.approved_permissions)
+        redirect_uri = app.redirect_uri
+
+        # Step 2+3: install with the app's originally-acquired permission
+        # scope via the implicit flow, and lift the token from the
+        # redirect fragment.
+        request = AuthorizationRequest(
+            app_id=app.app_id,
+            redirect_uri=redirect_uri,
+            response_type="token",
+            scope=app.approved_permissions,
+        )
+        try:
+            result = self._auth.authorize(
+                request, self._test_account.account_id)
+        except FlowDisabledError:
+            return self._report(app, ScanVerdict.CLIENT_FLOW_DISABLED,
+                                redirect_uri)
+        except OAuthError:
+            return self._report(app, ScanVerdict.OAUTH_ERROR, redirect_uri)
+        token = result.token_from_fragment()
+        if token is None:
+            return self._report(app, ScanVerdict.OAUTH_ERROR, redirect_uri)
+
+        # Step 4: read the public profile with the bare token.
+        try:
+            self._api.get_profile(token)
+        except AppSecretRequiredError:
+            return self._report(app, ScanVerdict.APP_SECRET_REQUIRED,
+                                redirect_uri)
+
+        # Step 5: like a fresh test post with the bare token.
+        test_post = self._platform.create_post(
+            self._test_account.account_id, "scanner probe post")
+        try:
+            self._api.like_post(token, test_post.post_id)
+        except AppSecretRequiredError:
+            return self._report(app, ScanVerdict.APP_SECRET_REQUIRED,
+                                redirect_uri)
+        except PermissionDeniedError:
+            return self._report(app, ScanVerdict.NO_PUBLISH_PERMISSION,
+                                redirect_uri)
+        return self._report(app, ScanVerdict.SUSCEPTIBLE, redirect_uri)
+
+    def scan_all(self, apps: Iterable[Application]) -> List[SusceptibilityReport]:
+        return [self.scan(app) for app in apps]
+
+    @staticmethod
+    def summarize(reports: Iterable[SusceptibilityReport]) -> dict:
+        """The §2.2 headline numbers: total susceptible / short / long."""
+        reports = list(reports)
+        susceptible = [r for r in reports if r.susceptible]
+        short = [r for r in susceptible
+                 if r.token_lifetime is TokenLifetime.SHORT_TERM]
+        long_term = [r for r in susceptible
+                     if r.token_lifetime is TokenLifetime.LONG_TERM]
+        return {
+            "scanned": len(reports),
+            "susceptible": len(susceptible),
+            "susceptible_short_term": len(short),
+            "susceptible_long_term": len(long_term),
+        }
+
+    @staticmethod
+    def _report(app: Application, verdict: ScanVerdict,
+                redirect_uri: Optional[str]) -> SusceptibilityReport:
+        return SusceptibilityReport(
+            app_id=app.app_id,
+            app_name=app.name,
+            verdict=verdict,
+            token_lifetime=app.token_lifetime,
+            monthly_active_users=app.monthly_active_users,
+            redirect_uri=redirect_uri,
+        )

@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+scan       run the §2.2 application scan and print Table 1
+milk       run the §4 milking campaign (Tables 4/6, Fig. 4)
+campaign   run the §6 countermeasure campaign (Figs. 5-8)
+full       run everything and print the complete report
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core.config import StudyConfig
+from repro.core.study import Study
+from repro.experiments import export, fig4, fig5, fig6, fig7, fig8
+from repro.experiments import table1, table4, table6
+
+
+def _common_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="fraction of paper scale (default 0.02)")
+    parser.add_argument("--seed", type=int, default=2017)
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of text")
+    parser.add_argument("--out", type=str, default=None,
+                        help="also write output to this file")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Reproduction of 'Measuring and Mitigating OAuth "
+                     "Access Token Abuse by Collusion Networks' "
+                     "(IMC 2017)"))
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scan = sub.add_parser("scan", help="Table 1: scan the top-100 apps")
+    _common_flags(scan)
+
+    milk = sub.add_parser("milk",
+                          help="Tables 4/6 + Fig 4: milk the networks")
+    _common_flags(milk)
+    milk.add_argument("--days", type=int, default=30)
+
+    campaign = sub.add_parser(
+        "campaign", help="Figs 5-8: run the countermeasure campaign")
+    _common_flags(campaign)
+    campaign.add_argument("--days", type=int, default=75)
+
+    full = sub.add_parser("full", help="everything: the complete report")
+    _common_flags(full)
+    full.add_argument("--milking-days", type=int, default=30)
+    full.add_argument("--campaign-days", type=int, default=75)
+
+    score = sub.add_parser(
+        "score", help="run everything and print the paper-vs-measured "
+                      "scorecard")
+    _common_flags(score)
+    score.add_argument("--milking-days", type=int, default=30)
+    score.add_argument("--campaign-days", type=int, default=75)
+    return parser
+
+
+def _emit(text: str, out: Optional[str]) -> None:
+    print(text)
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+
+def _study(args, **overrides) -> Study:
+    config = StudyConfig(scale=args.scale, seed=args.seed, **overrides)
+    study = Study(config)
+    study.build()
+    return study
+
+
+def cmd_scan(args) -> int:
+    study = _study(args)
+    result = table1.run(study.world, study.artifacts.catalog)
+    if args.json:
+        _emit(json.dumps(export._plain(result), indent=2), args.out)
+    else:
+        _emit(result.render(), args.out)
+    return 0
+
+
+def cmd_milk(args) -> int:
+    study = _study(args, milking_days=args.days)
+    results = study.milk()
+    scale = study.config.scale
+    sections = [
+        table4.run(results, scale).render(),
+        fig4.run(results).render(),
+        table6.run(results).render(),
+    ]
+    if args.json:
+        payload = {
+            "table4": export._plain(table4.run(results, scale)),
+            "table6": export._plain(table6.run(results)),
+        }
+        _emit(json.dumps(payload, indent=2), args.out)
+    else:
+        _emit("\n\n".join(sections), args.out)
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    from repro.countermeasures.campaign import CampaignConfig
+
+    study = _study(args, network_limit=2)
+    campaign = study.run_countermeasures(CampaignConfig(days=args.days))
+    world = study.world
+    results = [
+        fig5.run(campaign),
+        fig6.run(world, campaign, ecosystem=study.ecosystem),
+        fig7.run(world, campaign),
+        fig8.run(world, campaign),
+    ]
+    if args.json:
+        payload = {f"fig{i + 5}": export._plain(result)
+                   for i, result in enumerate(results)}
+        _emit(json.dumps(payload, indent=2), args.out)
+    else:
+        _emit("\n\n".join(r.render() for r in results), args.out)
+    return 0
+
+
+def cmd_full(args) -> int:
+    study = _study(args, milking_days=args.milking_days,
+                   campaign_days=args.campaign_days)
+    study.milk()
+    study.run_countermeasures()
+    report = study.report()
+    if args.json:
+        _emit(export.report_to_json(report), args.out)
+    else:
+        _emit(report.render(), args.out)
+    return 0
+
+
+def cmd_score(args) -> int:
+    from repro.experiments.comparison import score_report
+
+    study = _study(args, milking_days=args.milking_days,
+                   campaign_days=args.campaign_days)
+    study.milk()
+    study.run_countermeasures()
+    card = score_report(study.report(), study.config.scale)
+    if args.json:
+        payload = [{"experiment": c.experiment, "name": c.name,
+                    "expected": c.expected, "measured": c.measured,
+                    "passed": c.passed} for c in card.checks]
+        _emit(json.dumps(payload, indent=2), args.out)
+    else:
+        _emit(card.render(), args.out)
+    return 0 if card.failed == 0 else 1
+
+
+COMMANDS = {
+    "scan": cmd_scan,
+    "milk": cmd_milk,
+    "campaign": cmd_campaign,
+    "full": cmd_full,
+    "score": cmd_score,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

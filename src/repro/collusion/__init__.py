@@ -1,0 +1,59 @@
+"""Collusion networks: the reputation-manipulation services of §3-§5."""
+
+from repro.collusion.comments import CommentDictionary, CommentStyle
+from repro.collusion.ecosystem import (
+    CollusionEcosystem,
+    build_ecosystem,
+    register_extra_apps,
+    register_infrastructure,
+    seed_short_urls,
+    seed_web_intel,
+)
+from repro.collusion.evasion import CaptchaChallengeCounter, RequestGate
+from repro.collusion.monetization import (
+    MonetizationProfile,
+    PremiumPlan,
+    default_ad_profile,
+    default_premium_plans,
+)
+from repro.collusion.network import (
+    CollusionNetwork,
+    DeliveryReport,
+    MemberDirectory,
+)
+from repro.collusion.profiles import (
+    CollusionNetworkProfile,
+    MILKED_PROFILES,
+    SHORT_URL_SEEDS,
+    TABLE2_SITES,
+    calibrate_pool_size,
+    profile_for,
+    unique_table2_sites,
+)
+
+__all__ = [
+    "CommentDictionary",
+    "CommentStyle",
+    "CollusionEcosystem",
+    "build_ecosystem",
+    "register_extra_apps",
+    "register_infrastructure",
+    "seed_short_urls",
+    "seed_web_intel",
+    "CaptchaChallengeCounter",
+    "RequestGate",
+    "MonetizationProfile",
+    "PremiumPlan",
+    "default_ad_profile",
+    "default_premium_plans",
+    "CollusionNetwork",
+    "DeliveryReport",
+    "MemberDirectory",
+    "CollusionNetworkProfile",
+    "MILKED_PROFILES",
+    "SHORT_URL_SEEDS",
+    "TABLE2_SITES",
+    "calibrate_pool_size",
+    "profile_for",
+    "unique_table2_sites",
+]

@@ -1,0 +1,79 @@
+"""Per-network comment dictionaries and the auto-comment generator.
+
+Each collusion network owns a small, fixed dictionary of comments and
+serves requests by sampling from it with replacement — which is exactly
+what produces Table 6's signature: thousands of comments, a few dozen
+unique strings, single-digit lexical richness.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.collusion.wordbank import (
+    PUNCTUATION_RIFFS,
+    sample_phrase,
+    spaced_out,
+)
+
+
+@dataclass(frozen=True)
+class CommentStyle:
+    """Tunable lexical profile of one network's dictionary.
+
+    ``dictionary_size`` — unique comments the network ever posts;
+    ``mean_words`` — average words per comment;
+    ``non_dictionary_rate`` — share of junk tokens (Table 6: ~10-30%);
+    ``punctuation_rate`` — chance a comment carries a punctuation riff;
+    ``spaced_word_rate`` — chance of an "AW E S O M E"-style word.
+    """
+
+    dictionary_size: int = 40
+    mean_words: int = 3
+    non_dictionary_rate: float = 0.2
+    punctuation_rate: float = 0.25
+    spaced_word_rate: float = 0.05
+
+
+class CommentDictionary:
+    """The finite set of comment strings a network draws from."""
+
+    def __init__(self, style: CommentStyle, rng: random.Random) -> None:
+        if style.dictionary_size <= 0:
+            raise ValueError("dictionary_size must be positive")
+        self.style = style
+        self._comments = self._build(style, rng)
+
+    @staticmethod
+    def _build(style: CommentStyle, rng: random.Random) -> List[str]:
+        comments: List[str] = []
+        seen = set()
+        while len(comments) < style.dictionary_size:
+            words = max(1, int(rng.gauss(style.mean_words, 1.0)))
+            tokens = sample_phrase(rng, words, style.non_dictionary_rate)
+            if tokens and rng.random() < style.spaced_word_rate:
+                tokens[rng.randrange(len(tokens))] = spaced_out(
+                    tokens[rng.randrange(len(tokens))])
+            text = " ".join(tokens)
+            if rng.random() < style.punctuation_rate:
+                text = f"{text} {rng.choice(PUNCTUATION_RIFFS)}"
+            if text not in seen:
+                seen.add(text)
+                comments.append(text)
+        return comments
+
+    @property
+    def comments(self) -> List[str]:
+        return list(self._comments)
+
+    def __len__(self) -> int:
+        return len(self._comments)
+
+    def sample(self, rng: random.Random) -> str:
+        """Draw one comment (with replacement)."""
+        return rng.choice(self._comments)
+
+    def sample_many(self, rng: random.Random, count: int) -> List[str]:
+        return [self.sample(rng) for _ in range(count)]

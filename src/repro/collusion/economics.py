@@ -1,0 +1,134 @@
+"""The economics of running a collusion network (§5.1 / §8).
+
+The paper's closing remarks call for "a deeper investigation into the
+economic aspects of collusion networks ... to limit their financial
+incentives".  This module builds that investigation on top of the
+simulated ecosystem: a revenue model (redirect-chain display ads +
+premium plans) against an operating-cost model (hosting, domains,
+bulletproof premiums), plus what-if operators for the two levers a
+defender can pull — ad-network demonetization and premium-payment
+disruption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.collusion.network import CollusionNetwork
+from repro.webintel.adnetworks import REPUTABLE_NETWORKS
+
+#: Revenue per thousand ad impressions, by network class (USD).  The
+#: reputable networks reached via redirect pay an order of magnitude
+#: more than pop-under remnant inventory — which is exactly why the
+#: sites bother with the redirect trick (§5.1).
+RPM_REPUTABLE_USD = 1.50
+RPM_REMNANT_USD = 0.15
+
+#: Monthly infrastructure prices (USD).
+IP_MONTHLY_USD = 1.0
+BULLETPROOF_IP_MONTHLY_USD = 4.0
+DOMAIN_CDN_MONTHLY_USD = 30.0
+
+#: Fraction of members on a paid plan when no explicit subscriptions are
+#: recorded (freemium conversion rates for grey-market services).
+DEFAULT_PREMIUM_UPTAKE = 0.005
+
+
+@dataclass(frozen=True)
+class EconomicsEstimate:
+    """Monthly profit-and-loss picture for one collusion network."""
+
+    domain: str
+    daily_visits: float
+    ad_revenue_monthly: float
+    premium_revenue_monthly: float
+    hosting_cost_monthly: float
+    fixed_cost_monthly: float
+
+    @property
+    def revenue_monthly(self) -> float:
+        return self.ad_revenue_monthly + self.premium_revenue_monthly
+
+    @property
+    def cost_monthly(self) -> float:
+        return self.hosting_cost_monthly + self.fixed_cost_monthly
+
+    @property
+    def profit_monthly(self) -> float:
+        return self.revenue_monthly - self.cost_monthly
+
+    @property
+    def is_profitable(self) -> bool:
+        return self.profit_monthly > 0
+
+
+def estimate_economics(world, network: CollusionNetwork,
+                       premium_uptake: float = DEFAULT_PREMIUM_UPTAKE,
+                       demonetized: bool = False) -> EconomicsEstimate:
+    """Monthly P&L for ``network`` from observable ecosystem state.
+
+    ``demonetized`` models the defender lever of §5.1: reputable ad
+    networks blacklisting the redirect domains too, leaving only remnant
+    inventory.
+    """
+    if not 0 <= premium_uptake <= 1:
+        raise ValueError(f"bad premium uptake: {premium_uptake}")
+    traffic = world.traffic_ranker.get(network.domain)
+    scan = world.ad_scanner.scan(network.domain)
+    gate = network.profile.gate
+
+    # Ads: every visit sees the landing page plus one impression per
+    # forced redirect hop.
+    impressions_per_visit = 1 + gate.redirect_hops
+    serves_reputable = (not demonetized
+                        and bool(scan.networks_seen & REPUTABLE_NETWORKS))
+    rpm = RPM_REPUTABLE_USD if serves_reputable else RPM_REMNANT_USD
+    ad_revenue = (traffic.daily_visits * impressions_per_visit
+                  * rpm / 1000.0 * 30)
+
+    # Premium plans: explicit subscriptions first, otherwise the
+    # freemium-uptake estimate over the live membership.
+    monetization = network.monetization
+    if monetization.subscriptions:
+        premium_revenue = monetization.monthly_revenue_usd()
+    else:
+        plans = monetization.premium_plans
+        avg_price = (sum(p.monthly_price_usd for p in plans) / len(plans)
+                     if plans else 0.0)
+        premium_revenue = (network.member_count() * premium_uptake
+                           * avg_price)
+
+    # Costs: the IP pool (bulletproof space costs a premium) + fixed.
+    bulletproof_ips = sum(
+        1 for ip in network.ip_pool.addresses
+        if (system := world.as_registry.lookup(ip)) is not None
+        and system.is_bulletproof)
+    plain_ips = len(network.ip_pool) - bulletproof_ips
+    hosting = (bulletproof_ips * BULLETPROOF_IP_MONTHLY_USD
+               + plain_ips * IP_MONTHLY_USD)
+
+    return EconomicsEstimate(
+        domain=network.domain,
+        daily_visits=traffic.daily_visits,
+        ad_revenue_monthly=ad_revenue,
+        premium_revenue_monthly=premium_revenue,
+        hosting_cost_monthly=hosting,
+        fixed_cost_monthly=DOMAIN_CDN_MONTHLY_USD,
+    )
+
+
+def demonetization_impact(world, network: CollusionNetwork,
+                          premium_uptake: float = DEFAULT_PREMIUM_UPTAKE
+                          ) -> Dict[str, float]:
+    """Before/after picture of blacklisting the redirect domains."""
+    before = estimate_economics(world, network, premium_uptake)
+    after = estimate_economics(world, network, premium_uptake,
+                               demonetized=True)
+    return {
+        "profit_before": before.profit_monthly,
+        "profit_after": after.profit_monthly,
+        "ad_revenue_lost": (before.ad_revenue_monthly
+                            - after.ad_revenue_monthly),
+        "still_profitable": float(after.is_profitable),
+    }

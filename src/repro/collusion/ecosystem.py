@@ -1,0 +1,237 @@
+"""Builds the full collusion ecosystem inside a simulated world.
+
+One call to :func:`build_ecosystem` registers the autonomous systems and
+IP pools, the extra exploited applications, the Table 5 short URLs with
+their seeded click histories, WHOIS records, traffic-rank measurements and
+ad profiles, then instantiates the 22 milked collusion networks with
+calibrated member pools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.collusion.monetization import default_ad_profile
+from repro.collusion.network import CollusionNetwork, MemberDirectory
+from repro.collusion.ownership import setup_owner
+from repro.collusion.profiles import (
+    AS_PLAN,
+    EXTRA_APP_SPECS,
+    LONG_URL_CLICK_TOTALS,
+    MILKED_PROFILES,
+    REFERRER_TO_NETWORK,
+    SHORT_URL_SEEDS,
+    CollusionNetworkProfile,
+    unique_table2_sites,
+)
+from repro.oauth.apps import AppSecuritySettings
+from repro.oauth.scopes import PermissionScope
+from repro.oauth.tokens import TokenLifetime
+from repro.sim.clock import DAY
+
+
+@dataclass
+class CollusionEcosystem:
+    """The built ecosystem: networks plus the shared member directory."""
+
+    networks: Dict[str, CollusionNetwork] = field(default_factory=dict)
+    directory: Optional[MemberDirectory] = None
+    short_url_slugs: Dict[str, str] = field(default_factory=dict)
+    table5_slugs: List[Tuple[str, str]] = field(default_factory=list)
+
+    def network(self, domain: str) -> CollusionNetwork:
+        net = self.networks.get(domain)
+        if net is None:
+            raise KeyError(f"network not built: {domain}")
+        return net
+
+    def total_memberships(self) -> int:
+        return sum(n.member_count() + len(n.dead_members)
+                   for n in self.networks.values())
+
+    def unique_members(self) -> int:
+        members = set()
+        for net in self.networks.values():
+            members.update(net.token_db)
+            members.update(net.dead_members)
+        return len(members)
+
+
+def register_infrastructure(world) -> None:
+    """Register the AS plan and announce each AS's /16 prefix."""
+    for asn, name, country, bulletproof, base in AS_PLAN:
+        world.as_registry.register(asn, name, country,
+                                   is_bulletproof=bulletproof)
+        world.as_registry.announce(asn, base, 16)
+
+
+def register_extra_apps(world) -> None:
+    """Register exploited apps that are not part of the top-100 catalog."""
+    for app_id, name, mau, dau in EXTRA_APP_SPECS:
+        world.apps.register(
+            name=name,
+            redirect_uri=f"https://{app_id}.example/callback",
+            security=AppSecuritySettings(client_side_flow_enabled=True,
+                                         require_app_secret=False),
+            approved_permissions=PermissionScope.full(),
+            token_lifetime=TokenLifetime.LONG_TERM,
+            monthly_active_users=mau,
+            daily_active_users=dau,
+            app_id=app_id,
+        )
+
+
+def seed_short_urls(world, rng) -> Tuple[Dict[str, str], List[Tuple[str, str]]]:
+    """Create the Table 5 short URLs with their historical click volumes.
+
+    Returns (network domain -> slug) for networks that have a listed
+    short URL, and the ordered [(paper label, slug)] list for Table 5.
+    """
+    geo = world.geo
+    long_urls = {key: f"https://social.example/dialog/oauth?key={key}"
+                 for key in LONG_URL_CLICK_TOTALS}
+    slugs_by_domain: Dict[str, str] = {}
+    table5: List[Tuple[str, str]] = []
+    listed_totals: Dict[str, int] = {}
+    for seed in SHORT_URL_SEEDS:
+        created_at = -seed.days_before_epoch * DAY
+        short = world.shortener.shorten(long_urls[seed.long_url_key],
+                                        created_at=created_at)
+        _seed_click_history(world, rng, short.slug, seed.seed_clicks,
+                            seed.referrer, created_at)
+        table5.append((seed.label, short.slug))
+        listed_totals[seed.long_url_key] = (
+            listed_totals.get(seed.long_url_key, 0) + seed.seed_clicks)
+        network_domain = (REFERRER_TO_NETWORK.get(seed.referrer)
+                          if seed.referrer else None)
+        if network_domain and network_domain not in slugs_by_domain:
+            slugs_by_domain[network_domain] = short.slug
+    # Unlisted short URLs make up the remainder of each long URL's total.
+    for key, total in LONG_URL_CLICK_TOTALS.items():
+        remainder = total - listed_totals.get(key, 0)
+        if remainder > 0:
+            extra = world.shortener.shorten(long_urls[key],
+                                            created_at=-400 * DAY)
+            _seed_click_history(world, rng, extra.slug, remainder,
+                                None, -400 * DAY)
+    return slugs_by_domain, table5
+
+
+def _seed_click_history(world, rng, slug: str, clicks: int,
+                        referrer: Optional[str], created_at: int) -> None:
+    """Record a click history in country-share batches (storing hundreds
+    of millions of Click objects individually would be absurd, so bulk
+    batches carry the same aggregate geolocation signal)."""
+    if clicks <= 0:
+        return
+    mix = [("IN", 0.45), ("EG", 0.10), ("VN", 0.09), ("BD", 0.08),
+           ("PK", 0.08), ("ID", 0.07), ("DZ", 0.05), ("TR", 0.04),
+           ("US", 0.02), ("OTHER", 0.02)]
+    remaining = clicks
+    for i, (country, share) in enumerate(mix):
+        if i == len(mix) - 1:
+            batch = remaining
+        else:
+            batch = min(int(clicks * share), remaining)
+        if batch > 0:
+            world.shortener.record_clicks(slug, batch, referrer=referrer,
+                                          country=country,
+                                          timestamp=created_at)
+            remaining -= batch
+
+
+def seed_web_intel(world, rng) -> None:
+    """Register WHOIS records, traffic measurements and ad profiles for
+    every Table 2 site."""
+    milked = {p.domain: p for p in MILKED_PROFILES}
+    registrant_counter = 0
+    for site in unique_table2_sites():
+        profile = milked.get(site.domain)
+        privacy = profile.whois_privacy if profile else (
+            rng.random() < 0.36)  # §5.2: 36% behind privacy services
+        country = (profile.registrant_country if profile
+                   else site.top_country or "IN")
+        registrant_counter += 1
+        world.whois.register(
+            domain=site.domain,
+            registrant_name=f"Operator {registrant_counter}",
+            registrant_country=country,
+            privacy_protected=privacy,
+            nameserver_provider="cloudflare",
+        )
+        # Traffic: invert the ranker's Zipf anchor so the measured visits
+        # land the site at its Table 2 rank.
+        visits = world.traffic_ranker.visits_for_rank(site.alexa_rank)
+        country_visits: Dict[str, float] = {}
+        if site.top_country and site.top_country_share:
+            country_visits[site.top_country] = (visits
+                                                * site.top_country_share)
+            # Spread the remainder across many small buckets so the
+            # listed top country really is the modal one even at low
+            # shares (hublaa.me's top share is only 18%).
+            rest = visits * (1 - site.top_country_share)
+            buckets = 12
+            for i in range(buckets):
+                country_visits[f"other-{i + 1}"] = rest / buckets
+        world.traffic_ranker.observe(site.domain, visits, country_visits)
+        world.ad_scanner.register_site(
+            default_ad_profile(site.domain,
+                               f"redirect-{registrant_counter}.example"))
+
+
+def build_ecosystem(world, build_membership: bool = True,
+                    network_limit: Optional[int] = None,
+                    membership_scale: Optional[float] = None) -> CollusionEcosystem:
+    """Stand up the entire collusion ecosystem in ``world``.
+
+    ``membership_scale`` defaults to the world's configured scale; pools
+    are calibrated so the milking campaign *observes* Table 4's
+    membership numbers at that scale.
+    """
+    scale = (world.config.scale if membership_scale is None
+             else membership_scale)
+    rng = world.rng.stream("ecosystem")
+    register_infrastructure(world)
+    register_extra_apps(world)
+    slugs_by_domain, table5 = seed_short_urls(world, rng)
+    seed_web_intel(world, rng)
+
+    directory = MemberDirectory(world.platform, world.geo,
+                                world.rng.stream("members"))
+    ecosystem = CollusionEcosystem(directory=directory,
+                                   short_url_slugs=slugs_by_domain,
+                                   table5_slugs=table5)
+
+    as_bases = {asn: base for asn, _, _, _, base in AS_PLAN}
+    profiles = MILKED_PROFILES[:network_limit]
+    for profile in profiles:
+        pool = _ip_pool_for(world, profile, as_bases, scale)
+        network = CollusionNetwork(
+            world, profile, directory, pool,
+            short_url_slug=slugs_by_domain.get(profile.domain))
+        setup_owner(world, network, scale=scale)
+        if build_membership:
+            network.build_membership(profile.pool_size(scale))
+        ecosystem.networks[profile.domain] = network
+    return ecosystem
+
+
+def _ip_pool_for(world, profile: CollusionNetworkProfile,
+                 as_bases: Dict[int, str], scale: float):
+    """Allocate the network's source-IP pool across its ASes.
+
+    Large pools (hublaa.me's 6,000) scale with the study; single-digit
+    pools stay fixed — per-IP traffic concentration is the Fig. 8 signal.
+    """
+    size = profile.ip_pool_size
+    if size > 100:
+        # Scale the pool but keep it large enough that per-IP volume
+        # stays below plausible IP limits, as it did at paper scale.
+        size = max(600, int(size * scale))
+    bases = [as_bases[asn] for asn in profile.asns]
+    if len(bases) == 1:
+        return world.ip_allocator.allocate(
+            f"pool:{profile.domain}", bases[0], size)
+    return world.ip_allocator.allocate_split(
+        f"pool:{profile.domain}", bases, size)

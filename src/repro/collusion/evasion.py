@@ -1,0 +1,57 @@
+"""Anti-automation and anti-detection tactics of collusion networks.
+
+§4 documents the friction collusion networks put in front of requesters
+(CAPTCHAs, fixed/random inter-request delays, redirection chains) and §6.3
+the behaviours that defeat temporal clustering (token-pool sampling plus
+per-token usage spreading).  This module models the request-side friction;
+the sampling behaviour lives in :mod:`repro.collusion.network`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RequestGate:
+    """Per-request friction a member must clear before submitting.
+
+    ``min_delay``/``max_delay`` — seconds a member must wait between two
+    successive requests; ``captcha_required`` — whether each request (and
+    login) needs a solved CAPTCHA; ``redirect_hops`` — ad-monetized
+    redirections traversed before the request form.
+    """
+
+    min_delay: int = 300
+    max_delay: int = 600
+    captcha_required: bool = False
+    redirect_hops: int = 0
+
+    def delay_for(self, rng: random.Random) -> int:
+        """Draw the wait imposed before the next request."""
+        if self.max_delay < self.min_delay:
+            raise ValueError("max_delay must be >= min_delay")
+        if self.max_delay == self.min_delay:
+            return self.min_delay
+        return rng.randint(self.min_delay, self.max_delay)
+
+
+class CaptchaChallengeCounter:
+    """Tracks CAPTCHA challenges issued/solved for a network's frontend."""
+
+    def __init__(self) -> None:
+        self.issued = 0
+        self.solved = 0
+
+    def challenge(self) -> int:
+        """Issue a challenge; returns its sequence number."""
+        self.issued += 1
+        return self.issued
+
+    def record_solution(self) -> None:
+        self.solved += 1
+
+    @property
+    def outstanding(self) -> int:
+        return self.issued - self.solved

@@ -1,0 +1,80 @@
+"""Collusion network monetization: advertising and premium plans (§5.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.webintel.adnetworks import AdNetwork, SiteAdProfile
+
+
+@dataclass(frozen=True)
+class PremiumPlan:
+    """A paid tier lifting the free tier's artificial restrictions."""
+
+    name: str
+    monthly_price_usd: float
+    likes_per_request: int
+    auto_delivery: bool  # likes without manual logins per request
+    no_delays: bool
+
+
+@dataclass
+class MonetizationProfile:
+    """Everything a network does to make money."""
+
+    domain: str
+    free_likes_per_request: int
+    premium_plans: Tuple[PremiumPlan, ...] = ()
+    ad_profile: Optional[SiteAdProfile] = None
+    subscriptions: Dict[str, str] = field(default_factory=dict)
+
+    def plan(self, name: str) -> PremiumPlan:
+        for plan in self.premium_plans:
+            if plan.name == name:
+                return plan
+        raise KeyError(f"{self.domain} has no plan {name!r}")
+
+    def subscribe(self, member_id: str, plan_name: str) -> PremiumPlan:
+        plan = self.plan(plan_name)
+        self.subscriptions[member_id] = plan_name
+        return plan
+
+    def likes_per_request_for(self, member_id: str) -> int:
+        """The like quota this member's tier allows."""
+        plan_name = self.subscriptions.get(member_id)
+        if plan_name is None:
+            return self.free_likes_per_request
+        return self.plan(plan_name).likes_per_request
+
+    def monthly_revenue_usd(self) -> float:
+        return sum(self.plan(name).monthly_price_usd
+                   for name in self.subscriptions.values())
+
+
+def default_premium_plans(free_likes: int) -> Tuple[PremiumPlan, ...]:
+    """The three-tier ladder typical of the services (§5.1: 'up to 2000
+    likes for the most expensive plan')."""
+    return (
+        PremiumPlan("basic", 4.99, max(free_likes * 2, 100),
+                    auto_delivery=False, no_delays=True),
+        PremiumPlan("pro", 14.99, max(free_likes * 3, 500),
+                    auto_delivery=True, no_delays=True),
+        PremiumPlan("ultimate", 29.99, 2000,
+                    auto_delivery=True, no_delays=True),
+    )
+
+
+def default_ad_profile(domain: str, redirect_domain: str) -> SiteAdProfile:
+    """The redirect-monetization setup §5.1 describes: no reputable
+    networks served directly, AdSense/Atlas after a whitelisted redirect,
+    anti-adblock scripts on the main site."""
+    return SiteAdProfile(
+        domain=domain,
+        direct_networks={AdNetwork.POPADS},
+        redirect_networks={
+            redirect_domain: {AdNetwork.ADSENSE, AdNetwork.ATLAS},
+        },
+        anti_adblock=True,
+        requires_adblock_disabled=True,
+    )

@@ -1,0 +1,152 @@
+"""Collusion-network ownership and self-promotion (§5.2).
+
+The paper traced operators through WHOIS records and their social
+accounts: 36% of domains hide behind privacy services, most disclosed
+registrants sit in India/Pakistan/Indonesia, and the owners' own
+accounts are huge — mg-likers.com's owner had 9M+ followers, with
+timeline posts collecting hundreds of thousands of likes because the
+networks quietly spend member tokens on their owner's content (the
+honeypots were "frequently used to like the profile pictures and other
+timeline posts of these Facebook accounts").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+#: Owner follower counts (paper scale) for the most visible operators;
+#: every other milked network gets the default.
+OWNER_FOLLOWERS: Dict[str, int] = {
+    "mg-likers.com": 9_000_000,
+    "hublaa.me": 2_500_000,
+    "official-liker.net": 1_800_000,
+    "djliker.com": 1_200_000,
+}
+DEFAULT_OWNER_FOLLOWERS = 150_000
+
+
+@dataclass
+class NetworkOwner:
+    """The operator behind one collusion network."""
+
+    domain: str
+    account_id: str
+    page_id: str
+    display_name: str
+    followers: int
+    promo_post_ids: List[str]
+
+
+def setup_owner(world, network, scale: float = 1.0) -> NetworkOwner:
+    """Create the operator's account, fan page and promo posts, and wire
+    self-promotion into the network."""
+    domain = network.domain
+    display_name = f"Owner of {domain}"
+    followers = int(OWNER_FOLLOWERS.get(domain, DEFAULT_OWNER_FOLLOWERS)
+                    * scale)
+    record = world.whois.lookup(domain) if _has_whois(world, domain) else None
+    country = (record.registrant_country if record
+               and record.registrant_country else "IN")
+    account = world.platform.register_account(display_name,
+                                              country=country)
+    account.follower_count = followers
+    page = world.platform.create_page(account.account_id,
+                                      f"{domain} official")
+    posts = [
+        world.platform.create_post(account.account_id,
+                                   f"{domain} promo post {i + 1}")
+        for i in range(3)
+    ]
+    owner = NetworkOwner(
+        domain=domain,
+        account_id=account.account_id,
+        page_id=page.page_id,
+        display_name=display_name,
+        followers=followers,
+        promo_post_ids=[p.post_id for p in posts],
+    )
+    network.owner = owner
+    return owner
+
+
+def _has_whois(world, domain: str) -> bool:
+    try:
+        world.whois.lookup(domain)
+        return True
+    except KeyError:
+        return False
+
+
+@dataclass(frozen=True)
+class OwnershipRow:
+    """One network's §5.2 ownership picture."""
+
+    domain: str
+    privacy_protected: bool
+    registrant_name: Optional[str]
+    registrant_country: Optional[str]
+    nameserver_provider: str
+    owner_followers: int
+    owner_promo_likes: int
+
+
+@dataclass
+class OwnershipReport:
+    rows: List[OwnershipRow]
+
+    @property
+    def privacy_protected_share(self) -> float:
+        if not self.rows:
+            return 0.0
+        return (sum(r.privacy_protected for r in self.rows)
+                / len(self.rows))
+
+    def registrant_countries(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for row in self.rows:
+            if not row.privacy_protected and row.registrant_country:
+                counts[row.registrant_country] = (
+                    counts.get(row.registrant_country, 0) + 1)
+        return counts
+
+    def render(self) -> str:
+        lines = ["Ownership analysis (§5.2)"]
+        for row in self.rows:
+            who = ("(privacy protected)" if row.privacy_protected
+                   else f"{row.registrant_name} [{row.registrant_country}]")
+            lines.append(
+                f"  {row.domain:<24} {who:<28} owner followers "
+                f"{row.owner_followers:>10,}  promo likes "
+                f"{row.owner_promo_likes:>7,}")
+        lines.append(
+            f"  privacy-protected domains: "
+            f"{self.privacy_protected_share * 100:.0f}%")
+        return "\n".join(lines)
+
+
+def ownership_report(world, ecosystem) -> OwnershipReport:
+    """Cross-reference WHOIS records with the owners' platform presence."""
+    rows: List[OwnershipRow] = []
+    for domain, network in ecosystem.networks.items():
+        record = world.whois.lookup(domain)
+        owner = getattr(network, "owner", None)
+        promo_likes = 0
+        followers = 0
+        if owner is not None:
+            followers = owner.followers
+            for post_id in owner.promo_post_ids:
+                promo_likes += world.platform.get_post(post_id).like_count
+            promo_likes += world.platform.get_page(
+                owner.page_id).like_count
+        rows.append(OwnershipRow(
+            domain=domain,
+            privacy_protected=record.privacy_protected,
+            registrant_name=record.registrant_name,
+            registrant_country=record.registrant_country,
+            nameserver_provider=record.nameserver_provider,
+            owner_followers=followers,
+            owner_promo_likes=promo_likes,
+        ))
+    rows.sort(key=lambda r: -r.owner_followers)
+    return OwnershipReport(rows=rows)

@@ -1,0 +1,99 @@
+"""Personal-data harvesting with leaked tokens (§2.2 / §8).
+
+Reputation manipulation is only one abuse of a leaked token: §2.2 notes
+attackers "can abuse leaked access tokens to retrieve users' personal
+information", and §8 lists data theft and social-graph-driven malware
+propagation as attacks to investigate.  This module implements that
+threat against the simulated platform: a harvester that walks a token
+database reading profiles, plus a privacy-impact summary the platform
+side can use to size the exposure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.graphapi.errors import GraphApiError
+from repro.oauth.errors import InvalidTokenError
+
+
+@dataclass
+class HarvestedProfile:
+    """Personal data obtained through one leaked token."""
+
+    account_id: str
+    name: str
+    country: str
+    friend_count: int
+
+
+@dataclass
+class HarvestReport:
+    """Outcome of a scraping run."""
+
+    profiles: List[HarvestedProfile] = field(default_factory=list)
+    tokens_tried: int = 0
+    tokens_dead: int = 0
+
+    @property
+    def accounts_exposed(self) -> int:
+        return len(self.profiles)
+
+    @property
+    def countries(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for profile in self.profiles:
+            counts[profile.country] = counts.get(profile.country, 0) + 1
+        return counts
+
+    @property
+    def reachable_via_friend_graph(self) -> int:
+        """Upper bound on second-hop reach (the malware-propagation
+        concern of §8): sum of exposed accounts' friend counts."""
+        return sum(p.friend_count for p in self.profiles)
+
+
+class DataHarvester:
+    """Reads personal data with a collusion network's token database.
+
+    The harvester is an *attacker-side* tool: every read goes through
+    the Graph API with the leaked token, from the attacker's IP, and is
+    therefore visible in the request log — which is how a platform
+    would detect scraping at scale.
+    """
+
+    def __init__(self, world, source_ip: str = "10.62.9.9",
+                 rng: Optional[random.Random] = None) -> None:
+        self.world = world
+        self.source_ip = source_ip
+        self.rng = rng or world.rng.stream("harvester")
+
+    def harvest(self, token_db: Dict[str, str],
+                limit: Optional[int] = None) -> HarvestReport:
+        """Read up to ``limit`` members' profiles via their own tokens."""
+        report = HarvestReport()
+        members = list(token_db)
+        self.rng.shuffle(members)
+        if limit is not None:
+            members = members[:limit]
+        for member in members:
+            token = token_db[member]
+            report.tokens_tried += 1
+            try:
+                data = self.world.api.get_profile(
+                    token, source_ip=self.source_ip).data
+            except InvalidTokenError:
+                report.tokens_dead += 1
+                continue
+            except GraphApiError:
+                continue
+            account = self.world.platform.get_account(data["id"])
+            report.profiles.append(HarvestedProfile(
+                account_id=data["id"],
+                name=data["name"],
+                country=data["country"],
+                friend_count=len(account.friend_ids),
+            ))
+        return report

@@ -1,0 +1,92 @@
+"""Vocabulary ingredients for collusion-network comment dictionaries.
+
+Table 6 characterizes the comments collusion networks post: tiny finite
+dictionaries (16-52 unique comments per network), low lexical richness
+(<10% unique words), ~20% non-dictionary tokens (elongated words like
+"bravooooo", leetspeak like "gr8", transliterated Hindi), and odd
+punctuation.  The word bank provides those ingredient classes so a
+generated dictionary hits the same statistics.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+#: Plain English words commonly seen in autoliker comments.
+ENGLISH_PRAISE = (
+    "nice", "awesome", "great", "amazing", "cool", "super", "wow",
+    "beautiful", "lovely", "perfect", "best", "good", "fantastic",
+    "brilliant", "cute", "sweet", "stunning", "excellent", "wonderful",
+    "fabulous", "superb", "incredible", "outstanding", "magnificent",
+    "charming", "gorgeous", "impressive", "photo", "picture", "post",
+    "status", "profile", "very", "really", "so", "much", "this", "is",
+    "the", "one", "like", "love", "it", "you", "look", "looking",
+    "keep", "going", "bro", "friend", "smile", "style", "king", "queen",
+)
+
+#: Elongated exclamations ("unnecessarily lengthened words").
+ELONGATED = (
+    "bravooooo", "ahhhhh", "wowwww", "niceeee", "cooool", "superrrr",
+    "yesssss", "omggggg", "w00wwwwwwww", "heyyyyy", "uffff", "sooooo",
+)
+
+#: Leetspeak / SMS-style misspellings.
+LEETSPEAK = (
+    "gr8", "luv", "osm", "nyc", "pix", "thx", "plz", "fab", "dp",
+    "fbk", "lyk", "kewl", "supa", "b4", "u", "ur", "msg",
+)
+
+#: Transliterated Hindi phrases (non-dictionary by construction).
+HINDI_PHRASES = (
+    "bahut badiya", "kya baat hai", "ekdum jhakaas", "mast hai",
+    "sarye thak ke beth gye", "bhai zabardast", "dil khush ho gya",
+    "kamaal ka pic", "bohot accha",
+)
+
+#: Nonsense strings ("large nonsensical words").
+NONSENSE = (
+    "bfewguvchieuwver", "qwkjhdkqwhd", "zxnmvbzxmnv", "plokmijnuhb",
+)
+
+#: Length-squared weights push sampling toward long words (ARI driver).
+_PRAISE_WEIGHTS = tuple(len(word) ** 2 for word in ENGLISH_PRAISE)
+
+#: Punctuation riffs appended to some comments.
+PUNCTUATION_RIFFS = (
+    "!!!", "...", "???", "?? !!", "<3", ":-)", "! ! !", "??",
+)
+
+
+def spaced_out(word: str) -> str:
+    """"AW E S O M E"-style spacing of a word."""
+    upper = word.upper()
+    return upper[0] + " ".join(upper[1:])
+
+
+def sample_phrase(rng: random.Random, words: int,
+                  non_dictionary_rate: float) -> List[str]:
+    """Draw ``words`` tokens mixing dictionary and junk vocabulary.
+
+    ``non_dictionary_rate`` is the probability each token comes from a
+    non-dictionary class (elongated / leet / Hindi / nonsense).
+    """
+    if words <= 0:
+        raise ValueError(f"need at least one word, got {words}")
+    tokens: List[str] = []
+    while len(tokens) < words:
+        if rng.random() < non_dictionary_rate:
+            bucket = rng.choice((ELONGATED, LEETSPEAK, NONSENSE,
+                                 HINDI_PHRASES))
+            choice = rng.choice(bucket)
+            # Multi-word phrases contribute one token so the realized
+            # non-dictionary share tracks ``non_dictionary_rate``.
+            tokens.append(rng.choice(choice.split()))
+        else:
+            # Weight toward longer praise words: autoliker comments are
+            # dense with "magnificent"/"outstanding"-class vocabulary
+            # (and elongations), which is what drives the surprisingly
+            # high ARI values of Table 6.
+            tokens.append(rng.choices(ENGLISH_PRAISE,
+                                      weights=_PRAISE_WEIGHTS, k=1)[0])
+    return tokens[:words]

@@ -1,0 +1,7 @@
+"""Public facade: the simulated world and the end-to-end study driver."""
+
+from repro.core.config import StudyConfig
+from repro.core.world import World
+from repro.core.study import Study
+
+__all__ = ["StudyConfig", "World", "Study"]

@@ -1,0 +1,90 @@
+"""The high-level public API: one object that drives the whole paper.
+
+Example::
+
+    from repro import Study, StudyConfig
+
+    study = Study(StudyConfig(scale=0.05, seed=2017))
+    study.build()                 # platform, apps, collusion networks
+    study.milk()                  # the §4 honeypot measurement
+    study.run_countermeasures()   # the §6 campaign (Fig. 5)
+    print(study.report().render())
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import StudyConfig
+from repro.countermeasures.campaign import CampaignConfig, CampaignResults
+from repro.honeypot.milker import MilkingResults
+
+
+class Study:
+    """Facade over the experiment runner with lazily built state."""
+
+    def __init__(self, config: Optional[StudyConfig] = None) -> None:
+        self.config = config or StudyConfig()
+        self._artifacts = None
+        self._report = None
+
+    # ------------------------------------------------------------------
+    # Pipeline stages
+    # ------------------------------------------------------------------
+    def build(self):
+        """Create the world: platform, app catalog, collusion networks."""
+        from repro.experiments import runner
+
+        if self._artifacts is not None:
+            raise RuntimeError("study already built")
+        self._artifacts = runner.build_world(self.config)
+        return self._artifacts
+
+    @property
+    def artifacts(self):
+        if self._artifacts is None:
+            raise RuntimeError("call build() first")
+        return self._artifacts
+
+    @property
+    def world(self):
+        return self.artifacts.world
+
+    @property
+    def ecosystem(self):
+        return self.artifacts.ecosystem
+
+    def milk(self, days: Optional[int] = None) -> MilkingResults:
+        """Run the honeypot milking campaign (§4)."""
+        from repro.experiments import runner
+
+        self._report = None
+        return runner.run_milking(self.artifacts, days)
+
+    def run_countermeasures(
+            self,
+            campaign_config: Optional[CampaignConfig] = None) -> CampaignResults:
+        """Run the countermeasure campaign (§6 / Fig. 5)."""
+        from repro.experiments import runner
+
+        self._report = None
+        return runner.run_campaign(self.artifacts, campaign_config)
+
+    def report(self):
+        """Produce every table/figure the completed stages allow."""
+        from repro.experiments import runner
+
+        if self._report is None:
+            self._report = runner.run_experiments(self.artifacts)
+        return self._report
+
+    # ------------------------------------------------------------------
+    def run_all(self):
+        """Convenience: build -> milk -> countermeasures -> report."""
+        if self._artifacts is None:
+            self.build()
+        if self.artifacts.milking is None:
+            self.milk()
+        if self.artifacts.campaign is None:
+            self.run_countermeasures()
+        return self.report()

@@ -1,0 +1,41 @@
+"""The §6 countermeasure suite and the Fig. 5 campaign orchestrator."""
+
+from repro.countermeasures.ratelimits import (
+    apply_reduced_token_limit,
+    restore_default_token_limit,
+)
+from repro.countermeasures.invalidation import TokenInvalidator
+from repro.countermeasures.iplimits import (
+    apply_ip_like_limits,
+    heavy_hitter_ips,
+    ip_observation_stats,
+    as_observation_stats,
+)
+from repro.countermeasures.asblocking import (
+    identify_abusive_asns,
+    block_asns_for_apps,
+)
+from repro.countermeasures.clustering import ClusteringCountermeasure
+from repro.countermeasures.campaign import (
+    CampaignConfig,
+    CampaignResults,
+    CountermeasureCampaign,
+    NetworkDailySeries,
+)
+
+__all__ = [
+    "apply_reduced_token_limit",
+    "restore_default_token_limit",
+    "TokenInvalidator",
+    "apply_ip_like_limits",
+    "heavy_hitter_ips",
+    "ip_observation_stats",
+    "as_observation_stats",
+    "identify_abusive_asns",
+    "block_asns_for_apps",
+    "ClusteringCountermeasure",
+    "CampaignConfig",
+    "CampaignResults",
+    "CountermeasureCampaign",
+    "NetworkDailySeries",
+]

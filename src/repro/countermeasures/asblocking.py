@@ -1,0 +1,65 @@
+"""§6.4 — AS-level blocking for networks that defeat per-IP limits.
+
+hublaa.me rotated >6,000 addresses, keeping each under the IP limits; all
+of them sat inside two bulletproof-hosting ASes.  Blocking those ASes —
+*only* for the susceptible applications — stops the abuse while capping
+collateral damage.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.graphapi.log import RequestLog
+from repro.graphapi.ratelimit import RateLimitPolicy
+from repro.netsim.asn import AsRegistry
+
+
+def identify_abusive_asns(log: RequestLog, as_registry: AsRegistry,
+                          min_ips: int = 50, min_share: float = 0.05,
+                          since: Optional[int] = None) -> List[int]:
+    """ASes whose like traffic fans out across many source IPs.
+
+    ``min_ips`` is the discriminator between "IP rate limits suffice"
+    (few addresses, already dead) and "the network rotates a large pool
+    inside this AS" (the hublaa.me case); ``min_share`` requires the AS
+    to carry a meaningful share of all abusive like traffic in the
+    window, which keeps the threshold independent of simulation scale.
+    """
+    if not 0 < min_share <= 1:
+        raise ValueError(f"min_share must be in (0, 1], got {min_share}")
+    ips_by_asn: Dict[int, Set[str]] = defaultdict(set)
+    likes_by_asn: Dict[int, int] = defaultdict(int)
+    total = 0
+    for record in log.like_requests(since=since):
+        if record.source_ip is None:
+            continue
+        asn = record.asn
+        if asn is None:
+            asn = as_registry.asn_of(record.source_ip)
+        if asn is None:
+            continue
+        ips_by_asn[asn].add(record.source_ip)
+        likes_by_asn[asn] += 1
+        total += 1
+    if not total:
+        return []
+    return sorted(
+        asn for asn in likes_by_asn
+        if len(ips_by_asn[asn]) >= min_ips
+        and likes_by_asn[asn] / total >= min_share
+    )
+
+
+def block_asns_for_apps(policy: RateLimitPolicy, asns: Iterable[int],
+                        app_ids: Iterable[str]) -> int:
+    """Block ``asns`` for each protected application; returns the number
+    of (app, AS) block entries installed."""
+    installed = 0
+    asns = list(asns)
+    for app_id in app_ids:
+        for asn in asns:
+            policy.block_as_for_app(app_id, asn)
+            installed += 1
+    return installed

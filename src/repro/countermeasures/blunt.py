@@ -1,0 +1,89 @@
+"""The blunt countermeasures the paper considered and rejected (§6).
+
+Two interventions would stop collusion networks instantly:
+
+* **suspending the exploited applications** — "relatively simple to
+  implement; however, it will negatively impact their millions of
+  legitimate users";
+* **mandating the application secret** for publish actions — kills
+  leaked-token abuse outright, but "many Facebook applications solely
+  rely on client-side operations", so it "would adversely impact
+  legitimate use cases".
+
+This module implements both so the tradeoff can be *measured*: apply
+one, then watch organic app users fail alongside the collusion network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.oauth.apps import Application
+
+
+@dataclass(frozen=True)
+class BluntImpact:
+    """What one blunt intervention did."""
+
+    app_id: str
+    intervention: str
+    tokens_invalidated: int
+
+
+def suspend_application(world, app_id: str) -> BluntImpact:
+    """Suspend an application: every live token dies and the login flows
+    are disabled, so neither abusers nor legitimate users can act."""
+    app = world.apps.get(app_id)
+    killed = world.tokens.invalidate_many(
+        (t.token for t in world.tokens.live_tokens_for_app(app_id)),
+        reason="application suspended")
+    app.security.client_side_flow_enabled = False
+    # With the secret rotated to an unusable sentinel, the server-side
+    # flow cannot authenticate either: the app is dead.
+    app.secret = "__suspended__"
+    return BluntImpact(app_id=app_id, intervention="suspend",
+                       tokens_invalidated=killed)
+
+
+def mandate_app_secret(world, app_id: str) -> BluntImpact:
+    """Flip the Fig. 2b switch: Graph API calls now require the
+    appsecret_proof.
+
+    Existing tokens stay alive, but any caller that cannot compute the
+    HMAC proof — collusion networks holding bare leaked tokens *and*
+    purely client-side legitimate apps — loses write access.
+    """
+    app = world.apps.get(app_id)
+    app.security.require_app_secret = True
+    return BluntImpact(app_id=app_id, intervention="mandate-secret",
+                       tokens_invalidated=0)
+
+
+def measure_collateral(world, users, attempts_per_user: int = 1) -> float:
+    """Fraction of organic users whose app writes now fail.
+
+    ``users`` is an iterable of :class:`~repro.workloads.organic.OrganicUser`;
+    each tries a like through their token exactly as their app's
+    client-side code would (no appsecret_proof).
+    """
+    from repro.graphapi.errors import GraphApiError
+    from repro.oauth.errors import InvalidTokenError
+
+    users = list(users)
+    if not users:
+        return 0.0
+    broken = 0
+    for user in users:
+        failed = False
+        for i in range(attempts_per_user):
+            target = world.platform.create_post(
+                user.account_id, f"collateral probe {i}")
+            try:
+                world.api.like_post(user.token, target.post_id,
+                                    source_ip=user.home_ip)
+            except (GraphApiError, InvalidTokenError):
+                failed = True
+                break
+        if failed:
+            broken += 1
+    return broken / len(users)

@@ -1,0 +1,72 @@
+"""Fake-engagement cleanup.
+
+Alongside invalidating tokens, the platform removes the reputation
+manipulation those tokens produced (the paper's ethics section:
+"disclose our findings to Facebook to remove all artifacts of reputation
+manipulation during our measurements").  The cleaner walks the Graph API
+request log, finds successful likes performed with invalidated tokens of
+a given app, and deletes them from the platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Set
+
+from repro.graphapi.log import RequestLog
+from repro.graphapi.request import ApiAction
+from repro.oauth.tokens import TokenStore
+from repro.socialnet.errors import SocialNetworkError
+from repro.socialnet.platform import SocialPlatform
+
+
+@dataclass
+class CleanupReport:
+    """What one cleanup pass removed."""
+
+    likes_examined: int = 0
+    likes_removed: int = 0
+    posts_touched: int = 0
+
+
+class EngagementCleaner:
+    """Removes platform writes attributed to invalidated tokens."""
+
+    def __init__(self, platform: SocialPlatform, tokens: TokenStore,
+                 log: RequestLog) -> None:
+        self._platform = platform
+        self._tokens = tokens
+        self._log = log
+
+    def remove_fake_likes(self, app_ids: Optional[Iterable[str]] = None,
+                          since: Optional[int] = None) -> CleanupReport:
+        """Remove likes performed via now-invalidated tokens.
+
+        ``app_ids`` restricts cleanup to specific exploited applications
+        (the paper's scoping discipline); ``since`` bounds the log scan.
+        """
+        app_filter: Optional[Set[str]] = (set(app_ids)
+                                          if app_ids is not None else None)
+        report = CleanupReport()
+        touched: Set[str] = set()
+        for record in self._log.like_requests(since=since):
+            if record.action is not ApiAction.LIKE_POST:
+                continue
+            if app_filter is not None and record.app_id not in app_filter:
+                continue
+            token = self._tokens.peek(record.token)
+            if token is None or not token.invalidated:
+                continue
+            report.likes_examined += 1
+            if record.user_id is None or record.target_id is None:
+                continue
+            try:
+                removed = self._platform.remove_like(record.target_id,
+                                                     record.user_id)
+            except SocialNetworkError:
+                continue
+            if removed:
+                report.likes_removed += 1
+                touched.add(record.target_id)
+        report.posts_touched = len(touched)
+        return report

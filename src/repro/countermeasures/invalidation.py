@@ -1,0 +1,89 @@
+"""§6.2 — honeypot-based access token invalidation.
+
+Accounts observed by honeypots are colluding by construction (honeypots
+perform no organic activity).  The platform maps each observed account to
+its live token for the exploited application and invalidates it.  The
+paper's escalation ladder — half-once, all-once, daily-half, daily-all —
+is expressed as methods over the milked-token ledger.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional
+
+from repro.honeypot.ledger import MilkedTokenLedger
+from repro.oauth.tokens import TokenStore
+
+
+class TokenInvalidator:
+    """Invalidates tokens of ledger-observed colluding accounts."""
+
+    def __init__(self, tokens: TokenStore, ledger: MilkedTokenLedger,
+                 rng: Optional[random.Random] = None) -> None:
+        self._tokens = tokens
+        self._ledger = ledger
+        self._rng = rng or random.Random(0)
+        self.total_invalidated = 0
+
+    # ------------------------------------------------------------------
+    def _invalidate_accounts(self, accounts: Iterable[str],
+                             reason: str) -> int:
+        """Invalidate each account's live token for the app it was
+        observed abusing; returns how many live tokens died."""
+        killed = 0
+        for account_id in accounts:
+            observation = self._ledger.get(account_id)
+            if observation is None or observation.app_id is None:
+                continue
+            token = self._tokens.live_token_for(account_id,
+                                                observation.app_id)
+            if token is not None and self._tokens.invalidate(
+                    token.token, reason):
+                killed += 1
+        self.total_invalidated += killed
+        return killed
+
+    # ------------------------------------------------------------------
+    # The §6.2 escalation ladder
+    # ------------------------------------------------------------------
+    def invalidate_fraction_of_observed(self, until_day: int,
+                                        fraction: float = 0.5) -> int:
+        """Invalidate a random ``fraction`` of every account observed up
+        to ``until_day`` (day 23: half of all milked tokens)."""
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        observed = self._ledger.observed_until(until_day)
+        count = int(len(observed) * fraction)
+        sample = self._rng.sample(observed, count) if count else []
+        return self._invalidate_accounts(sample, "honeypot-milked (sampled)")
+
+    def invalidate_all_observed(self, until_day: int) -> int:
+        """Invalidate every account observed up to ``until_day``."""
+        return self._invalidate_accounts(
+            self._ledger.observed_until(until_day), "honeypot-milked (all)")
+
+    def invalidate_new_observations(self, day: int,
+                                    fraction: float = 1.0) -> int:
+        """Daily pass: invalidate the newly observed tokens of ``day``.
+
+        "Newly observed tokens" means every still-live token seen acting
+        against the honeypots that day — which covers brand-new members
+        and returning members who re-joined with a fresh token after a
+        previous invalidation (accounts whose token already died and who
+        did not act again are skipped by the live-token lookup).
+        """
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        fresh = self._ledger.observed_on(day)
+        if fraction < 1.0:
+            count = int(len(fresh) * fraction)
+            fresh = self._rng.sample(fresh, count) if count else []
+        return self._invalidate_accounts(
+            fresh, f"honeypot-daily (day {day})")
+
+    def invalidate_specific(self, accounts: Iterable[str],
+                            reason: str = "targeted") -> int:
+        """Invalidate an explicit account list (used by the clustering
+        countermeasure)."""
+        return self._invalidate_accounts(accounts, reason)

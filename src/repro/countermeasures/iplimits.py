@@ -1,0 +1,82 @@
+"""§6.4 — per-IP like-request limits and the Fig. 8 source analyses.
+
+The limits apply only to like requests made through the Graph API with
+access tokens, so ordinary browser traffic is untouched; networks that
+funnel their whole delivery through a handful of servers (every network
+except hublaa.me) die immediately.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.graphapi.log import RequestLog
+from repro.graphapi.ratelimit import RateLimitPolicy
+from repro.netsim.asn import AsRegistry
+from repro.sim.clock import DAY
+
+#: Defaults tuned to the scale of abuse: thousands of likes/day from one
+#: address is far beyond any legitimate token-bearing client.
+DEFAULT_IP_DAILY_LIKE_LIMIT = 100
+DEFAULT_IP_WEEKLY_LIKE_LIMIT = 400
+
+
+def apply_ip_like_limits(policy: RateLimitPolicy,
+                         daily: int = DEFAULT_IP_DAILY_LIKE_LIMIT,
+                         weekly: int = DEFAULT_IP_WEEKLY_LIKE_LIMIT) -> None:
+    """Turn on the daily + weekly per-IP like limits."""
+    if daily <= 0 or weekly <= 0:
+        raise ValueError("limits must be positive")
+    if weekly < daily:
+        raise ValueError("weekly limit cannot be below the daily limit")
+    policy.ip_likes_per_day = daily
+    policy.ip_likes_per_week = weekly
+
+
+@dataclass(frozen=True)
+class SourceStats:
+    """Fig. 8 scatter point: one source (IP or AS)."""
+
+    source: str
+    days_observed: int
+    total_likes: int
+
+
+def ip_observation_stats(log: RequestLog,
+                         since: Optional[int] = None) -> List[SourceStats]:
+    """Per-IP (days observed, likes) over successful like requests."""
+    days: Dict[str, Set[int]] = defaultdict(set)
+    likes: Dict[str, int] = defaultdict(int)
+    for record in log.like_requests(since=since):
+        if record.source_ip is None:
+            continue
+        days[record.source_ip].add(record.timestamp // DAY)
+        likes[record.source_ip] += 1
+    return [SourceStats(ip, len(days[ip]), likes[ip])
+            for ip in sorted(likes, key=likes.get, reverse=True)]
+
+
+def as_observation_stats(log: RequestLog, as_registry: AsRegistry,
+                         since: Optional[int] = None) -> List[SourceStats]:
+    """Per-AS (days observed, likes) over successful like requests."""
+    days: Dict[int, Set[int]] = defaultdict(set)
+    likes: Dict[int, int] = defaultdict(int)
+    for record in log.like_requests(since=since):
+        asn = record.asn
+        if asn is None and record.source_ip is not None:
+            asn = as_registry.asn_of(record.source_ip)
+        if asn is None:
+            continue
+        days[asn].add(record.timestamp // DAY)
+        likes[asn] += 1
+    return [SourceStats(f"AS{asn}", len(days[asn]), likes[asn])
+            for asn in sorted(likes, key=likes.get, reverse=True)]
+
+
+def heavy_hitter_ips(log: RequestLog, min_likes: int,
+                     since: Optional[int] = None) -> List[str]:
+    """IPs whose like volume exceeds ``min_likes`` (rate-limit targets)."""
+    return [stats.source for stats in ip_observation_stats(log, since)
+            if stats.total_likes >= min_likes]

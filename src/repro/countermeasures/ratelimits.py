@@ -1,0 +1,36 @@
+"""§6.1 — access-token rate limiting.
+
+Facebook already rate limits per-token activity; collusion traffic "slips
+under the current rate limit" because pool sampling keeps per-token usage
+tiny.  The countermeasure reduces the limit by more than an order of
+magnitude; reducing it further risks false positives, so the paper stops
+there.
+"""
+
+from __future__ import annotations
+
+from repro.graphapi.ratelimit import (
+    DEFAULT_TOKEN_ACTIONS_PER_DAY,
+    REDUCED_TOKEN_ACTIONS_PER_DAY,
+    RateLimitPolicy,
+)
+
+
+def apply_reduced_token_limit(policy: RateLimitPolicy,
+                              limit: int = REDUCED_TOKEN_ACTIONS_PER_DAY) -> int:
+    """Drop the per-token daily action budget; returns the new limit."""
+    if limit <= 0:
+        raise ValueError(f"limit must be positive, got {limit}")
+    if limit >= policy.token_actions_per_day:
+        raise ValueError(
+            f"reduction expected: {limit} >= current "
+            f"{policy.token_actions_per_day}"
+        )
+    policy.token_actions_per_day = limit
+    return limit
+
+
+def restore_default_token_limit(policy: RateLimitPolicy) -> int:
+    """Put the baseline budget back (used by ablations/tests)."""
+    policy.token_actions_per_day = DEFAULT_TOKEN_ACTIONS_PER_DAY
+    return policy.token_actions_per_day

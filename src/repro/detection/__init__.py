@@ -1,0 +1,33 @@
+"""Detection algorithms for reputation manipulation.
+
+Implements the temporal-clustering detector the paper evaluated against
+collusion networks (§6.3) — a SynchroTrap-style algorithm after Cao et
+al. — plus a CopyCatch-style lockstep baseline, and evaluation helpers.
+"""
+
+from repro.detection.actions import Action, actions_from_request_log
+from repro.detection.synchrotrap import SynchroTrap, DetectionResult
+from repro.detection.lockstep import LockstepDetector
+from repro.detection.evaluation import DetectionMetrics, evaluate_detection
+from repro.detection.mlabuse import (
+    AbuseDetectionResult,
+    LogisticAbuseClassifier,
+    TokenFeatures,
+    detect_abusive_tokens,
+    extract_token_features,
+)
+
+__all__ = [
+    "Action",
+    "actions_from_request_log",
+    "SynchroTrap",
+    "DetectionResult",
+    "LockstepDetector",
+    "DetectionMetrics",
+    "evaluate_detection",
+    "AbuseDetectionResult",
+    "LogisticAbuseClassifier",
+    "TokenFeatures",
+    "detect_abusive_tokens",
+    "extract_token_features",
+]

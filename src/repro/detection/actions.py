@@ -1,0 +1,31 @@
+"""The action abstraction detection algorithms consume."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True, slots=True)
+class Action:
+    """One attributed user action (a like, in this reproduction)."""
+
+    actor: str
+    target: str
+    timestamp: int
+
+
+def actions_from_request_log(log, since: Optional[int] = None,
+                             until: Optional[int] = None) -> List[Action]:
+    """Convert successful like records from a Graph API request log into
+    detector actions."""
+    actions: List[Action] = []
+    for record in log.like_requests(since=since):
+        if until is not None and record.timestamp >= until:
+            continue
+        if record.user_id is None or record.target_id is None:
+            continue
+        actions.append(Action(actor=record.user_id,
+                              target=record.target_id,
+                              timestamp=record.timestamp))
+    return actions

@@ -1,0 +1,45 @@
+"""Precision/recall evaluation of detection runs against ground truth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Set
+
+from repro.detection.synchrotrap import DetectionResult
+
+
+@dataclass(frozen=True)
+class DetectionMetrics:
+    """Standard detection quality numbers."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def evaluate_detection(result: DetectionResult,
+                       ground_truth: Iterable[str]) -> DetectionMetrics:
+    """Score flagged accounts against the known-colluding set."""
+    truth: Set[str] = set(ground_truth)
+    flagged = result.flagged_accounts
+    tp = len(flagged & truth)
+    return DetectionMetrics(
+        true_positives=tp,
+        false_positives=len(flagged) - tp,
+        false_negatives=len(truth) - tp,
+    )

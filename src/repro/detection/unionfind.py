@@ -1,0 +1,43 @@
+"""Disjoint-set forest used by the clustering detectors."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+
+class UnionFind:
+    """Union-find with path compression and union by size."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._size: Dict[Hashable, int] = {}
+
+    def find(self, item: Hashable) -> Hashable:
+        parent = self._parent
+        if item not in parent:
+            parent[item] = item
+            self._size[item] = 1
+            return item
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:  # path compression
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> Hashable:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return ra
+
+    def groups(self) -> List[List[Hashable]]:
+        """All current components as lists of members."""
+        by_root: Dict[Hashable, List[Hashable]] = {}
+        for item in self._parent:
+            by_root.setdefault(self.find(item), []).append(item)
+        return list(by_root.values())

@@ -1,0 +1,36 @@
+"""Experiment reproductions: one module per table and figure.
+
+Each module exposes a ``run(...)`` function taking the artifacts it needs
+(world, catalog, milking results, campaign results) and returning a typed
+result with a ``render()`` method that prints rows in the paper's layout.
+"""
+
+from repro.experiments import (
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from repro.experiments.formats import format_table
+
+__all__ = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "format_table",
+]

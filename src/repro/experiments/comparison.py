@@ -1,0 +1,255 @@
+"""Paper-vs-measured scorecard.
+
+Encodes the paper's published values and checks a finished
+:class:`~repro.experiments.runner.StudyReport` against them, separating
+*exact* expectations (counts that must match at any scale) from *shape*
+expectations (orderings, ratios, crossovers) and *scaled* expectations
+(absolute counts compared after multiplying by the study scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.collusion.profiles import MILKED_PROFILES
+
+
+@dataclass
+class Check:
+    """One comparison between the paper and the reproduction."""
+
+    experiment: str
+    name: str
+    expected: str
+    measured: str
+    passed: bool
+
+
+@dataclass
+class Scorecard:
+    checks: List[Check] = field(default_factory=list)
+
+    def add(self, experiment: str, name: str, expected, measured,
+            passed: bool) -> None:
+        self.checks.append(Check(experiment, name, str(expected),
+                                 str(measured), bool(passed)))
+
+    @property
+    def passed(self) -> int:
+        return sum(c.passed for c in self.checks)
+
+    @property
+    def failed(self) -> int:
+        return len(self.checks) - self.passed
+
+    def failures(self) -> List[Check]:
+        return [c for c in self.checks if not c.passed]
+
+    def render(self) -> str:
+        lines = [f"Reproduction scorecard: {self.passed}/"
+                 f"{len(self.checks)} checks passed"]
+        current = None
+        for check in self.checks:
+            if check.experiment != current:
+                current = check.experiment
+                lines.append(f"  {current}")
+            mark = "ok " if check.passed else "FAIL"
+            lines.append(f"    [{mark}] {check.name}: paper "
+                         f"{check.expected}, measured {check.measured}")
+        return "\n".join(lines)
+
+
+def _within(measured: float, expected: float, rel: float) -> bool:
+    if expected == 0:
+        return measured == 0
+    return abs(measured - expected) <= rel * abs(expected)
+
+
+def score_report(report, scale: float) -> Scorecard:
+    """Score every populated experiment in ``report``."""
+    card = Scorecard()
+    if report.table1 is not None:
+        _score_table1(card, report.table1)
+    if report.table2 is not None:
+        _score_table2(card, report.table2)
+    if report.table3 is not None:
+        _score_table3(card, report.table3)
+    if report.table4 is not None:
+        _score_table4(card, report.table4, scale)
+    if report.table5 is not None:
+        _score_table5(card, report.table5)
+    if report.table6 is not None:
+        _score_table6(card, report.table6)
+    if report.fig4 is not None:
+        _score_fig4(card, report.fig4)
+    if report.fig5 is not None:
+        _score_fig5(card, report.fig5)
+    if report.fig6 is not None:
+        _score_fig6(card, report.fig6)
+    if report.fig8 is not None:
+        _score_fig8(card, report.fig8)
+    return card
+
+
+def _score_table1(card: Scorecard, result) -> None:
+    card.add("Table 1", "susceptible apps", 55, result.susceptible,
+             result.susceptible == 55)
+    card.add("Table 1", "short-term susceptible", 46,
+             result.susceptible_short_term,
+             result.susceptible_short_term == 46)
+    card.add("Table 1", "long-term susceptible", 9,
+             result.susceptible_long_term,
+             result.susceptible_long_term == 9)
+    top = result.rows[0] if result.rows else ("", "", 0)
+    card.add("Table 1", "top app", "Spotify 50M MAU",
+             f"{top[1]} {top[2]:,}",
+             top[1] == "Spotify" and top[2] == 50_000_000)
+
+
+def _score_table2(card: Scorecard, result) -> None:
+    top = result.rows[0][0] if result.rows else ""
+    card.add("Table 2", "most popular network", "hublaa.me", top,
+             top == "hublaa.me")
+    in_top = [r for r in result.rows[:8] if r[1] <= 140_000]
+    card.add("Table 2", "top-8 within ~100K rank", "8 sites",
+             f"{len(in_top)} sites", len(in_top) == 8)
+    countries = [r[2] for r in result.rows if r[2]]
+    share = countries.count("IN") / len(countries) if countries else 0
+    card.add("Table 2", "India-dominated", ">70% of sites",
+             f"{share:.0%}", share > 0.7)
+
+
+def _score_table3(card: Scorecard, result) -> None:
+    rows = {r.name: r for r in result.rows}
+    ordered = (rows["HTC Sense"].dau > rows["Nokia Account"].dau
+               > rows["Sony Xperia smartphone"].dau)
+    card.add("Table 3", "DAU ordering HTC > Nokia > Sony",
+             "1M > 100K > 10K",
+             " > ".join(str(r.dau) for r in result.rows), ordered)
+    ranks = (rows["HTC Sense"].dau_rank < rows["Nokia Account"].dau_rank
+             < rows["Sony Xperia smartphone"].dau_rank)
+    card.add("Table 3", "DAU rank ordering", "40 < 249 < 866",
+             " < ".join(str(r.dau_rank) for r in result.rows), ranks)
+
+
+def _score_table4(card: Scorecard, result, scale: float) -> None:
+    paper = {p.domain: p for p in MILKED_PROFILES}
+    domains = [r.domain for r in result.rows]
+    expected_order = sorted(paper,
+                            key=lambda d: -paper[d].membership_target)
+    card.add("Table 4", "membership ordering (top 5)",
+             expected_order[:5], domains[:5],
+             domains[:5] == expected_order[:5])
+    for domain in ("hublaa.me", "official-liker.net", "mg-likers.com"):
+        row = result.row_for(domain)
+        quota = paper[domain].likes_per_request
+        card.add("Table 4", f"{domain} likes/post", quota,
+                 round(row.avg_likes_per_post),
+                 _within(row.avg_likes_per_post, quota, 0.1))
+        target = paper[domain].membership_target * scale
+        card.add("Table 4", f"{domain} membership (scaled)",
+                 round(target), row.membership_size,
+                 _within(row.membership_size, target, 0.25))
+    overall = (result.total_likes / result.total_posts
+               if result.total_posts else 0)
+    card.add("Table 4", "overall avg likes/post", 238, round(overall),
+             _within(overall, 238, 0.15))
+    overlap = 1 - result.unique_accounts / result.total_memberships
+    card.add("Table 4", "cross-network overlap exists", ">0",
+             f"{overlap:.1%}", overlap > 0)
+
+
+def _score_table5(card: Scorecard, result) -> None:
+    top = result.rows[0]
+    card.add("Table 5", "top link", "goo.gl/jZ7Nyl ~148M clicks",
+             f"{top.label} {top.report.short_url_clicks:,}",
+             top.label == "goo.gl/jZ7Nyl"
+             and top.report.short_url_clicks >= 147_959_735)
+    card.add("Table 5", "unique long URL clicks", ">289M",
+             f"{result.total_long_url_clicks():,}",
+             result.total_long_url_clicks() > 289_000_000)
+
+
+def _score_table6(card: Scorecard, result) -> None:
+    card.add("Table 6", "auto-comment networks", 7,
+             len(result.per_network), len(result.per_network) == 7)
+    card.add("Table 6", "unique comment share", "~1.4% (low)",
+             f"{result.overall.unique_comment_pct:.1f}%",
+             result.overall.unique_comment_pct < 15)
+    card.add("Table 6", "non-dictionary words", "20.6% (~10-30%)",
+             f"{result.overall.non_dictionary_pct:.1f}%",
+             8 < result.overall.non_dictionary_pct < 40)
+
+
+def _score_fig4(card: Scorecard, result) -> None:
+    for domain, curve in result.curves.items():
+        rate = curve.new_unique_rate()
+        card.add("Fig 4", f"{domain} diminishing returns",
+                 "tail new-unique rate << 1", f"{rate:.2f}", rate < 0.9)
+
+
+def _phase_avg_or_none(result, domain: str, phase: str):
+    try:
+        return result.phase_avg(domain, phase)
+    except KeyError:
+        return None
+
+
+def _score_fig5(card: Scorecard, result) -> None:
+    official = "official-liker.net"
+    hublaa = "hublaa.me"
+    if official in result.phases:
+        base = _phase_avg_or_none(result, official, "baseline")
+        if base:
+            card.add("Fig 5", "official baseline quota", 390,
+                     round(base), _within(base, 390, 0.05))
+        rate = _phase_avg_or_none(result, official,
+                                  "reduced token rate limit")
+        if base and rate is not None:
+            card.add("Fig 5", "official rate-limit dip",
+                     "<85% of baseline", round(rate), rate < 0.85 * base)
+        ip = _phase_avg_or_none(result, official, "IP rate limits")
+        if base and ip is not None:
+            card.add("Fig 5", "official killed by IP limits",
+                     "<10% of baseline", round(ip), ip < 0.1 * base)
+    if hublaa in result.phases:
+        base = _phase_avg_or_none(result, hublaa, "baseline")
+        rate = _phase_avg_or_none(result, hublaa,
+                                  "reduced token rate limit")
+        if base and rate is not None:
+            card.add("Fig 5", "hublaa unaffected by rate limit",
+                     ">95% of baseline", round(rate),
+                     rate > 0.95 * base)
+        ip = _phase_avg_or_none(result, hublaa, "IP rate limits")
+        if ip is not None:
+            card.add("Fig 5", "hublaa survives IP limits", ">0",
+                     round(ip), ip > 0)
+        asb = _phase_avg_or_none(result, hublaa, "AS blocking")
+        if asb is not None:
+            card.add("Fig 5", "hublaa ceased by AS blocking", 0,
+                     round(asb), asb == 0)
+
+
+def _score_fig6(card: Scorecard, result) -> None:
+    hublaa = result.histograms.get("hublaa.me")
+    official = result.histograms.get("official-liker.net")
+    if hublaa and official:
+        card.add("Fig 6", "hublaa repeats accounts less than official",
+                 "76% vs 30% at <=1 post",
+                 f"{hublaa.share_at_most(1):.0%} vs "
+                 f"{official.share_at_most(1):.0%}",
+                 hublaa.share_at_most(1) > official.share_at_most(1))
+
+
+def _score_fig8(card: Scorecard, result) -> None:
+    official = result.breakdowns.get("official-liker.net")
+    hublaa = result.breakdowns.get("hublaa.me")
+    if official:
+        card.add("Fig 8", "official concentrated on few IPs",
+                 "vast majority via a few IPs",
+                 f"top-3 carry {official.top_ip_share():.0%}",
+                 official.top_ip_share() > 0.5)
+    if hublaa:
+        card.add("Fig 8", "hublaa spans two bulletproof ASes", 2,
+                 hublaa.distinct_asns, hublaa.distinct_asns == 2)

@@ -1,0 +1,90 @@
+"""Serialize experiment results to JSON / CSV for downstream plotting."""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+from typing import Any, Dict, List
+
+
+def _plain(value: Any) -> Any:
+    """Recursively convert results into JSON-friendly structures."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _plain(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_plain(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "value"):  # enums
+        return value.value
+    return str(value)
+
+
+def report_to_dict(report) -> Dict[str, Any]:
+    """A StudyReport as one JSON-ready dictionary (skipping honeypot
+    bookkeeping objects that carry no analytical value)."""
+    out: Dict[str, Any] = {}
+    for name in ("table1", "table2", "table3", "table4", "table5",
+                 "table6", "fig4", "fig5", "fig6", "fig7", "fig8"):
+        result = getattr(report, name, None)
+        if result is not None:
+            out[name] = _plain(result)
+    return out
+
+
+def report_to_json(report, indent: int = 2) -> str:
+    return json.dumps(report_to_dict(report), indent=indent,
+                      sort_keys=True)
+
+
+def table4_to_csv(table4_result) -> str:
+    """Table 4 rows as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([
+        "collusion_network", "posts", "likes", "avg_likes_per_post",
+        "outgoing_activities", "target_accounts", "target_pages",
+        "membership",
+    ])
+    for row in table4_result.rows:
+        writer.writerow([
+            row.domain, row.posts_submitted, row.likes,
+            f"{row.avg_likes_per_post:.1f}", row.outgoing_activities,
+            row.outgoing_target_accounts, row.outgoing_target_pages,
+            row.membership_size,
+        ])
+    return buffer.getvalue()
+
+
+def fig5_series_to_csv(fig5_result) -> str:
+    """Fig. 5 daily series as CSV (day, one column per network)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    domains = sorted(fig5_result.series)
+    writer.writerow(["day"] + domains)
+    length = max((len(fig5_result.series[d]) for d in domains), default=0)
+    for day in range(length):
+        row: List[Any] = [day + 1]
+        for domain in domains:
+            series = fig5_result.series[domain]
+            row.append(f"{series[day]:.1f}" if day < len(series) else "")
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def fig4_curves_to_csv(fig4_result) -> str:
+    """Fig. 4 cumulative curves as CSV (long format)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["network", "post_index", "cumulative_likes",
+                     "cumulative_unique_accounts"])
+    for domain, curve in fig4_result.curves.items():
+        for i, (likes, unique) in enumerate(
+                zip(curve.cumulative_likes, curve.cumulative_unique)):
+            writer.writerow([domain, i + 1, likes, unique])
+    return buffer.getvalue()

@@ -1,0 +1,77 @@
+"""Figure 4 — cumulative likes and unique accounts while milking.
+
+Paper result: per-request like counts stay flat (fixed likes/request), so
+cumulative likes grow linearly with post index while the cumulative
+unique-account curve bends: repetition increases as the token pool is
+exhausted (diminishing returns of milking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.honeypot.milker import MilkingResults
+
+#: The three networks plotted in the paper's Fig. 4.
+DEFAULT_NETWORKS = ("official-liker.net", "mg-likers.com",
+                    "f8-autoliker.com")
+
+
+@dataclass
+class MilkingCurve:
+    """One subplot: cumulative series indexed by post number."""
+
+    domain: str
+    cumulative_likes: List[int]
+    cumulative_unique: List[int]
+
+    @property
+    def posts(self) -> int:
+        return len(self.cumulative_likes)
+
+    def new_unique_rate(self, tail_fraction: float = 0.2) -> float:
+        """New unique accounts per like over the trailing posts — the
+        diminishing-returns measure (≈1 early, →0 when milked dry)."""
+        if self.posts < 2:
+            return 1.0
+        start = max(1, int(self.posts * (1 - tail_fraction)))
+        dlikes = self.cumulative_likes[-1] - self.cumulative_likes[start - 1]
+        dunique = (self.cumulative_unique[-1]
+                   - self.cumulative_unique[start - 1])
+        return dunique / dlikes if dlikes else 0.0
+
+
+@dataclass
+class Fig4Result:
+    curves: Dict[str, MilkingCurve]
+
+    def render(self) -> str:
+        lines = ["Figure 4: cumulative likes / unique accounts vs post index"]
+        for domain, curve in self.curves.items():
+            lines.append(
+                f"  {domain}: {curve.posts} posts, "
+                f"{curve.cumulative_likes[-1]:,} likes, "
+                f"{curve.cumulative_unique[-1]:,} unique accounts, "
+                f"tail new-unique rate {curve.new_unique_rate():.3f}"
+            )
+        return "\n".join(lines)
+
+
+def run(results: MilkingResults,
+        networks: Sequence[str] = DEFAULT_NETWORKS) -> Fig4Result:
+    """Build the cumulative curves from per-post milking records."""
+    curves: Dict[str, MilkingCurve] = {}
+    for domain in networks:
+        r = results.per_network[domain]
+        cumulative_likes: List[int] = []
+        total = 0
+        for likes in r.likes_per_post:
+            total += likes
+            cumulative_likes.append(total)
+        curves[domain] = MilkingCurve(
+            domain=domain,
+            cumulative_likes=cumulative_likes,
+            cumulative_unique=list(r.cumulative_unique),
+        )
+    return Fig4Result(curves=curves)

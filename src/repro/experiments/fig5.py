@@ -1,0 +1,100 @@
+"""Figure 5 — the countermeasure timeline.
+
+Paper result (per network):
+
+* token rate-limit reduction (day 12): official-liker.net dips below 200
+  for about a week, then adapts and bounces back; hublaa.me unaffected;
+* token invalidations (days 23/28/29+/36+): sharp dips with partial
+  recovery from fresh/returning tokens; sustained suppression under daily
+  invalidation but never a full stop;
+* clustering (day 55+): no major impact;
+* IP rate limits (day 46): official-liker.net stops working immediately;
+* AS blocking (day 70): hublaa.me (large IP pool in two bulletproof ASes)
+  finally ceases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.countermeasures.campaign import CampaignResults
+
+
+@dataclass
+class PhaseSummary:
+    """Average likes/post within one campaign phase."""
+
+    name: str
+    start_day: int
+    end_day: int
+    avg_likes: float
+
+
+@dataclass
+class Fig5Result:
+    series: Dict[str, List[float]]
+    interventions: List[Tuple[int, str]]
+    phases: Dict[str, List[PhaseSummary]]
+
+    def render(self) -> str:
+        lines = ["Figure 5: countermeasure campaign (avg likes/post/day)"]
+        for domain, phases in self.phases.items():
+            lines.append(f"  {domain}:")
+            for phase in phases:
+                lines.append(
+                    f"    days {phase.start_day:>2}-{phase.end_day:<2} "
+                    f"{phase.name:<28} {phase.avg_likes:7.1f}"
+                )
+        lines.append("  interventions:")
+        for day, message in self.interventions:
+            lines.append(f"    day {day}: {message}")
+        return "\n".join(lines)
+
+    def phase_avg(self, domain: str, phase_name: str) -> float:
+        for phase in self.phases[domain]:
+            if phase.name == phase_name:
+                return phase.avg_likes
+        raise KeyError(phase_name)
+
+
+def _phases_for(config) -> List[Tuple[str, int, int]]:
+    # Interventions fire at the END of their configured day, so each
+    # phase covers the days on which the intervention was in force:
+    # (previous intervention day, this intervention day].
+    return [
+        ("baseline", 1, config.rate_limit_day),
+        ("reduced token rate limit", config.rate_limit_day + 1,
+         config.invalidate_half_day),
+        ("invalidate half once", config.invalidate_half_day + 1,
+         config.invalidate_all_day),
+        ("invalidate all once", config.invalidate_all_day + 1,
+         config.daily_half_start_day),
+        ("daily half invalidation", config.daily_half_start_day + 1,
+         config.daily_all_start_day),
+        ("daily full invalidation", config.daily_all_start_day + 1,
+         config.ip_limit_day),
+        ("IP rate limits", config.ip_limit_day + 1,
+         config.as_block_day),
+        ("AS blocking", config.as_block_day + 1, config.days),
+    ]
+
+
+def run(results: CampaignResults) -> Fig5Result:
+    """Summarize the campaign series into the Fig. 5 phases."""
+    config = results.config
+    phases: Dict[str, List[PhaseSummary]] = {}
+    series: Dict[str, List[float]] = {}
+    for domain, daily in results.series.items():
+        series[domain] = daily.avg_likes_per_post
+        summaries = []
+        for name, start, end in _phases_for(config):
+            if start > end or start > config.days:
+                continue
+            end = min(end, config.days)
+            summaries.append(PhaseSummary(
+                name=name, start_day=start, end_day=end,
+                avg_likes=daily.window_average(start, end)))
+        phases[domain] = summaries
+    return Fig5Result(series=series, interventions=results.interventions,
+                      phases=phases)

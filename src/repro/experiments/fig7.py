@@ -1,0 +1,85 @@
+"""Figure 7 — hourly likes performed *by* the honeypot accounts.
+
+Paper result: collusion networks spread each token's outgoing liking
+activity over time — the honeypots' hourly like counts hover between
+roughly 5 and 10, with no bursts — which is what defeats temporal
+clustering (§6.3).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.countermeasures.campaign import CampaignResults
+from repro.sim.clock import HOUR
+
+
+@dataclass
+class HourlyOutgoing:
+    domain: str
+    #: average likes per hour-of-day (24 entries)
+    hourly_average: List[float]
+    total_actions: int
+
+    @property
+    def peak(self) -> float:
+        return max(self.hourly_average) if self.hourly_average else 0.0
+
+    @property
+    def mean(self) -> float:
+        if not self.hourly_average:
+            return 0.0
+        return sum(self.hourly_average) / len(self.hourly_average)
+
+
+@dataclass
+class Fig7Result:
+    series: Dict[str, HourlyOutgoing]
+
+    def render(self) -> str:
+        lines = ["Figure 7: hourly likes performed by honeypot accounts"]
+        for domain, s in self.series.items():
+            lines.append(
+                f"  {domain}: mean {s.mean:.1f}/h, peak {s.peak:.1f}/h, "
+                f"total {s.total_actions:,} outgoing likes")
+        return "\n".join(lines)
+
+
+def run(world, results: CampaignResults,
+        max_campaign_day: int = None) -> Fig7Result:
+    """Bucket each honeypot's outgoing likes by hour of day.
+
+    By default the window ends when the reduced token rate limit kicks
+    in (``config.rate_limit_day``): from that day the countermeasure
+    itself caps the honeypot tokens' activity, which would measure the
+    defense rather than the networks' spreading behaviour.
+    """
+    if max_campaign_day is None:
+        max_campaign_day = results.config.rate_limit_day
+    cutoff = (results.start_day + max_campaign_day) * 24 * HOUR
+    series: Dict[str, HourlyOutgoing] = {}
+    for domain, honeypot in results.honeypots.items():
+        records = world.platform.activity_log.for_actor(honeypot.account_id)
+        by_hour: Dict[int, int] = defaultdict(int)
+        days = set()
+        total = 0
+        for record in records:
+            if record.verb != "like":
+                continue
+            if record.target_owner_id == honeypot.account_id:
+                continue
+            if record.created_at >= cutoff:
+                continue
+            hour_of_day = (record.created_at // HOUR) % 24
+            by_hour[hour_of_day] += 1
+            days.add(record.created_at // (24 * HOUR))
+            total += 1
+        n_days = max(1, len(days))
+        series[domain] = HourlyOutgoing(
+            domain=domain,
+            hourly_average=[by_hour[h] / n_days for h in range(24)],
+            total_actions=total,
+        )
+    return Fig7Result(series=series)

@@ -1,0 +1,61 @@
+"""Plain-text table rendering shared by the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:,.1f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[Any]],
+                 title: str = "") -> str:
+    """Render an aligned text table (numbers right-aligned)."""
+    cells: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, text in enumerate(row):
+            widths[i] = max(widths[i], len(text))
+
+    def render_row(values: Sequence[str], source_row=None) -> str:
+        parts = []
+        for i, text in enumerate(values):
+            raw = source_row[i] if source_row is not None else None
+            if isinstance(raw, (int, float)) and not isinstance(raw, bool):
+                parts.append(text.rjust(widths[i]))
+            else:
+                parts.append(text.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for source, row in zip(rows, cells):
+        lines.append(render_row(row, source))
+    return "\n".join(lines)
+
+
+def humanize_count(value: int) -> str:
+    """Facebook-style coarse counts: 50M, 1M, 100K, 10K...
+
+    Values that would round to 1000.0K promote to the next unit.
+    """
+    if value >= 999_500:
+        scaled = value / 1_000_000
+        if round(scaled, 1) == int(scaled):
+            return f"{scaled:.0f}M"
+        return f"{scaled:.1f}M"
+    if value >= 1_000:
+        scaled = value / 1_000
+        if round(scaled, 1) == int(scaled):
+            return f"{scaled:.0f}K"
+        return f"{scaled:.1f}K"
+    return str(value)

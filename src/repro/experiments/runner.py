@@ -1,0 +1,143 @@
+"""End-to-end study runner: build the world, run every experiment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps.catalog import AppCatalog
+from repro.collusion.ecosystem import CollusionEcosystem, build_ecosystem
+from repro.core.config import StudyConfig
+from repro.core.world import World
+from repro.countermeasures.campaign import (
+    CampaignConfig,
+    CampaignResults,
+    CountermeasureCampaign,
+)
+from repro.experiments import (
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from repro.honeypot.milker import MilkingCampaign, MilkingResults
+
+
+@dataclass
+class StudyArtifacts:
+    """Everything a finished study produced, for further analysis."""
+
+    config: StudyConfig
+    world: World
+    catalog: AppCatalog
+    ecosystem: CollusionEcosystem
+    milking: Optional[MilkingResults] = None
+    campaign: Optional[CampaignResults] = None
+
+
+@dataclass
+class StudyReport:
+    """Typed results for every table and figure."""
+
+    table1: Optional[table1.Table1Result] = None
+    table2: Optional[table2.Table2Result] = None
+    table3: Optional[table3.Table3Result] = None
+    table4: Optional[table4.Table4Result] = None
+    table5: Optional[table5.Table5Result] = None
+    table6: Optional[table6.Table6Result] = None
+    fig4: Optional[fig4.Fig4Result] = None
+    fig5: Optional[fig5.Fig5Result] = None
+    fig6: Optional[fig6.Fig6Result] = None
+    fig7: Optional[fig7.Fig7Result] = None
+    fig8: Optional[fig8.Fig8Result] = None
+
+    def render(self) -> str:
+        sections = []
+        for result in (self.table1, self.table2, self.table3, self.table4,
+                       self.table5, self.table6, self.fig4, self.fig5,
+                       self.fig6, self.fig7, self.fig8):
+            if result is not None:
+                sections.append(result.render())
+        return "\n\n".join(sections)
+
+
+def build_world(config: Optional[StudyConfig] = None) -> StudyArtifacts:
+    """Create and populate a world (catalog + collusion ecosystem)."""
+    config = config or StudyConfig()
+    world = World(config)
+    catalog = AppCatalog(world.apps, world.rng.stream("catalog"),
+                         top_n=config.top_apps)
+    catalog.build()
+    ecosystem = build_ecosystem(world, network_limit=config.network_limit)
+    return StudyArtifacts(config=config, world=world, catalog=catalog,
+                          ecosystem=ecosystem)
+
+
+def run_milking(artifacts: StudyArtifacts,
+                days: Optional[int] = None) -> MilkingResults:
+    """Run the §4 milking campaign over every built network."""
+    campaign = MilkingCampaign(artifacts.world, artifacts.ecosystem)
+    artifacts.milking = campaign.run(days or artifacts.config.milking_days)
+    return artifacts.milking
+
+
+def run_campaign(artifacts: StudyArtifacts,
+                 campaign_config: Optional[CampaignConfig] = None) -> CampaignResults:
+    """Run the §6 countermeasure campaign (Fig. 5)."""
+    if campaign_config is None:
+        days = artifacts.config.campaign_days
+        campaign_config = (CampaignConfig() if days == 75
+                           else CampaignConfig.compressed(days))
+    config = campaign_config
+    available = set(artifacts.ecosystem.networks)
+    networks = tuple(domain for domain in config.networks
+                     if domain in available)
+    if networks != config.networks:
+        config = CampaignConfig(**{**config.__dict__,
+                                   "networks": networks})
+    runner = CountermeasureCampaign(artifacts.world, artifacts.ecosystem,
+                                    config)
+    artifacts.campaign = runner.run()
+    return artifacts.campaign
+
+
+def run_experiments(artifacts: StudyArtifacts) -> StudyReport:
+    """Produce every table/figure that the available artifacts allow."""
+    report = StudyReport()
+    world = artifacts.world
+    report.table1 = table1.run(world, artifacts.catalog)
+    report.table2 = table2.run(world)
+    report.table3 = table3.run(world)
+    report.table5 = table5.run(world, artifacts.ecosystem)
+    if artifacts.milking is not None:
+        scale = artifacts.config.scale
+        report.table4 = table4.run(artifacts.milking, scale)
+        report.table6 = table6.run(artifacts.milking)
+        fig4_networks = [d for d in fig4.DEFAULT_NETWORKS
+                         if d in artifacts.milking.per_network]
+        if fig4_networks:
+            report.fig4 = fig4.run(artifacts.milking, fig4_networks)
+    if artifacts.campaign is not None:
+        report.fig5 = fig5.run(artifacts.campaign)
+        report.fig6 = fig6.run(world, artifacts.campaign,
+                              ecosystem=artifacts.ecosystem)
+        report.fig7 = fig7.run(world, artifacts.campaign)
+        report.fig8 = fig8.run(world, artifacts.campaign)
+    return report
+
+
+def run_full_study(config: Optional[StudyConfig] = None,
+                   campaign_config: Optional[CampaignConfig] = None):
+    """Build, milk, counter, and report.  Returns (artifacts, report)."""
+    artifacts = build_world(config)
+    run_milking(artifacts)
+    run_campaign(artifacts, campaign_config)
+    report = run_experiments(artifacts)
+    return artifacts, report

@@ -1,0 +1,61 @@
+"""Table 1 — susceptible top-100 applications with long-term tokens.
+
+Paper result: scanning the top 100 apps finds 55 susceptible, of which 46
+receive short-term and 9 long-term tokens; the 9 long-term ones (headed by
+Spotify at 50M MAU) are listed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.apps.catalog import AppCatalog, mau_bucket
+from repro.apps.scanner import AppScanner
+from repro.experiments.formats import format_table, humanize_count
+from repro.oauth.tokens import TokenLifetime
+
+
+@dataclass
+class Table1Result:
+    """Scan summary plus the long-term susceptible app rows."""
+
+    scanned: int
+    susceptible: int
+    susceptible_short_term: int
+    susceptible_long_term: int
+    rows: List[Tuple[str, str, int]]  # (app id, name, MAU)
+
+    def render(self) -> str:
+        header = (
+            f"Scanned {self.scanned} top applications: "
+            f"{self.susceptible} susceptible "
+            f"({self.susceptible_short_term} short-term, "
+            f"{self.susceptible_long_term} long-term tokens)\n"
+        )
+        table = format_table(
+            ["Application Identifier", "Application Name", "MAU"],
+            [(app_id, name, humanize_count(mau_bucket(mau)))
+             for app_id, name, mau in self.rows],
+            title="Table 1: susceptible applications with long-term tokens",
+        )
+        return header + table
+
+
+def run(world, catalog: AppCatalog) -> Table1Result:
+    """Scan the top-100 catalog end to end and tabulate the result."""
+    scanner = AppScanner(world.platform, world.auth_server, world.api)
+    reports = scanner.scan_all(catalog.top_100())
+    summary = AppScanner.summarize(reports)
+    long_term = [r for r in reports
+                 if r.susceptible
+                 and r.token_lifetime is TokenLifetime.LONG_TERM]
+    long_term.sort(key=lambda r: (-r.monthly_active_users, r.app_name))
+    return Table1Result(
+        scanned=summary["scanned"],
+        susceptible=summary["susceptible"],
+        susceptible_short_term=summary["susceptible_short_term"],
+        susceptible_long_term=summary["susceptible_long_term"],
+        rows=[(r.app_id, r.app_name, r.monthly_active_users)
+              for r in long_term],
+    )

@@ -1,0 +1,61 @@
+"""Table 5 — short URLs used by collusion networks.
+
+Paper result: 13 goo.gl links; the oldest (June 2014) has ~148M clicks;
+several links share the HTC Sense login-dialog long URL whose combined
+clicks total 236M; referrers identify the collusion network sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.collusion.ecosystem import CollusionEcosystem
+from repro.experiments.formats import format_table
+from repro.shorturl.analytics import ShortUrlAnalytics, ShortUrlReport
+
+
+@dataclass
+class Table5Row:
+    label: str  # the paper's goo.gl name for readability
+    report: ShortUrlReport
+    app_name: str
+
+
+@dataclass
+class Table5Result:
+    rows: List[Table5Row]
+
+    def render(self) -> str:
+        return format_table(
+            ["Short URL", "Date Created", "Short URL Clicks",
+             "Long URL Clicks", "Application", "Top Referrer"],
+            [(r.label, r.report.created_date, r.report.short_url_clicks,
+              r.report.long_url_clicks, r.app_name,
+              r.report.top_referrer or "Unknown")
+             for r in self.rows],
+            title="Table 5: short URLs used by collusion networks",
+        )
+
+    def total_long_url_clicks(self) -> int:
+        """Sum of clicks across distinct long URLs (the paper's >289M)."""
+        seen = {}
+        for row in self.rows:
+            seen[row.report.long_url] = row.report.long_url_clicks
+        return sum(seen.values())
+
+
+def run(world, ecosystem: CollusionEcosystem) -> Table5Result:
+    """Pull public analytics for each Table 5 short URL."""
+    from repro.collusion.profiles import SHORT_URL_SEEDS
+
+    analytics = ShortUrlAnalytics(world.shortener)
+    app_by_label = {seed.label: world.apps.get(seed.app_id).name
+                    for seed in SHORT_URL_SEEDS}
+    rows = [
+        Table5Row(label=label, report=analytics.report(slug),
+                  app_name=app_by_label[label])
+        for label, slug in ecosystem.table5_slugs
+    ]
+    rows.sort(key=lambda r: -r.report.short_url_clicks)
+    return Table5Result(rows=rows)

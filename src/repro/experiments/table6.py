@@ -1,0 +1,56 @@
+"""Table 6 — lexical analysis of collusion-network comments.
+
+Paper result: across the 7 auto-comment networks, only 187 of 12,959
+comments are unique; lexical richness stays under ~9%, ARI ranges 13-25
+and ~20% of words are not in an English dictionary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments.formats import format_table
+from repro.honeypot.milker import MilkingResults
+from repro.lexical.analysis import CommentCorpusAnalysis, analyze_comments
+
+
+@dataclass
+class Table6Result:
+    per_network: Dict[str, CommentCorpusAnalysis]
+    overall: CommentCorpusAnalysis
+
+    def render(self) -> str:
+        def row(domain: str, a: CommentCorpusAnalysis):
+            return (domain, a.posts, round(a.avg_comments_per_post),
+                    a.comments, a.unique_comments,
+                    f"{a.unique_comment_pct:.1f}", a.words, a.unique_words,
+                    f"{a.lexical_richness_pct:.1f}", f"{a.ari:.1f}",
+                    f"{a.non_dictionary_pct:.1f}")
+
+        rows = [row(domain, analysis)
+                for domain, analysis in sorted(self.per_network.items())]
+        rows.append(row("All", self.overall))
+        return format_table(
+            ["Collusion Network", "Posts", "Avg/Post", "Comments",
+             "Unique", "Unique %", "Words", "Uniq Words", "Lex Rich %",
+             "ARI", "Non-dict %"],
+            rows,
+            title="Table 6: lexical analysis of comments",
+        )
+
+
+def run(results: MilkingResults) -> Table6Result:
+    """Analyze every auto-comment network's crawled comments."""
+    per_network: Dict[str, CommentCorpusAnalysis] = {}
+    all_comments: List[str] = []
+    all_posts = 0
+    for domain, r in results.per_network.items():
+        if not r.comment_posts:
+            continue
+        per_network[domain] = analyze_comments(r.comments_received,
+                                               r.comment_posts)
+        all_comments.extend(r.comments_received)
+        all_posts += r.comment_posts
+    overall = analyze_comments(all_comments, all_posts)
+    return Table6Result(per_network=per_network, overall=overall)

@@ -1,0 +1,44 @@
+"""The Graph API: the authenticated front door to the social platform.
+
+Every third-party read/write flows through :class:`~repro.graphapi.api.GraphApi`
+carrying an access token, an optional application-secret proof and a source
+IP.  The API logs request metadata (token, user, app, IP, AS, action,
+outcome) — the observable that every §6 countermeasure operates on — and
+enforces the per-token, per-IP and per-AS limits those countermeasures
+install.
+"""
+
+from repro.graphapi.request import ApiAction, ApiRequest, ApiResponse
+from repro.graphapi.log import RequestLog, RequestRecord
+from repro.graphapi.ratelimit import (
+    SlidingWindowLimiter,
+    RateLimitPolicy,
+    DEFAULT_TOKEN_ACTIONS_PER_DAY,
+)
+from repro.graphapi.api import GraphApi
+from repro.graphapi.errors import (
+    GraphApiError,
+    PermissionDeniedError,
+    AppSecretRequiredError,
+    RateLimitExceededError,
+    IpRateLimitError,
+    BlockedSourceError,
+)
+
+__all__ = [
+    "ApiAction",
+    "ApiRequest",
+    "ApiResponse",
+    "RequestLog",
+    "RequestRecord",
+    "SlidingWindowLimiter",
+    "RateLimitPolicy",
+    "DEFAULT_TOKEN_ACTIONS_PER_DAY",
+    "GraphApi",
+    "GraphApiError",
+    "PermissionDeniedError",
+    "AppSecretRequiredError",
+    "RateLimitExceededError",
+    "IpRateLimitError",
+    "BlockedSourceError",
+]

@@ -1,0 +1,273 @@
+"""The Graph API endpoint layer.
+
+Enforcement order for write actions mirrors the real platform:
+
+1. token validity (unknown / expired / invalidated → ``invalid_token``);
+2. appsecret_proof if the app's settings require it (Fig. 2b);
+3. permission scope (``publish_actions`` for likes/comments);
+4. AS blocklist for protected apps (§6.4);
+5. per-IP like limits (§6.4);
+6. per-token action budget (§6.1);
+7. the platform write itself.
+
+Every request — successful or not — lands in the :class:`RequestLog`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.graphapi.errors import (
+    AppSecretRequiredError,
+    BlockedSourceError,
+    GraphApiError,
+    IpRateLimitError,
+    PermissionDeniedError,
+    RateLimitExceededError,
+)
+from repro.graphapi.log import RequestLog, RequestRecord
+from repro.graphapi.ratelimit import PolicyEnforcer, RateLimitPolicy
+from repro.graphapi.request import ApiAction, ApiRequest, ApiResponse
+from repro.netsim.asn import AsRegistry
+from repro.oauth.apps import ApplicationRegistry
+from repro.oauth.errors import InvalidTokenError
+from repro.oauth.proof import verify_appsecret_proof
+from repro.oauth.scopes import Permission
+from repro.oauth.tokens import AccessToken, TokenStore
+from repro.sim.clock import SimClock
+from repro.socialnet.errors import SocialNetworkError
+from repro.socialnet.platform import SocialPlatform
+
+
+class GraphApi:
+    """Authenticated API over a :class:`SocialPlatform`."""
+
+    def __init__(self, clock: SimClock, platform: SocialPlatform,
+                 apps: ApplicationRegistry, tokens: TokenStore,
+                 as_registry: Optional[AsRegistry] = None,
+                 policy: Optional[RateLimitPolicy] = None) -> None:
+        self.clock = clock
+        self.platform = platform
+        self.apps = apps
+        self.tokens = tokens
+        self.as_registry = as_registry
+        self.policy = policy or RateLimitPolicy()
+        self.enforcer = PolicyEnforcer(self.policy)
+        self.log = RequestLog()
+        #: Aggregate counters for the charge-only path (see charge_like).
+        self.charge_counters: Dict[str, int] = {}
+        # Source IPs are drawn from static pools, so IP->ASN memoizes well.
+        self._asn_cache: Dict[str, Optional[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Core dispatch
+    # ------------------------------------------------------------------
+    def execute(self, request: ApiRequest) -> ApiResponse:
+        """Validate, enforce limits, perform the action, and log it."""
+        now = self.clock.now()
+        token: Optional[AccessToken] = None
+        outcome = "ok"
+        try:
+            token = self.tokens.validate(request.access_token)
+            app = self.apps.get(token.app_id)
+            self._check_app_secret(app, request)
+            self._check_permissions(token, request.action)
+            asn = self._resolve_asn(request.source_ip)
+            if request.action.is_like and self.policy.is_as_blocked(
+                    app.app_id, asn):
+                raise BlockedSourceError(request.source_ip or "?", asn)
+            if request.action.is_like:
+                violated = self.enforcer.admit_ip_like(request.source_ip, now)
+                if violated is not None:
+                    raise IpRateLimitError(request.source_ip or "?", violated)
+            if request.action.is_write:
+                if not self.enforcer.admit_token_action(token.token, now):
+                    raise RateLimitExceededError(token.token[-6:])
+            data = self._perform(token, request)
+            return ApiResponse(action=request.action, data=data)
+        except InvalidTokenError:
+            outcome = "invalid_token"
+            raise
+        except GraphApiError as error:
+            outcome = error.code
+            raise
+        except SocialNetworkError:
+            outcome = "platform_error"
+            raise
+        finally:
+            self.log.append(RequestRecord(
+                timestamp=now,
+                action=request.action,
+                token=request.access_token,
+                user_id=token.user_id if token else None,
+                app_id=token.app_id if token else None,
+                target_id=self._target_of(request),
+                source_ip=request.source_ip,
+                asn=self._resolve_asn(request.source_ip),
+                outcome=outcome,
+            ))
+
+    def _resolve_asn(self, source_ip: Optional[str]) -> Optional[int]:
+        if source_ip is None or self.as_registry is None:
+            return None
+        cached = self._asn_cache.get(source_ip, "miss")
+        if cached != "miss":
+            return cached
+        asn = self.as_registry.asn_of(source_ip)
+        self._asn_cache[source_ip] = asn
+        return asn
+
+    @staticmethod
+    def _target_of(request: ApiRequest) -> Optional[str]:
+        for key in ("post_id", "page_id", "object_id", "app_id"):
+            if key in request.params:
+                return str(request.params[key])
+        return None
+
+    @staticmethod
+    def _check_app_secret(app, request: ApiRequest) -> None:
+        """Verify the HMAC-SHA256 appsecret_proof when required.
+
+        The raw secret is also accepted (some SDKs send it directly),
+        but a leaked bare token can produce neither.
+        """
+        if not app.security.require_app_secret:
+            return
+        proof = request.appsecret_proof
+        if proof == app.secret:
+            return
+        if not verify_appsecret_proof(app.secret, request.access_token,
+                                      proof or ""):
+            raise AppSecretRequiredError(app.app_id)
+
+    @staticmethod
+    def _check_permissions(token: AccessToken, action: ApiAction) -> None:
+        if action in (ApiAction.LIKE_POST, ApiAction.LIKE_PAGE,
+                      ApiAction.COMMENT, ApiAction.CREATE_POST):
+            if not token.grants(Permission.PUBLISH_ACTIONS):
+                raise PermissionDeniedError(
+                    Permission.PUBLISH_ACTIONS.value)
+        elif action is ApiAction.GET_PROFILE:
+            if not token.grants(Permission.PUBLIC_PROFILE):
+                raise PermissionDeniedError(Permission.PUBLIC_PROFILE.value)
+
+    def _perform(self, token: AccessToken,
+                 request: ApiRequest) -> Dict[str, Any]:
+        action = request.action
+        params = request.params
+        user_id = token.user_id
+        app_id = token.app_id
+        ip = request.source_ip
+        if action is ApiAction.GET_PROFILE:
+            return self.platform.get_account(user_id).public_profile()
+        if action is ApiAction.GET_APP_STATS:
+            app = self.apps.get(str(params["app_id"]))
+            return {
+                "id": app.app_id,
+                "name": app.name,
+                "monthly_active_users": app.monthly_active_users,
+                "daily_active_users": app.daily_active_users,
+            }
+        if action is ApiAction.GET_OBJECT_LIKES:
+            post = self.platform.get_post(str(params["post_id"]))
+            return {"post_id": post.post_id, "likers": post.liker_ids()}
+        if action is ApiAction.CREATE_POST:
+            post = self.platform.create_post(
+                user_id, str(params["text"]), via_app_id=app_id,
+                source_ip=ip)
+            return {"post_id": post.post_id}
+        if action is ApiAction.LIKE_POST:
+            like = self.platform.like_post(
+                user_id, str(params["post_id"]), via_app_id=app_id,
+                source_ip=ip)
+            return {"object_id": like.object_id, "liker_id": like.liker_id}
+        if action is ApiAction.LIKE_PAGE:
+            like = self.platform.like_page(
+                user_id, str(params["page_id"]), via_app_id=app_id,
+                source_ip=ip)
+            return {"object_id": like.object_id, "liker_id": like.liker_id}
+        if action is ApiAction.COMMENT:
+            comment = self.platform.comment_on_post(
+                user_id, str(params["post_id"]), str(params["text"]),
+                via_app_id=app_id, source_ip=ip)
+            return {"comment_id": comment.comment_id}
+        raise ValueError(f"unhandled action: {action}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Charge-only path
+    # ------------------------------------------------------------------
+    def charge_like(self, access_token: str,
+                    source_ip: Optional[str] = None,
+                    appsecret_proof: Optional[str] = None) -> None:
+        """Run the full admission path for a like without the platform
+        write.
+
+        Used to model a network's bulk workload (likes on arbitrary
+        member posts): tokens, app-secret proofs, AS blocks and IP/token
+        rate limits are all enforced and charged exactly as in
+        :meth:`execute`, but no content is materialized and nothing is
+        appended to the request log.  Aggregate volume is tracked in
+        :attr:`charge_counters`.
+        """
+        now = self.clock.now()
+        token = self.tokens.validate(access_token)
+        app = self.apps.get(token.app_id)
+        if app.security.require_app_secret and appsecret_proof != app.secret:
+            if not verify_appsecret_proof(app.secret, access_token,
+                                          appsecret_proof or ""):
+                raise AppSecretRequiredError(app.app_id)
+        if not token.grants(Permission.PUBLISH_ACTIONS):
+            raise PermissionDeniedError(Permission.PUBLISH_ACTIONS.value)
+        asn = self._resolve_asn(source_ip)
+        if self.policy.is_as_blocked(app.app_id, asn):
+            raise BlockedSourceError(source_ip or "?", asn)
+        violated = self.enforcer.admit_ip_like(source_ip, now)
+        if violated is not None:
+            raise IpRateLimitError(source_ip or "?", violated)
+        if not self.enforcer.admit_token_action(token.token, now):
+            raise RateLimitExceededError(token.token[-6:])
+        self.charge_counters["likes"] = (
+            self.charge_counters.get("likes", 0) + 1)
+
+    # ------------------------------------------------------------------
+    # Convenience wrappers
+    # ------------------------------------------------------------------
+    def get_profile(self, access_token: str,
+                    appsecret_proof: Optional[str] = None,
+                    source_ip: Optional[str] = None) -> ApiResponse:
+        return self.execute(ApiRequest(
+            ApiAction.GET_PROFILE, access_token,
+            appsecret_proof=appsecret_proof, source_ip=source_ip))
+
+    def like_post(self, access_token: str, post_id: str,
+                  appsecret_proof: Optional[str] = None,
+                  source_ip: Optional[str] = None) -> ApiResponse:
+        return self.execute(ApiRequest(
+            ApiAction.LIKE_POST, access_token, {"post_id": post_id},
+            appsecret_proof=appsecret_proof, source_ip=source_ip))
+
+    def like_page(self, access_token: str, page_id: str,
+                  appsecret_proof: Optional[str] = None,
+                  source_ip: Optional[str] = None) -> ApiResponse:
+        return self.execute(ApiRequest(
+            ApiAction.LIKE_PAGE, access_token, {"page_id": page_id},
+            appsecret_proof=appsecret_proof, source_ip=source_ip))
+
+    def comment(self, access_token: str, post_id: str, text: str,
+                appsecret_proof: Optional[str] = None,
+                source_ip: Optional[str] = None) -> ApiResponse:
+        return self.execute(ApiRequest(
+            ApiAction.COMMENT, access_token,
+            {"post_id": post_id, "text": text},
+            appsecret_proof=appsecret_proof, source_ip=source_ip))
+
+    def create_post(self, access_token: str, text: str,
+                    appsecret_proof: Optional[str] = None,
+                    source_ip: Optional[str] = None) -> ApiResponse:
+        return self.execute(ApiRequest(
+            ApiAction.CREATE_POST, access_token, {"text": text},
+            appsecret_proof=appsecret_proof, source_ip=source_ip))
+
+    def get_app_stats(self, access_token: str, app_id: str) -> ApiResponse:
+        return self.execute(ApiRequest(
+            ApiAction.GET_APP_STATS, access_token, {"app_id": app_id}))

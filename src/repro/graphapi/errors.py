@@ -1,0 +1,68 @@
+"""Graph API error hierarchy.
+
+Errors carry machine-readable ``code`` attributes because the collusion
+networks' delivery engines *react* to them (dropping dead tokens on
+``invalid_token``, backing off on ``rate_limited``) — the adaptation
+behaviour §6.1 observed in the wild.
+"""
+
+from __future__ import annotations
+
+
+class GraphApiError(Exception):
+    """Base class for Graph API request failures."""
+
+    code = "graph_api_error"
+
+
+class PermissionDeniedError(GraphApiError):
+    """Token's scope does not cover the attempted action."""
+
+    code = "permission_denied"
+
+    def __init__(self, permission: str) -> None:
+        super().__init__(f"token scope missing permission: {permission}")
+        self.permission = permission
+
+
+class AppSecretRequiredError(GraphApiError):
+    """App requires an appsecret_proof and the request lacked a valid one."""
+
+    code = "app_secret_required"
+
+    def __init__(self, app_id: str) -> None:
+        super().__init__(
+            f"application {app_id} requires a valid appsecret_proof"
+        )
+        self.app_id = app_id
+
+
+class RateLimitExceededError(GraphApiError):
+    """Per-access-token action rate limit hit (§6.1)."""
+
+    code = "rate_limited"
+
+    def __init__(self, token_suffix: str) -> None:
+        super().__init__(f"rate limit exceeded for token …{token_suffix}")
+
+
+class IpRateLimitError(GraphApiError):
+    """Per-source-IP like-request limit hit (§6.4)."""
+
+    code = "ip_rate_limited"
+
+    def __init__(self, source_ip: str, window: str) -> None:
+        super().__init__(f"{window} IP rate limit exceeded for {source_ip}")
+        self.source_ip = source_ip
+        self.window = window
+
+
+class BlockedSourceError(GraphApiError):
+    """Request from a blocked AS for a protected application (§6.4)."""
+
+    code = "blocked_source"
+
+    def __init__(self, source_ip: str, asn: int) -> None:
+        super().__init__(f"requests from AS{asn} ({source_ip}) are blocked")
+        self.source_ip = source_ip
+        self.asn = asn

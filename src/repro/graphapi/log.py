@@ -1,0 +1,81 @@
+"""Append-only Graph API request log.
+
+The log records exactly the metadata the paper's countermeasures consume:
+who (user/app/token), from where (IP/AS), what (action/target), when, and
+whether the request succeeded.  Detection algorithms (SynchroTrap) and the
+IP/AS analyses of Fig. 8 all read from here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.graphapi.request import ApiAction
+
+
+@dataclass(frozen=True, slots=True)
+class RequestRecord:
+    """One logged Graph API request."""
+
+    timestamp: int
+    action: ApiAction
+    token: str
+    user_id: Optional[str]
+    app_id: Optional[str]
+    target_id: Optional[str]
+    source_ip: Optional[str]
+    asn: Optional[int]
+    outcome: str  # "ok" or an error code
+
+
+class RequestLog:
+    """Stores request records with simple secondary indexes."""
+
+    def __init__(self) -> None:
+        self._records: List[RequestRecord] = []
+        self._by_ip: Dict[str, List[RequestRecord]] = {}
+        self._by_app: Dict[str, List[RequestRecord]] = {}
+
+    def append(self, record: RequestRecord) -> None:
+        self._records.append(record)
+        if record.source_ip is not None:
+            self._by_ip.setdefault(record.source_ip, []).append(record)
+        if record.app_id is not None:
+            self._by_app.setdefault(record.app_id, []).append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def all(self) -> List[RequestRecord]:
+        return list(self._records)
+
+    def successes(self) -> List[RequestRecord]:
+        return [r for r in self._records if r.outcome == "ok"]
+
+    def for_ip(self, source_ip: str) -> List[RequestRecord]:
+        return list(self._by_ip.get(source_ip, ()))
+
+    def for_app(self, app_id: str) -> List[RequestRecord]:
+        return list(self._by_app.get(app_id, ()))
+
+    def filter(self, predicate: Callable[[RequestRecord], bool]) -> List[RequestRecord]:
+        return [r for r in self._records if predicate(r)]
+
+    def like_requests(self, since: Optional[int] = None,
+                      successful_only: bool = True) -> List[RequestRecord]:
+        """Like-action records, optionally restricted to ``t >= since``."""
+        records = []
+        for record in self._records:
+            if not record.action.is_like:
+                continue
+            if since is not None and record.timestamp < since:
+                continue
+            if successful_only and record.outcome != "ok":
+                continue
+            records.append(record)
+        return records
+
+    def source_ips(self) -> List[str]:
+        """Distinct source IPs seen, in first-seen order."""
+        return list(self._by_ip.keys())

@@ -1,0 +1,149 @@
+"""Rate limiting primitives and the mutable platform rate-limit policy.
+
+:class:`RateLimitPolicy` is the knob panel the §6 countermeasures turn:
+the per-token action limit (§6.1), per-IP daily/weekly like limits (§6.4)
+and the AS blocklist for protected applications (§6.4).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional, Set
+
+from repro.sim.clock import DAY
+
+#: Facebook's baseline per-token write budget.  Generous enough that the
+#: paper observes collusion traffic "slips under the current rate limit".
+DEFAULT_TOKEN_ACTIONS_PER_DAY = 600
+
+#: §6.1: "we reduce the rate limit by more than an order of magnitude".
+REDUCED_TOKEN_ACTIONS_PER_DAY = 40
+
+
+class SlidingWindowLimiter:
+    """Counts events per key within a sliding time window.
+
+    ``allow(key, now)`` answers whether one more event fits under
+    ``limit``; ``hit(key, now)`` records the event.  Old timestamps are
+    evicted lazily per key.
+    """
+
+    def __init__(self, limit: int, window_seconds: int) -> None:
+        if limit <= 0:
+            raise ValueError(f"limit must be positive, got {limit}")
+        if window_seconds <= 0:
+            raise ValueError(f"window must be positive, got {window_seconds}")
+        self.limit = limit
+        self.window_seconds = window_seconds
+        self._events: Dict[str, Deque[int]] = {}
+
+    def _evict(self, key: str, now: int) -> Deque[int]:
+        events = self._events.setdefault(key, deque())
+        horizon = now - self.window_seconds
+        while events and events[0] <= horizon:
+            events.popleft()
+        return events
+
+    def usage(self, key: str, now: int) -> int:
+        """Events currently counted against ``key``."""
+        return len(self._evict(key, now))
+
+    def allow(self, key: str, now: int) -> bool:
+        return len(self._evict(key, now)) < self.limit
+
+    def hit(self, key: str, now: int) -> None:
+        self._evict(key, now).append(now)
+
+    def try_acquire(self, key: str, now: int) -> bool:
+        """Atomically check-and-record; True if the event was admitted."""
+        events = self._evict(key, now)
+        if len(events) >= self.limit:
+            return False
+        events.append(now)
+        return True
+
+
+@dataclass
+class RateLimitPolicy:
+    """The platform's mutable abuse-limit configuration.
+
+    All limits default to "off" (None) except the per-token budget, which
+    models Facebook's always-on baseline limit.
+    """
+
+    token_actions_per_day: int = DEFAULT_TOKEN_ACTIONS_PER_DAY
+    ip_likes_per_day: Optional[int] = None
+    ip_likes_per_week: Optional[int] = None
+    #: ASes whose like requests are blocked, per protected app id.  The
+    #: paper scopes AS blocking to the susceptible applications only, "to
+    #: mitigate the risk of collateral damage to other applications".
+    blocked_asns_by_app: Dict[str, Set[int]] = field(default_factory=dict)
+
+    def block_as_for_app(self, app_id: str, asn: int) -> None:
+        self.blocked_asns_by_app.setdefault(app_id, set()).add(asn)
+
+    def is_as_blocked(self, app_id: str, asn: Optional[int]) -> bool:
+        if asn is None:
+            return False
+        return asn in self.blocked_asns_by_app.get(app_id, ())
+
+
+class PolicyEnforcer:
+    """Binds a :class:`RateLimitPolicy` to concrete sliding-window state.
+
+    Rebuilds windows when the policy's numeric limits change (the
+    countermeasure campaign lowers the token limit mid-flight).
+    """
+
+    def __init__(self, policy: RateLimitPolicy) -> None:
+        self.policy = policy
+        self._token_limiter = SlidingWindowLimiter(
+            policy.token_actions_per_day, DAY)
+        self._ip_day_limiter: Optional[SlidingWindowLimiter] = None
+        self._ip_week_limiter: Optional[SlidingWindowLimiter] = None
+        self._sync()
+
+    def _sync(self) -> None:
+        if self._token_limiter.limit != self.policy.token_actions_per_day:
+            self._token_limiter = SlidingWindowLimiter(
+                self.policy.token_actions_per_day, DAY)
+        if self.policy.ip_likes_per_day is None:
+            self._ip_day_limiter = None
+        elif (self._ip_day_limiter is None
+              or self._ip_day_limiter.limit != self.policy.ip_likes_per_day):
+            self._ip_day_limiter = SlidingWindowLimiter(
+                self.policy.ip_likes_per_day, DAY)
+        if self.policy.ip_likes_per_week is None:
+            self._ip_week_limiter = None
+        elif (self._ip_week_limiter is None
+              or self._ip_week_limiter.limit != self.policy.ip_likes_per_week):
+            self._ip_week_limiter = SlidingWindowLimiter(
+                self.policy.ip_likes_per_week, 7 * DAY)
+
+    def admit_token_action(self, token: str, now: int) -> bool:
+        """Check-and-record one write action for ``token``."""
+        self._sync()
+        return self._token_limiter.try_acquire(token, now)
+
+    def admit_ip_like(self, source_ip: Optional[str], now: int) -> Optional[str]:
+        """Check-and-record one like from ``source_ip``.
+
+        Returns None if admitted, otherwise the name of the violated
+        window ("daily" / "weekly").  Requests without a source IP are
+        never IP-limited.
+        """
+        self._sync()
+        if source_ip is None:
+            return None
+        if (self._ip_day_limiter is not None
+                and not self._ip_day_limiter.allow(source_ip, now)):
+            return "daily"
+        if (self._ip_week_limiter is not None
+                and not self._ip_week_limiter.allow(source_ip, now)):
+            return "weekly"
+        if self._ip_day_limiter is not None:
+            self._ip_day_limiter.hit(source_ip, now)
+        if self._ip_week_limiter is not None:
+            self._ip_week_limiter.hit(source_ip, now)
+        return None

@@ -1,0 +1,52 @@
+"""Request/response objects for the Graph API."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+class ApiAction(enum.Enum):
+    """The Graph API operations the reproduction exercises."""
+
+    GET_PROFILE = "get_profile"
+    GET_APP_STATS = "get_app_stats"
+    GET_OBJECT_LIKES = "get_object_likes"
+    CREATE_POST = "create_post"
+    LIKE_POST = "like_post"
+    LIKE_PAGE = "like_page"
+    COMMENT = "comment"
+
+    @property
+    def is_write(self) -> bool:
+        return self in (ApiAction.CREATE_POST, ApiAction.LIKE_POST,
+                        ApiAction.LIKE_PAGE, ApiAction.COMMENT)
+
+    @property
+    def is_like(self) -> bool:
+        return self in (ApiAction.LIKE_POST, ApiAction.LIKE_PAGE)
+
+
+@dataclass(frozen=True)
+class ApiRequest:
+    """One Graph API call.
+
+    ``appsecret_proof`` carries the application secret when the app's
+    settings demand it (Fig. 2b); ``source_ip`` is the network origin the
+    platform sees.
+    """
+
+    action: ApiAction
+    access_token: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    appsecret_proof: Optional[str] = None
+    source_ip: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ApiResponse:
+    """A successful Graph API result."""
+
+    action: ApiAction
+    data: Dict[str, Any] = field(default_factory=dict)

@@ -1,0 +1,30 @@
+"""Honeypot infrastructure: bait accounts that join collusion networks and
+"milk" them by repeatedly requesting likes/comments (§4).
+
+The milking driver automates the workflow the paper scripted with Selenium
+and a CAPTCHA-solving service; the crawler plays the role of the periodic
+timeline/activity-log crawls; the ledger accumulates the colluding accounts
+observed — the input to the §6.2 token-invalidation countermeasure.
+"""
+
+from repro.honeypot.captcha import CaptchaSolvingService
+from repro.honeypot.ledger import MilkedTokenLedger, Observation
+from repro.honeypot.account import HoneypotAccount
+from repro.honeypot.crawler import TimelineCrawler, OutgoingActivitySummary
+from repro.honeypot.milker import (
+    MilkingCampaign,
+    MilkingResults,
+    NetworkMilkingResult,
+)
+
+__all__ = [
+    "CaptchaSolvingService",
+    "MilkedTokenLedger",
+    "Observation",
+    "HoneypotAccount",
+    "TimelineCrawler",
+    "OutgoingActivitySummary",
+    "MilkingCampaign",
+    "MilkingResults",
+    "NetworkMilkingResult",
+]

@@ -1,0 +1,39 @@
+"""Honeypot accounts: freshly registered accounts we control.
+
+A honeypot account joins exactly one collusion network and performs no
+activity of its own, so everything that happens *to* it (incoming likes)
+and everything performed *by* it (the network spending its token) is
+attributable to that network (§4, footnote 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class HoneypotAccount:
+    """One honeypot bound to one collusion network."""
+
+    account_id: str
+    network_domain: str
+    joined_at: int
+    like_post_ids: List[str] = field(default_factory=list)
+    comment_post_ids: List[str] = field(default_factory=list)
+
+    @property
+    def posts_submitted(self) -> int:
+        return len(self.like_post_ids)
+
+
+def create_honeypot(world, network, name: Optional[str] = None) -> HoneypotAccount:
+    """Register a fresh account and join it to ``network``."""
+    account = world.platform.register_account(
+        name or f"Honeypot ({network.domain})", is_honeypot=True)
+    network.join(account.account_id)
+    return HoneypotAccount(
+        account_id=account.account_id,
+        network_domain=network.domain,
+        joined_at=world.clock.now(),
+    )

@@ -1,0 +1,32 @@
+"""A Death-by-Captcha-style solving service client (§4: the milking
+pipeline is fully automated by outsourcing CAPTCHA solving)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CaptchaSolvingService:
+    """Tracks CAPTCHA-solving usage and cost.
+
+    ``price_per_solve_usd`` defaults to Death by Captcha's contemporary
+    rate (~$1.39 per thousand).
+    """
+
+    price_per_solve_usd: float = 0.00139
+    solved: int = 0
+    failed: int = 0
+    success_rate: float = 0.995
+
+    def solve(self, challenge_id: int, rng=None) -> bool:
+        """Submit a CAPTCHA; returns True when the service solves it."""
+        if rng is not None and rng.random() > self.success_rate:
+            self.failed += 1
+            return False
+        self.solved += 1
+        return True
+
+    @property
+    def total_cost_usd(self) -> float:
+        return self.solved * self.price_per_solve_usd

@@ -1,0 +1,97 @@
+"""The ledger of colluding accounts observed by honeypots.
+
+Every like/comment crawled from a honeypot timeline identifies a colluding
+account (and the exploited application it acted through).  The ledger is
+the honeypots' institutional memory: countermeasures invalidate "all
+tokens observed till day N" or "tokens newly observed each day" straight
+from here (§6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+
+@dataclass
+class Observation:
+    """First/last sighting of one colluding account."""
+
+    account_id: str
+    app_id: Optional[str]
+    first_seen: int
+    last_seen: int
+    networks: Set[str]
+    sightings: int = 1
+
+
+class MilkedTokenLedger:
+    """Accumulates account observations with by-day indexes."""
+
+    def __init__(self) -> None:
+        self._observations: Dict[str, Observation] = {}
+        self._new_by_day: Dict[int, List[str]] = {}
+        self._seen_by_day: Dict[int, Set[str]] = {}
+
+    def __len__(self) -> int:
+        return len(self._observations)
+
+    def observe(self, account_id: str, network: str, timestamp: int,
+                day: int, app_id: Optional[str] = None) -> Observation:
+        """Record a sighting of ``account_id`` acting for ``network``."""
+        self._seen_by_day.setdefault(day, set()).add(account_id)
+        obs = self._observations.get(account_id)
+        if obs is None:
+            obs = Observation(account_id=account_id, app_id=app_id,
+                              first_seen=timestamp, last_seen=timestamp,
+                              networks={network})
+            self._observations[account_id] = obs
+            self._new_by_day.setdefault(day, []).append(account_id)
+        else:
+            obs.last_seen = max(obs.last_seen, timestamp)
+            obs.networks.add(network)
+            obs.sightings += 1
+            if app_id is not None and obs.app_id is None:
+                obs.app_id = app_id
+        return obs
+
+    def get(self, account_id: str) -> Optional[Observation]:
+        return self._observations.get(account_id)
+
+    def accounts(self) -> List[str]:
+        """Every account ever observed, in first-seen order."""
+        ordered: List[str] = []
+        for day in sorted(self._new_by_day):
+            ordered.extend(self._new_by_day[day])
+        return ordered
+
+    def accounts_for_network(self, network: str) -> List[str]:
+        return [a for a, obs in self._observations.items()
+                if network in obs.networks]
+
+    def newly_observed_on(self, day: int) -> List[str]:
+        """Accounts first seen on simulation day ``day``."""
+        return list(self._new_by_day.get(day, ()))
+
+    def observed_on(self, day: int) -> List[str]:
+        """Accounts seen *acting* on simulation day ``day``.
+
+        This is the token-level view of "newly observed": an account that
+        was milked before, had its token invalidated, and re-joined with a
+        fresh token shows up here again on the day the fresh token acts.
+        """
+        return sorted(self._seen_by_day.get(day, ()))
+
+    def observed_until(self, day: int) -> List[str]:
+        """Accounts first seen on or before ``day``."""
+        ordered: List[str] = []
+        for d in sorted(self._new_by_day):
+            if d > day:
+                break
+            ordered.extend(self._new_by_day[d])
+        return ordered
+
+    def multi_network_accounts(self) -> List[str]:
+        """Accounts seen acting for more than one collusion network."""
+        return [a for a, obs in self._observations.items()
+                if len(obs.networks) > 1]

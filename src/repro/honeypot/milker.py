@@ -1,0 +1,260 @@
+"""The milking campaign driver (§4).
+
+Runs the three-month measurement: one honeypot per collusion network posts
+status updates, requests likes (and comments where offered), and crawls
+the results daily.  Meanwhile each network keeps spending the honeypots'
+tokens on other members' requests, producing the outgoing-activity data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.collusion.ecosystem import CollusionEcosystem
+from repro.collusion.network import CollusionNetwork
+from repro.honeypot.account import HoneypotAccount, create_honeypot
+from repro.honeypot.captcha import CaptchaSolvingService
+from repro.honeypot.crawler import OutgoingActivitySummary, TimelineCrawler
+from repro.honeypot.ledger import MilkedTokenLedger
+from repro.sim.clock import DAY, HOUR
+
+
+@dataclass
+class NetworkMilkingResult:
+    """Everything Table 4 / Fig. 4 / Table 6 need for one network."""
+
+    domain: str
+    honeypot: HoneypotAccount
+    posts_submitted: int = 0
+    likes_received: int = 0
+    likes_per_post: List[int] = field(default_factory=list)
+    cumulative_unique: List[int] = field(default_factory=list)
+    unique_accounts: Set[str] = field(default_factory=set)
+    comment_posts: int = 0
+    comments_received: List[str] = field(default_factory=list)
+    outgoing: Optional[OutgoingActivitySummary] = None
+
+    @property
+    def membership_estimate(self) -> int:
+        return len(self.unique_accounts)
+
+    @property
+    def avg_likes_per_post(self) -> float:
+        if not self.posts_submitted:
+            return 0.0
+        return self.likes_received / self.posts_submitted
+
+
+@dataclass
+class MilkingResults:
+    """Campaign-wide results plus shared instrumentation."""
+
+    per_network: Dict[str, NetworkMilkingResult]
+    ledger: MilkedTokenLedger
+    captcha: CaptchaSolvingService
+    days: int
+
+    def total_posts(self) -> int:
+        return sum(r.posts_submitted for r in self.per_network.values())
+
+    def total_likes(self) -> int:
+        return sum(r.likes_received for r in self.per_network.values())
+
+    def total_memberships(self) -> int:
+        return sum(r.membership_estimate
+                   for r in self.per_network.values())
+
+    def unique_accounts(self) -> int:
+        seen: Set[str] = set()
+        for result in self.per_network.values():
+            seen |= result.unique_accounts
+        return len(seen)
+
+
+class MilkingCampaign:
+    """Drives honeypots against a built ecosystem for N days."""
+
+    def __init__(self, world, ecosystem: CollusionEcosystem,
+                 networks: Optional[Sequence[str]] = None,
+                 captcha: Optional[CaptchaSolvingService] = None) -> None:
+        self.world = world
+        self.ecosystem = ecosystem
+        self.rng = world.rng.stream("milking")
+        self.captcha = captcha or CaptchaSolvingService()
+        self.ledger = MilkedTokenLedger()
+        self.crawler = TimelineCrawler(world, self.ledger)
+        domains = list(networks) if networks else list(ecosystem.networks)
+        self.honeypots: Dict[str, HoneypotAccount] = {}
+        self.results: Dict[str, NetworkMilkingResult] = {}
+        for domain in domains:
+            network = ecosystem.network(domain)
+            honeypot = create_honeypot(world, network)
+            self.honeypots[domain] = honeypot
+            self.results[domain] = NetworkMilkingResult(
+                domain=domain, honeypot=honeypot)
+
+    # ------------------------------------------------------------------
+    # Workload planning
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _spread(total: int, days: int) -> List[int]:
+        """Distribute ``total`` requests across ``days`` as evenly as the
+        integers allow (front-loading the remainder)."""
+        if days <= 0:
+            raise ValueError("days must be positive")
+        base, extra = divmod(total, days)
+        return [base + (1 if d < extra else 0) for d in range(days)]
+
+    def _plan(self, days: int) -> Dict[str, Dict[str, List[int]]]:
+        scale = self.world.config.scale
+        plan: Dict[str, Dict[str, List[int]]] = {}
+        for domain in self.honeypots:
+            profile = self.ecosystem.network(domain).profile
+            posts = self.world.config.scaled(profile.posts_milked)
+            # Keep a meaningful comment sample even at tiny scales: the
+            # Table 6 statistics need a few hundred comments to converge
+            # (the paper itself used >=96 posts per network).
+            comment_posts = (
+                self.world.config.scaled(profile.comment_posts_milked,
+                                         minimum=50)
+                if profile.comment_style is not None else 0)
+            outgoing = self.world.config.scaled(
+                profile.outgoing_activities, minimum=0)
+            plan[domain] = {
+                "likes": self._spread(posts, days),
+                "comments": self._spread(comment_posts, days),
+                "outgoing": self._spread(outgoing, days),
+            }
+        return plan
+
+    # ------------------------------------------------------------------
+    # Campaign execution
+    # ------------------------------------------------------------------
+    def run(self, days: Optional[int] = None) -> MilkingResults:
+        days = days or self.world.config.milking_days
+        plan = self._plan(days)
+        for day in range(days):
+            self._run_day(day, plan)
+        self._finalize()
+        return MilkingResults(per_network=self.results, ledger=self.ledger,
+                              captcha=self.captcha, days=days)
+
+    def _run_day(self, day_index: int,
+                 plan: Dict[str, Dict[str, List[int]]]) -> None:
+        world = self.world
+        day_start = world.clock.now()
+        # Schedule the day's honeypot requests and background token usage
+        # at jittered times so activity interleaves across networks.
+        for domain, quotas in plan.items():
+            network = self.ecosystem.network(domain)
+            honeypot = self.honeypots[domain]
+            self._schedule_like_requests(
+                network, honeypot, quotas["likes"][day_index], day_start)
+            self._schedule_comment_requests(
+                network, honeypot, quotas["comments"][day_index], day_start)
+            self._schedule_background(
+                network, honeypot, quotas["outgoing"][day_index], day_start)
+        world.scheduler.run_until(day_start + DAY - 1)
+        # End of day: crawl and housekeeping.
+        for domain, honeypot in self.honeypots.items():
+            self.crawler.crawl_incoming(honeypot)
+        for network in self.ecosystem.networks.values():
+            network.daily_tick()
+        world.clock.advance_to(day_start + DAY)
+
+    def _schedule_like_requests(self, network: CollusionNetwork,
+                                honeypot: HoneypotAccount, count: int,
+                                day_start: int) -> None:
+        times = self._request_times(network, count, day_start)
+        for when in times:
+            self.world.scheduler.at(
+                when,
+                lambda n=network, h=honeypot: self._submit_like_request(n, h),
+                label=f"like-req:{network.domain}")
+
+    def _schedule_comment_requests(self, network: CollusionNetwork,
+                                   honeypot: HoneypotAccount, count: int,
+                                   day_start: int) -> None:
+        times = self._request_times(network, count, day_start)
+        for when in times:
+            self.world.scheduler.at(
+                when,
+                lambda n=network, h=honeypot: self._submit_comment_request(
+                    n, h),
+                label=f"comment-req:{network.domain}")
+
+    def _schedule_background(self, network: CollusionNetwork,
+                             honeypot: HoneypotAccount, count: int,
+                             day_start: int) -> None:
+        for _ in range(count):
+            when = day_start + self.rng.randrange(DAY - 60)
+            self.world.scheduler.at(
+                when,
+                lambda n=network, h=honeypot:
+                    n.use_member_token_for_background(h.account_id, 1),
+                label=f"background:{network.domain}")
+
+    def _request_times(self, network: CollusionNetwork, count: int,
+                       day_start: int) -> List[int]:
+        """Request times honoring the network's inter-request delays."""
+        if count <= 0:
+            return []
+        gate = network.profile.gate
+        times: List[int] = []
+        cursor = day_start + self.rng.randrange(1, HOUR)
+        for _ in range(count):
+            times.append(cursor)
+            cursor += gate.delay_for(self.rng) + self.rng.randrange(60)
+        horizon = day_start + DAY - 60
+        return [min(t, horizon) for t in times]
+
+    def _clear_gate(self, network: CollusionNetwork) -> bool:
+        """Solve the CAPTCHA / traverse redirects guarding a request."""
+        gate = network.profile.gate
+        if gate.captcha_required:
+            if not self.captcha.solve(self.captcha.solved + 1, self.rng):
+                return False
+        return True
+
+    def _submit_like_request(self, network: CollusionNetwork,
+                             honeypot: HoneypotAccount) -> None:
+        if not self._clear_gate(network):
+            return
+        result = self.results[network.domain]
+        post = self.world.platform.create_post(
+            honeypot.account_id,
+            f"status update #{result.posts_submitted + 1}")
+        honeypot.like_post_ids.append(post.post_id)
+        report = network.submit_like_request(honeypot.account_id,
+                                             post.post_id)
+        result.posts_submitted += 1
+        result.likes_received += report.delivered
+        result.likes_per_post.append(report.delivered)
+        likers = self.world.platform.get_post(post.post_id).liker_ids()
+        result.unique_accounts.update(likers)
+        result.cumulative_unique.append(len(result.unique_accounts))
+
+    def _submit_comment_request(self, network: CollusionNetwork,
+                                honeypot: HoneypotAccount) -> None:
+        if not self._clear_gate(network):
+            return
+        result = self.results[network.domain]
+        post = self.world.platform.create_post(
+            honeypot.account_id,
+            f"comment bait #{result.comment_posts + 1}")
+        honeypot.comment_post_ids.append(post.post_id)
+        network.submit_comment_request(honeypot.account_id, post.post_id)
+        result.comment_posts += 1
+        fetched = self.world.platform.get_post(post.post_id)
+        result.comments_received.extend(
+            c.text for c in fetched.comments)
+        # Commenting accounts feed the ledger via the crawler, but the
+        # paper's membership estimate counts only accounts that *like*
+        # honeypot posts (S4.1), so they stay out of unique_accounts.
+
+    def _finalize(self) -> None:
+        for domain, honeypot in self.honeypots.items():
+            self.crawler.crawl_incoming(honeypot)
+            self.results[domain].outgoing = self.crawler.crawl_outgoing(
+                honeypot)

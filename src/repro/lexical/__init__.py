@@ -1,0 +1,24 @@
+"""Lexical analysis of collusion-network comments (Table 6).
+
+Provides tokenization, lexical richness, the Automated Readability Index
+and dictionary-word classification against an embedded English wordlist.
+"""
+
+from repro.lexical.analysis import (
+    CommentCorpusAnalysis,
+    analyze_comments,
+    lexical_richness,
+    tokenize,
+)
+from repro.lexical.ari import automated_readability_index
+from repro.lexical.wordlist import english_words, is_dictionary_word
+
+__all__ = [
+    "CommentCorpusAnalysis",
+    "analyze_comments",
+    "lexical_richness",
+    "tokenize",
+    "automated_readability_index",
+    "english_words",
+    "is_dictionary_word",
+]

@@ -1,0 +1,71 @@
+"""Corpus-level lexical analysis (the Table 6 columns)."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.lexical.ari import corpus_ari
+from repro.lexical.wordlist import is_dictionary_word, normalize_token
+
+_WORD_CHARS = re.compile(r"[A-Za-z0-9]")
+
+
+def tokenize(text: str) -> List[str]:
+    """Whitespace tokens that contain at least one word character."""
+    return [t for t in text.split() if _WORD_CHARS.search(t)]
+
+
+def lexical_richness(tokens: Sequence[str]) -> float:
+    """Fraction of unique (normalized) words among all words."""
+    words = [normalize_token(t) for t in tokens]
+    words = [w for w in words if w]
+    if not words:
+        return 0.0
+    return len(set(words)) / len(words)
+
+
+@dataclass(frozen=True)
+class CommentCorpusAnalysis:
+    """One Table 6 row."""
+
+    posts: int
+    comments: int
+    avg_comments_per_post: float
+    unique_comments: int
+    unique_comment_pct: float
+    words: int
+    unique_words: int
+    lexical_richness_pct: float
+    ari: float
+    non_dictionary_pct: float
+
+
+def analyze_comments(comments: Sequence[str],
+                     posts: int) -> CommentCorpusAnalysis:
+    """Compute the full Table 6 statistics for one network's comments."""
+    comments = list(comments)
+    all_tokens: List[str] = []
+    for comment in comments:
+        all_tokens.extend(tokenize(comment))
+    normalized = [normalize_token(t) for t in all_tokens]
+    normalized = [w for w in normalized if w]
+    unique_words = set(normalized)
+    non_dictionary = [w for w in normalized if not is_dictionary_word(w)]
+    unique_comments = len(set(comments))
+    return CommentCorpusAnalysis(
+        posts=posts,
+        comments=len(comments),
+        avg_comments_per_post=(len(comments) / posts if posts else 0.0),
+        unique_comments=unique_comments,
+        unique_comment_pct=(100.0 * unique_comments / len(comments)
+                            if comments else 0.0),
+        words=len(normalized),
+        unique_words=len(unique_words),
+        lexical_richness_pct=(100.0 * len(unique_words) / len(normalized)
+                              if normalized else 0.0),
+        ari=corpus_ari(comments),
+        non_dictionary_pct=(100.0 * len(non_dictionary) / len(normalized)
+                            if normalized else 0.0),
+    )

@@ -1,0 +1,58 @@
+"""The Automated Readability Index (Smith & Senter, 1967).
+
+ARI = 4.71 * (characters / words) + 0.5 * (words / sentences) - 21.43
+
+The paper uses ARI to show that collusion-network comments score oddly
+high not because they are sophisticated but because of elongated words,
+run-on punctuation and nonsense strings inflating character counts.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+_SENTENCE_SPLIT = re.compile(r"[.!?]+")
+_WORD_CHARS = re.compile(r"[A-Za-z0-9]")
+
+
+def count_sentences(text: str) -> int:
+    """Sentence count: terminator-delimited chunks with any word chars."""
+    chunks = [c for c in _SENTENCE_SPLIT.split(text)
+              if _WORD_CHARS.search(c)]
+    return max(1, len(chunks))
+
+
+def automated_readability_index(text: str) -> float:
+    """ARI of ``text``; 0.0 for empty/wordless input."""
+    words = [w for w in text.split() if _WORD_CHARS.search(w)]
+    if not words:
+        return 0.0
+    characters = sum(len(_WORD_CHARS.findall(w)) for w in words)
+    sentences = count_sentences(text)
+    return (4.71 * (characters / len(words))
+            + 0.5 * (len(words) / sentences)
+            - 21.43)
+
+
+def corpus_ari(texts: Sequence[str]) -> float:
+    """ARI of a whole corpus, computed over the concatenation with each
+    comment treated as (at least) one sentence."""
+    texts = [t for t in texts if t.strip()]
+    if not texts:
+        return 0.0
+    words = 0
+    characters = 0
+    sentences = 0
+    for text in texts:
+        toks = [w for w in text.split() if _WORD_CHARS.search(w)]
+        if not toks:
+            continue
+        words += len(toks)
+        characters += sum(len(_WORD_CHARS.findall(w)) for w in toks)
+        sentences += count_sentences(text)
+    if not words:
+        return 0.0
+    return (4.71 * (characters / words)
+            + 0.5 * (words / max(1, sentences))
+            - 21.43)

@@ -1,0 +1,45 @@
+"""An embedded English wordlist (the NLTK-dictionary stand-in).
+
+The paper checks comment tokens against an English dictionary to measure
+the non-dictionary share (~20%).  We embed a compact common-word list —
+enough to classify ordinary praise vocabulary as English while leet
+("gr8"), elongations ("bravooooo"), transliterations and nonsense strings
+fall outside it.
+"""
+
+from __future__ import annotations
+
+import functools
+import re
+from pathlib import Path
+from typing import FrozenSet
+
+_DATA_FILE = Path(__file__).parent / "data" / "english_words.txt"
+_NORMALIZE = re.compile(r"[^a-z]")
+
+
+@functools.lru_cache(maxsize=1)
+def english_words() -> FrozenSet[str]:
+    """The embedded dictionary, lower-cased."""
+    words = set()
+    with open(_DATA_FILE, encoding="utf-8") as handle:
+        for line in handle:
+            word = line.strip().lower()
+            if word and not word.startswith("#"):
+                words.add(word)
+    return frozenset(words)
+
+
+def normalize_token(token: str) -> str:
+    """Strip punctuation/digits and lower-case a token."""
+    return _NORMALIZE.sub("", token.lower())
+
+
+def is_dictionary_word(token: str) -> bool:
+    """Whether ``token`` (after normalization) is in the dictionary.
+
+    Tokens that normalize to nothing (pure punctuation/emoji) are not
+    counted as words at all and return False.
+    """
+    word = normalize_token(token)
+    return bool(word) and word in english_words()

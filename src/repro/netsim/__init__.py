@@ -1,0 +1,23 @@
+"""Network substrate: IPv4 addresses, autonomous systems, geolocation.
+
+Graph API requests carry a source IP; the countermeasures of §6.4 rate-limit
+by IP and block by AS, so the simulator needs a working IP→AS mapping and
+per-network IP pools (official-liker.net used a handful of IPs, hublaa.me a
+pool of >6,000 across two bulletproof-hosting ASes).
+"""
+
+from repro.netsim.ip import IPv4Address, ip_to_int, int_to_ip
+from repro.netsim.asn import AutonomousSystem, AsRegistry
+from repro.netsim.geo import GeoDatabase
+from repro.netsim.pools import IpPool, IpPoolAllocator
+
+__all__ = [
+    "IPv4Address",
+    "ip_to_int",
+    "int_to_ip",
+    "AutonomousSystem",
+    "AsRegistry",
+    "GeoDatabase",
+    "IpPool",
+    "IpPoolAllocator",
+]

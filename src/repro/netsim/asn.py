@@ -1,0 +1,77 @@
+"""Autonomous systems and the IP→AS mapping."""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.netsim.ip import IPv4Address, cidr_range, ip_to_int
+
+
+@dataclass(frozen=True)
+class AutonomousSystem:
+    """An AS with an operator classification.
+
+    ``is_bulletproof`` marks the bulletproof-hosting providers (§6.4,
+    citing Alrwais et al.) that hublaa.me's 6,000-IP pool lived in.
+    """
+
+    asn: int
+    name: str
+    country: str = "US"
+    is_bulletproof: bool = False
+
+
+class AsRegistry:
+    """Registers ASes with their CIDR prefixes and resolves IPs to ASes."""
+
+    def __init__(self) -> None:
+        self._systems: Dict[int, AutonomousSystem] = {}
+        # Sorted, non-overlapping (start, end, asn) ranges.
+        self._ranges: List[Tuple[int, int, int]] = []
+        self._starts: List[int] = []
+
+    def register(self, asn: int, name: str, country: str = "US",
+                 is_bulletproof: bool = False) -> AutonomousSystem:
+        if asn in self._systems:
+            raise ValueError(f"AS{asn} already registered")
+        system = AutonomousSystem(asn=asn, name=name, country=country,
+                                  is_bulletproof=is_bulletproof)
+        self._systems[asn] = system
+        return system
+
+    def get(self, asn: int) -> AutonomousSystem:
+        system = self._systems.get(asn)
+        if system is None:
+            raise KeyError(f"unknown AS{asn}")
+        return system
+
+    def announce(self, asn: int, base: IPv4Address, prefix_len: int) -> None:
+        """Attach the prefix ``base/prefix_len`` to AS ``asn``."""
+        self.get(asn)  # validate existence
+        start, end = cidr_range(base, prefix_len)
+        insert_at = bisect.bisect_left(self._starts, start)
+        neighbours = self._ranges[max(0, insert_at - 1):insert_at + 1]
+        for other_start, other_end, _ in neighbours:
+            if start <= other_end and other_start <= end:
+                raise ValueError(
+                    f"prefix {base}/{prefix_len} overlaps an announced range"
+                )
+        self._ranges.insert(insert_at, (start, end, asn))
+        self._starts.insert(insert_at, start)
+
+    def lookup(self, address: IPv4Address) -> Optional[AutonomousSystem]:
+        """Resolve an IP to its announcing AS (None if unannounced)."""
+        value = ip_to_int(address)
+        idx = bisect.bisect_right(self._starts, value) - 1
+        if idx < 0:
+            return None
+        start, end, asn = self._ranges[idx]
+        if start <= value <= end:
+            return self._systems[asn]
+        return None
+
+    def asn_of(self, address: IPv4Address) -> Optional[int]:
+        system = self.lookup(address)
+        return system.asn if system else None

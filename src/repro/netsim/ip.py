@@ -1,0 +1,40 @@
+"""IPv4 address handling.
+
+Addresses are plain dotted-quad strings at module boundaries (that is what
+request logs store) with integer helpers for range math.
+"""
+
+from __future__ import annotations
+
+IPv4Address = str
+
+
+def ip_to_int(address: IPv4Address) -> int:
+    """Convert ``"1.2.3.4"`` to its 32-bit integer value."""
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IPv4 address: {address!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"malformed IPv4 address: {address!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> IPv4Address:
+    """Convert a 32-bit integer to dotted-quad form."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"out of IPv4 range: {value}")
+    return ".".join(str((value >> shift) & 0xFF)
+                    for shift in (24, 16, 8, 0))
+
+
+def cidr_range(base: IPv4Address, prefix_len: int) -> tuple:
+    """Return the (first, last) integer addresses of ``base/prefix_len``."""
+    if not 0 <= prefix_len <= 32:
+        raise ValueError(f"bad prefix length: {prefix_len}")
+    size = 1 << (32 - prefix_len)
+    start = ip_to_int(base) & ~(size - 1)
+    return start, start + size - 1

@@ -1,0 +1,82 @@
+"""IP pool allocation for services.
+
+Each collusion network sends its Graph API traffic from a pool of source
+IPs.  The pool size is the decisive variable in §6.4: networks with a few
+IPs die to per-IP rate limits; hublaa.me's >6,000-address pool across two
+bulletproof ASes required AS-level blocking.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.netsim.asn import AsRegistry
+from repro.netsim.ip import IPv4Address, int_to_ip, ip_to_int
+
+
+@dataclass
+class IpPool:
+    """A named set of source addresses a service rotates through."""
+
+    name: str
+    addresses: List[IPv4Address]
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    def pick(self, rng: random.Random) -> IPv4Address:
+        """Choose a source address uniformly at random."""
+        if not self.addresses:
+            raise ValueError(f"IP pool {self.name!r} is empty")
+        return rng.choice(self.addresses)
+
+
+class IpPoolAllocator:
+    """Carves sequential addresses for pools out of announced prefixes."""
+
+    def __init__(self, registry: AsRegistry) -> None:
+        self._registry = registry
+        self._next_offset: dict = {}
+
+    def allocate(self, name: str, base: IPv4Address, count: int,
+                 asn: Optional[int] = None) -> IpPool:
+        """Allocate ``count`` sequential addresses starting at ``base``.
+
+        If ``asn`` is given, every allocated address must resolve to that
+        AS — a sanity check that the caller announced the prefix first.
+        """
+        if count <= 0:
+            raise ValueError(f"pool size must be positive, got {count}")
+        start = self._next_offset.get(base, ip_to_int(base))
+        addresses = [int_to_ip(start + i) for i in range(count)]
+        self._next_offset[base] = start + count
+        if asn is not None:
+            for address in (addresses[0], addresses[-1]):
+                resolved = self._registry.asn_of(address)
+                if resolved != asn:
+                    raise ValueError(
+                        f"{address} resolves to AS{resolved}, expected "
+                        f"AS{asn}; announce the prefix before allocating"
+                    )
+        return IpPool(name=name, addresses=addresses)
+
+    def allocate_split(self, name: str, bases: Sequence[IPv4Address],
+                       count: int) -> IpPool:
+        """Allocate ``count`` addresses split evenly across ``bases``.
+
+        Used for hublaa.me's pool, which spans two ASes.
+        """
+        if not bases:
+            raise ValueError("need at least one base prefix")
+        per_base = count // len(bases)
+        remainder = count % len(bases)
+        addresses: List[IPv4Address] = []
+        for i, base in enumerate(bases):
+            take = per_base + (1 if i < remainder else 0)
+            if take:
+                addresses.extend(
+                    self.allocate(f"{name}[{i}]", base, take).addresses
+                )
+        return IpPool(name=name, addresses=addresses)

@@ -1,0 +1,61 @@
+"""OAuth 2.0 authorization framework over the simulated platform.
+
+Implements the two user-token workflows of RFC 6749 that the paper
+analyses — the *implicit* (client-side) flow and the *authorization code*
+(server-side) flow — plus the two per-application security settings from
+the paper's Fig. 2: whether the client-side flow is enabled, and whether
+the application secret is required on Graph API calls.
+"""
+
+from repro.oauth.scopes import Permission, PermissionScope, SENSITIVE_PERMISSIONS
+from repro.oauth.tokens import (
+    AccessToken,
+    TokenLifetime,
+    TokenStore,
+    SHORT_TERM_LIFETIME,
+    LONG_TERM_LIFETIME,
+)
+from repro.oauth.apps import Application, ApplicationRegistry, AppSecuritySettings
+from repro.oauth.server import (
+    AuthorizationServer,
+    AuthorizationRequest,
+    AuthorizationResult,
+)
+from repro.oauth.review import AppReviewProcess, ReviewDecision
+from repro.oauth.errors import (
+    OAuthError,
+    UnknownApplicationError,
+    InvalidRedirectUriError,
+    FlowDisabledError,
+    PermissionNotGrantedError,
+    InvalidTokenError,
+    InvalidAuthorizationCodeError,
+    InvalidAppSecretError,
+)
+
+__all__ = [
+    "Permission",
+    "PermissionScope",
+    "SENSITIVE_PERMISSIONS",
+    "AccessToken",
+    "TokenLifetime",
+    "TokenStore",
+    "SHORT_TERM_LIFETIME",
+    "LONG_TERM_LIFETIME",
+    "Application",
+    "ApplicationRegistry",
+    "AppSecuritySettings",
+    "AuthorizationServer",
+    "AuthorizationRequest",
+    "AuthorizationResult",
+    "AppReviewProcess",
+    "ReviewDecision",
+    "OAuthError",
+    "UnknownApplicationError",
+    "InvalidRedirectUriError",
+    "FlowDisabledError",
+    "PermissionNotGrantedError",
+    "InvalidTokenError",
+    "InvalidAuthorizationCodeError",
+    "InvalidAppSecretError",
+]

@@ -1,0 +1,60 @@
+"""OAuth protocol and token errors."""
+
+from __future__ import annotations
+
+
+class OAuthError(Exception):
+    """Base class for OAuth-layer failures."""
+
+
+class UnknownApplicationError(OAuthError):
+    def __init__(self, app_id: str) -> None:
+        super().__init__(f"unknown application: {app_id}")
+        self.app_id = app_id
+
+
+class InvalidRedirectUriError(OAuthError):
+    def __init__(self, app_id: str, redirect_uri: str) -> None:
+        super().__init__(
+            f"redirect URI {redirect_uri!r} not registered for {app_id}"
+        )
+        self.app_id = app_id
+        self.redirect_uri = redirect_uri
+
+
+class FlowDisabledError(OAuthError):
+    """The requested OAuth flow is disabled in the app's settings."""
+
+    def __init__(self, app_id: str, flow: str) -> None:
+        super().__init__(f"{flow} flow disabled for application {app_id}")
+        self.app_id = app_id
+        self.flow = flow
+
+
+class PermissionNotGrantedError(OAuthError):
+    """The app requested a sensitive permission it was never approved for."""
+
+    def __init__(self, app_id: str, permission: str) -> None:
+        super().__init__(
+            f"application {app_id} not approved for permission {permission}"
+        )
+        self.app_id = app_id
+        self.permission = permission
+
+
+class InvalidTokenError(OAuthError):
+    """Token is unknown, expired, or has been invalidated."""
+
+    def __init__(self, reason: str = "invalid access token") -> None:
+        super().__init__(reason)
+
+
+class InvalidAuthorizationCodeError(OAuthError):
+    def __init__(self) -> None:
+        super().__init__("invalid or already-used authorization code")
+
+
+class InvalidAppSecretError(OAuthError):
+    def __init__(self, app_id: str) -> None:
+        super().__init__(f"bad application secret for {app_id}")
+        self.app_id = app_id

@@ -1,0 +1,30 @@
+"""The ``appsecret_proof`` mechanism (Fig. 2b's "Require App Secret").
+
+Real Graph API calls never send the application secret itself: the
+server-side caller sends ``appsecret_proof = HMAC-SHA256(key=app_secret,
+msg=access_token)``, which proves possession of the secret without
+exposing it on the wire.  This is exactly why requiring it defeats token
+leakage — a collusion network holding only the bare token cannot compute
+the proof.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+
+def compute_appsecret_proof(app_secret: str, access_token: str) -> str:
+    """The HMAC-SHA256 proof a legitimate app server attaches."""
+    return hmac.new(app_secret.encode("utf-8"),
+                    access_token.encode("utf-8"),
+                    hashlib.sha256).hexdigest()
+
+
+def verify_appsecret_proof(app_secret: str, access_token: str,
+                           candidate: str) -> bool:
+    """Constant-time check of a presented proof."""
+    if not candidate:
+        return False
+    expected = compute_appsecret_proof(app_secret, access_token)
+    return hmac.compare_digest(expected, candidate)

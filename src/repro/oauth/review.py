@@ -1,0 +1,82 @@
+"""The platform's manual application review process (§3).
+
+Applications requesting write permissions pass a review.  Collusion
+networks cannot get their own applications approved — the review rejects
+applicants with reputation-manipulation indicators — which is why they
+must exploit *existing*, legitimately approved applications.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.oauth.apps import Application
+from repro.oauth.scopes import PermissionScope
+
+
+class ReviewDecision(enum.Enum):
+    APPROVED = "approved"
+    REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class ReviewOutcome:
+    app_id: str
+    decision: ReviewDecision
+    requested: PermissionScope
+    reason: str
+
+
+#: Keyword indicators of reputation-manipulation intent.  Mirrors the
+#: paper's observation that autoliker-style services "would not pass
+#: Facebook's strict manual review process".
+_SUSPICIOUS_NAME_FRAGMENTS = (
+    "liker", "likes", "autolike", "follower", "fans", "boost",
+)
+
+
+class AppReviewProcess:
+    """Approves or rejects sensitive-permission requests for apps."""
+
+    def __init__(self) -> None:
+        self._outcomes: List[ReviewOutcome] = []
+
+    @property
+    def history(self) -> List[ReviewOutcome]:
+        return list(self._outcomes)
+
+    def submit(self, app: Application, requested: PermissionScope,
+               declared_purpose: str = "") -> ReviewOutcome:
+        """Review an app's request for sensitive permissions.
+
+        On approval the app's ``approved_permissions`` is widened in
+        place.  Basic permissions never need review and are approved
+        trivially.
+        """
+        sensitive = requested.sensitive()
+        if not sensitive:
+            outcome = ReviewOutcome(app.app_id, ReviewDecision.APPROVED,
+                                    requested, "basic permissions only")
+        elif self._looks_manipulative(app, declared_purpose):
+            outcome = ReviewOutcome(
+                app.app_id, ReviewDecision.REJECTED, requested,
+                "reputation-manipulation indicators in app name/purpose",
+            )
+        else:
+            outcome = ReviewOutcome(app.app_id, ReviewDecision.APPROVED,
+                                    requested, "passed manual review")
+        if outcome.decision is ReviewDecision.APPROVED:
+            app.approved_permissions = PermissionScope(
+                set(app.approved_permissions.permissions)
+                | set(requested.permissions)
+            )
+        self._outcomes.append(outcome)
+        return outcome
+
+    @staticmethod
+    def _looks_manipulative(app: Application, declared_purpose: str) -> bool:
+        haystack = f"{app.name} {declared_purpose}".lower()
+        return any(fragment in haystack
+                   for fragment in _SUSPICIOUS_NAME_FRAGMENTS)

@@ -1,0 +1,98 @@
+"""Permissions and permission scopes.
+
+Facebook splits permissions into *basic* ones (granted without review) and
+*sensitive* ones that pass a manual review (§2.1).  ``publish_actions`` — the
+permission collusion networks need to like and comment on behalf of users —
+is sensitive, which is why collusion networks must piggyback on existing
+approved applications instead of registering their own (§3).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet, Iterable
+
+
+class Permission(enum.Enum):
+    """The subset of the platform permission vocabulary the paper uses."""
+
+    PUBLIC_PROFILE = "public_profile"
+    EMAIL = "email"
+    USER_FRIENDS = "user_friends"
+    USER_POSTS = "user_posts"
+    PUBLISH_ACTIONS = "publish_actions"
+    MANAGE_PAGES = "manage_pages"
+
+    @property
+    def is_sensitive(self) -> bool:
+        return self in SENSITIVE_PERMISSIONS
+
+
+#: Permissions that require platform review before an app may request them.
+SENSITIVE_PERMISSIONS: FrozenSet[Permission] = frozenset({
+    Permission.PUBLISH_ACTIONS,
+    Permission.MANAGE_PAGES,
+})
+
+#: Permissions granted to any app without review.
+BASIC_PERMISSIONS: FrozenSet[Permission] = frozenset(
+    set(Permission) - SENSITIVE_PERMISSIONS
+)
+
+
+class PermissionScope:
+    """An immutable set of permissions attached to a token or request."""
+
+    __slots__ = ("_permissions",)
+
+    def __init__(self, permissions: Iterable[Permission]) -> None:
+        self._permissions = frozenset(permissions)
+
+    @classmethod
+    def parse(cls, scope_string: str) -> "PermissionScope":
+        """Parse a comma- or space-separated scope string."""
+        names = scope_string.replace(",", " ").split()
+        return cls(Permission(name) for name in names)
+
+    @classmethod
+    def full(cls) -> "PermissionScope":
+        """Every permission — what the scanner requests (§2.2)."""
+        return cls(set(Permission))
+
+    @classmethod
+    def basic(cls) -> "PermissionScope":
+        return cls(BASIC_PERMISSIONS)
+
+    @property
+    def permissions(self) -> FrozenSet[Permission]:
+        return self._permissions
+
+    def contains(self, permission: Permission) -> bool:
+        return permission in self._permissions
+
+    def sensitive(self) -> FrozenSet[Permission]:
+        """The sensitive subset of this scope."""
+        return self._permissions & SENSITIVE_PERMISSIONS
+
+    def issubset(self, other: "PermissionScope") -> bool:
+        return self._permissions <= other._permissions
+
+    def to_scope_string(self) -> str:
+        return ",".join(sorted(p.value for p in self._permissions))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PermissionScope):
+            return NotImplemented
+        return self._permissions == other._permissions
+
+    def __hash__(self) -> int:
+        return hash(self._permissions)
+
+    def __iter__(self):
+        return iter(sorted(self._permissions, key=lambda p: p.value))
+
+    def __len__(self) -> int:
+        return len(self._permissions)
+
+    def __repr__(self) -> str:
+        return f"PermissionScope({self.to_scope_string()!r})"

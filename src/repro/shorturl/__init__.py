@@ -1,0 +1,16 @@
+"""A goo.gl-style URL shortening service with public click analytics.
+
+Collusion networks front their token-retrieval links with short URLs; the
+shortener's public analytics (clicks, referrers, geolocation, creation
+dates) are the side channel behind Table 5.
+"""
+
+from repro.shorturl.shortener import ShortUrl, UrlShortener
+from repro.shorturl.analytics import ShortUrlAnalytics, ShortUrlReport
+
+__all__ = [
+    "ShortUrl",
+    "UrlShortener",
+    "ShortUrlAnalytics",
+    "ShortUrlReport",
+]

@@ -1,0 +1,77 @@
+"""Public analytics over short URLs (the Table 5 data source)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.shorturl.shortener import ShortUrl, UrlShortener
+
+
+@dataclass(frozen=True)
+class ShortUrlReport:
+    """The analytics fields the paper reports per short URL."""
+
+    short_url: str
+    created_date: str
+    short_url_clicks: int
+    long_url_clicks: int
+    long_url: str
+    top_referrer: Optional[str]
+    top_countries: Tuple[Tuple[str, float], ...]
+
+
+class ShortUrlAnalytics:
+    """Aggregates click counters into per-URL reports."""
+
+    def __init__(self, shortener: UrlShortener) -> None:
+        self._shortener = shortener
+
+    def report(self, slug: str) -> ShortUrlReport:
+        short = self._shortener.get(slug)
+        return ShortUrlReport(
+            short_url=short.short_url,
+            created_date=short.created_date.strftime("%B %d, %Y"),
+            short_url_clicks=short.click_count,
+            long_url_clicks=self._shortener.long_url_click_count(
+                short.long_url),
+            long_url=short.long_url,
+            top_referrer=self._top_referrer(short),
+            top_countries=self._country_shares(short),
+        )
+
+    def reports_by_clicks(self) -> List[ShortUrlReport]:
+        """Reports for every short URL, most-clicked first."""
+        reports = [self.report(s.slug) for s in self._shortener.all()]
+        reports.sort(key=lambda r: r.short_url_clicks, reverse=True)
+        return reports
+
+    def daily_click_rate(self, slug: str, window_days: int = 30) -> float:
+        """Average clicks/day over the most recent ``window_days`` that
+        saw any traffic."""
+        short = self._shortener.get(slug)
+        if not short.clicks_by_day:
+            return 0.0
+        days = sorted(short.clicks_by_day)[-window_days:]
+        if not days:
+            return 0.0
+        total = sum(short.clicks_by_day[d] for d in days)
+        return total / len(days)
+
+    @staticmethod
+    def _top_referrer(short: ShortUrl) -> Optional[str]:
+        if not short.clicks_by_referrer:
+            return None
+        return max(short.clicks_by_referrer.items(),
+                   key=lambda kv: (kv[1], kv[0]))[0]
+
+    @staticmethod
+    def _country_shares(short: ShortUrl,
+                        top_n: int = 5) -> Tuple[Tuple[str, float], ...]:
+        total = sum(short.clicks_by_country.values())
+        if not total:
+            return ()
+        ranked = sorted(short.clicks_by_country.items(),
+                        key=lambda kv: (-kv[1], kv[0]))
+        return tuple((country, count / total)
+                     for country, count in ranked[:top_n])

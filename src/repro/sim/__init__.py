@@ -1,0 +1,27 @@
+"""Simulation kernel: virtual time, deterministic randomness, id allocation.
+
+Every stochastic component in the reproduction draws randomness from a
+:class:`~repro.sim.rng.RngFactory` and reads time from a
+:class:`~repro.sim.clock.SimClock`.  Nothing in the library touches wall-clock
+time or the global :mod:`random` state, which makes every experiment exactly
+repeatable from a single integer seed.
+"""
+
+from repro.sim.clock import SimClock, Duration, HOUR, MINUTE, DAY, SECOND
+from repro.sim.ids import IdAllocator
+from repro.sim.rng import RngFactory, derive_seed
+from repro.sim.events import EventScheduler, ScheduledEvent
+
+__all__ = [
+    "SimClock",
+    "Duration",
+    "SECOND",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "IdAllocator",
+    "RngFactory",
+    "derive_seed",
+    "EventScheduler",
+    "ScheduledEvent",
+]

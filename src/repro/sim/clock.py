@@ -1,0 +1,81 @@
+"""Virtual time for the simulation.
+
+The paper's measurements span November 2015 to October 2016.  The simulated
+clock counts seconds from a configurable epoch (defaulting to 2015-11-01
+00:00:00 UTC, the start of the milking campaign) and only moves when the
+experiment advances it, so token expiry, rate-limit windows and the
+countermeasure timeline are all perfectly reproducible.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+Duration = int  # seconds
+
+SECOND: Duration = 1
+MINUTE: Duration = 60
+HOUR: Duration = 60 * MINUTE
+DAY: Duration = 24 * HOUR
+
+#: Default simulation epoch: start of the paper's honeypot campaign.
+DEFAULT_EPOCH = _dt.datetime(2015, 11, 1, tzinfo=_dt.timezone.utc)
+
+
+class SimClock:
+    """A monotonically non-decreasing virtual clock.
+
+    The clock is shared by every subsystem in a
+    :class:`~repro.core.world.World`; code under test advances it explicitly
+    with :meth:`advance` or :meth:`advance_to`.
+    """
+
+    def __init__(self, epoch: _dt.datetime = DEFAULT_EPOCH) -> None:
+        if epoch.tzinfo is None:
+            epoch = epoch.replace(tzinfo=_dt.timezone.utc)
+        self._epoch = epoch
+        self._now: int = 0
+
+    @property
+    def epoch(self) -> _dt.datetime:
+        """The real-world datetime corresponding to simulation time zero."""
+        return self._epoch
+
+    def now(self) -> int:
+        """Current simulation time in seconds since the epoch."""
+        return self._now
+
+    def now_datetime(self) -> _dt.datetime:
+        """Current simulation time as an aware datetime."""
+        return self._epoch + _dt.timedelta(seconds=self._now)
+
+    def day(self) -> int:
+        """Current simulation day index (day 0 starts at the epoch)."""
+        return self._now // DAY
+
+    def hour_of_day(self) -> int:
+        """Hour within the current simulation day, 0-23."""
+        return (self._now % DAY) // HOUR
+
+    def advance(self, seconds: Duration) -> int:
+        """Move the clock forward by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot move time backwards by {seconds}s")
+        self._now += int(seconds)
+        return self._now
+
+    def advance_to(self, timestamp: int) -> int:
+        """Move the clock forward to an absolute simulation ``timestamp``."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot rewind clock from {self._now} to {timestamp}"
+            )
+        self._now = int(timestamp)
+        return self._now
+
+    def advance_days(self, days: float) -> int:
+        """Move the clock forward by a (possibly fractional) number of days."""
+        return self.advance(int(days * DAY))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(day={self.day()}, t={self._now})"

@@ -1,0 +1,106 @@
+"""A minimal discrete-event scheduler driven by the simulation clock.
+
+Collusion networks use the scheduler to spread deliveries of likes over time
+(the evasion behaviour of Fig. 7); the countermeasure campaign uses it to
+fire policy changes on specific days.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.sim.clock import SimClock
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """An event queued for execution at ``when`` (simulation seconds)."""
+
+    when: int
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when its time comes."""
+        self.cancelled = True
+
+
+class EventScheduler:
+    """Priority-queue scheduler; ties break in submission order."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._queue: List[ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._executed = 0
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return len(self._queue)
+
+    @property
+    def executed(self) -> int:
+        """Number of events that have run."""
+        return self._executed
+
+    def at(self, when: int, action: Callable[[], Any],
+           label: str = "") -> ScheduledEvent:
+        """Schedule ``action`` for absolute simulation time ``when``."""
+        if when < self._clock.now():
+            raise ValueError(
+                f"cannot schedule event at {when} before now "
+                f"({self._clock.now()})"
+            )
+        event = ScheduledEvent(int(when), next(self._seq), action, label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def after(self, delay: int, action: Callable[[], Any],
+              label: str = "") -> ScheduledEvent:
+        """Schedule ``action`` for ``delay`` seconds from now."""
+        return self.at(self._clock.now() + int(delay), action, label)
+
+    def next_event_time(self) -> Optional[int]:
+        """Time of the earliest pending non-cancelled event, or ``None``."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].when if self._queue else None
+
+    def run_until(self, timestamp: int) -> int:
+        """Advance the clock to ``timestamp``, running all due events.
+
+        Events may enqueue more events; any that land before ``timestamp``
+        also run.  Returns the number of events executed.
+        """
+        executed = 0
+        while True:
+            nxt = self.next_event_time()
+            if nxt is None or nxt > timestamp:
+                break
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.when > self._clock.now():
+                self._clock.advance_to(event.when)
+            event.action()
+            executed += 1
+            self._executed += 1
+        if timestamp > self._clock.now():
+            self._clock.advance_to(timestamp)
+        return executed
+
+    def drain(self) -> int:
+        """Run every pending event regardless of how far time must move."""
+        executed = 0
+        while True:
+            nxt = self.next_event_time()
+            if nxt is None:
+                break
+            executed += self.run_until(nxt)
+        return executed

@@ -1,0 +1,47 @@
+"""User accounts and their profile data."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Set
+
+
+class AccountStatus(enum.Enum):
+    """Lifecycle states of a platform account."""
+
+    ACTIVE = "active"
+    SUSPENDED = "suspended"
+    DELETED = "deleted"
+
+
+@dataclass
+class Account:
+    """A platform user account.
+
+    ``country`` drives the geolocation statistics of Table 2 / Table 5;
+    ``is_honeypot`` marks the measurement accounts we control so analyses
+    can exclude them from membership estimates.
+    """
+
+    account_id: str
+    name: str
+    email: str
+    country: str = "US"
+    created_at: int = 0
+    status: AccountStatus = AccountStatus.ACTIVE
+    is_honeypot: bool = False
+    friend_ids: Set[str] = field(default_factory=set)
+    follower_count: int = 0
+
+    @property
+    def is_active(self) -> bool:
+        return self.status is AccountStatus.ACTIVE
+
+    def public_profile(self) -> dict:
+        """The profile fields exposed through basic OAuth permissions."""
+        return {
+            "id": self.account_id,
+            "name": self.name,
+            "country": self.country,
+        }

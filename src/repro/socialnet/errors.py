@@ -1,0 +1,48 @@
+"""Exception hierarchy for the social network platform."""
+
+from __future__ import annotations
+
+
+class SocialNetworkError(Exception):
+    """Base class for all platform-level errors."""
+
+
+class UnknownAccountError(SocialNetworkError):
+    """Raised when an account id does not exist."""
+
+    def __init__(self, account_id: str) -> None:
+        super().__init__(f"unknown account: {account_id}")
+        self.account_id = account_id
+
+
+class UnknownPostError(SocialNetworkError):
+    """Raised when a post id does not exist."""
+
+    def __init__(self, post_id: str) -> None:
+        super().__init__(f"unknown post: {post_id}")
+        self.post_id = post_id
+
+
+class UnknownPageError(SocialNetworkError):
+    """Raised when a page id does not exist."""
+
+    def __init__(self, page_id: str) -> None:
+        super().__init__(f"unknown page: {page_id}")
+        self.page_id = page_id
+
+
+class AccountSuspendedError(SocialNetworkError):
+    """Raised when a suspended account attempts an action."""
+
+    def __init__(self, account_id: str) -> None:
+        super().__init__(f"account suspended: {account_id}")
+        self.account_id = account_id
+
+
+class DuplicateLikeError(SocialNetworkError):
+    """Raised when an account likes the same object twice."""
+
+    def __init__(self, account_id: str, object_id: str) -> None:
+        super().__init__(f"{account_id} already likes {object_id}")
+        self.account_id = account_id
+        self.object_id = object_id

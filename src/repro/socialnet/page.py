@@ -1,0 +1,31 @@
+"""Pages: public entities that accumulate likes (fan counts)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.socialnet.post import Like
+
+
+@dataclass
+class Page:
+    """A public page (brand, celebrity, collusion-network owner, ...)."""
+
+    page_id: str
+    name: str
+    owner_id: str
+    created_at: int = 0
+    likes: List[Like] = field(default_factory=list)
+    _likers: Dict[str, Like] = field(default_factory=dict, repr=False)
+
+    @property
+    def like_count(self) -> int:
+        return len(self.likes)
+
+    def liked_by(self, account_id: str) -> bool:
+        return account_id in self._likers
+
+    def add_like(self, like: Like) -> None:
+        self.likes.append(like)
+        self._likers[like.liker_id] = like

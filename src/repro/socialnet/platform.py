@@ -1,0 +1,208 @@
+"""The social platform core: registries plus the write-action primitives.
+
+:class:`SocialPlatform` is deliberately *unauthenticated* — it trusts its
+caller about who is acting.  Authentication and authorization live one layer
+up in :mod:`repro.graphapi`, exactly as the Graph API fronts Facebook's
+internal systems.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sim.clock import SimClock
+from repro.sim.ids import IdAllocator
+from repro.socialnet.account import Account, AccountStatus
+from repro.socialnet.activity import ActivityLog, ActivityRecord
+from repro.socialnet.errors import (
+    AccountSuspendedError,
+    DuplicateLikeError,
+    UnknownAccountError,
+    UnknownPageError,
+    UnknownPostError,
+)
+from repro.socialnet.page import Page
+from repro.socialnet.post import Comment, Like, Post
+
+
+class SocialPlatform:
+    """In-memory social network state with platform write primitives."""
+
+    def __init__(self, clock: SimClock, ids: Optional[IdAllocator] = None) -> None:
+        self.clock = clock
+        self.ids = ids or IdAllocator()
+        self.accounts: Dict[str, Account] = {}
+        self.posts: Dict[str, Post] = {}
+        self.pages: Dict[str, Page] = {}
+        self.activity_log = ActivityLog()
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_account(self, name: str, email: str = "", country: str = "US",
+                         is_honeypot: bool = False) -> Account:
+        """Create a new active account and return it."""
+        account_id = self.ids.next("acct")
+        account = Account(
+            account_id=account_id,
+            name=name,
+            email=email or f"{account_id.replace(':', '')}@example.com",
+            country=country,
+            created_at=self.clock.now(),
+            is_honeypot=is_honeypot,
+        )
+        self.accounts[account_id] = account
+        return account
+
+    def create_page(self, owner_id: str, name: str) -> Page:
+        """Create a public page owned by ``owner_id``."""
+        self._require_account(owner_id)
+        page_id = self.ids.next("page")
+        page = Page(page_id=page_id, name=name, owner_id=owner_id,
+                    created_at=self.clock.now())
+        self.pages[page_id] = page
+        return page
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def _require_account(self, account_id: str) -> Account:
+        account = self.accounts.get(account_id)
+        if account is None:
+            raise UnknownAccountError(account_id)
+        return account
+
+    def _require_active(self, account_id: str) -> Account:
+        account = self._require_account(account_id)
+        if account.status is not AccountStatus.ACTIVE:
+            raise AccountSuspendedError(account_id)
+        return account
+
+    def get_account(self, account_id: str) -> Account:
+        return self._require_account(account_id)
+
+    def get_post(self, post_id: str) -> Post:
+        post = self.posts.get(post_id)
+        if post is None:
+            raise UnknownPostError(post_id)
+        return post
+
+    def get_page(self, page_id: str) -> Page:
+        page = self.pages.get(page_id)
+        if page is None:
+            raise UnknownPageError(page_id)
+        return page
+
+    def timeline(self, account_id: str) -> List[Post]:
+        """Posts authored by ``account_id``, oldest first."""
+        self._require_account(account_id)
+        return [p for p in self.posts.values() if p.author_id == account_id]
+
+    # ------------------------------------------------------------------
+    # Social graph
+    # ------------------------------------------------------------------
+    def befriend(self, a_id: str, b_id: str) -> None:
+        """Create a mutual friend edge."""
+        a = self._require_account(a_id)
+        b = self._require_account(b_id)
+        a.friend_ids.add(b_id)
+        b.friend_ids.add(a_id)
+
+    # ------------------------------------------------------------------
+    # Write actions
+    # ------------------------------------------------------------------
+    def create_post(self, author_id: str, text: str,
+                    via_app_id: Optional[str] = None,
+                    source_ip: Optional[str] = None) -> Post:
+        """Publish a status update on the author's timeline."""
+        self._require_active(author_id)
+        post_id = self.ids.next("post")
+        post = Post(post_id=post_id, author_id=author_id, text=text,
+                    created_at=self.clock.now())
+        self.posts[post_id] = post
+        self.activity_log.record(ActivityRecord(
+            actor_id=author_id, verb="post", target_id=post_id,
+            target_kind="post", target_owner_id=author_id,
+            created_at=self.clock.now(), via_app_id=via_app_id,
+            source_ip=source_ip,
+        ))
+        return post
+
+    def like_post(self, liker_id: str, post_id: str,
+                  via_app_id: Optional[str] = None,
+                  source_ip: Optional[str] = None) -> Like:
+        """Like a post on behalf of ``liker_id``."""
+        self._require_active(liker_id)
+        post = self.get_post(post_id)
+        if post.liked_by(liker_id):
+            raise DuplicateLikeError(liker_id, post_id)
+        like = Like(liker_id=liker_id, object_id=post_id,
+                    created_at=self.clock.now(), via_app_id=via_app_id,
+                    source_ip=source_ip)
+        post.add_like(like)
+        self.activity_log.record(ActivityRecord(
+            actor_id=liker_id, verb="like", target_id=post_id,
+            target_kind="post", target_owner_id=post.author_id,
+            created_at=self.clock.now(), via_app_id=via_app_id,
+            source_ip=source_ip,
+        ))
+        return like
+
+    def like_page(self, liker_id: str, page_id: str,
+                  via_app_id: Optional[str] = None,
+                  source_ip: Optional[str] = None) -> Like:
+        """Like (become a fan of) a page."""
+        self._require_active(liker_id)
+        page = self.get_page(page_id)
+        if page.liked_by(liker_id):
+            raise DuplicateLikeError(liker_id, page_id)
+        like = Like(liker_id=liker_id, object_id=page_id,
+                    created_at=self.clock.now(), via_app_id=via_app_id,
+                    source_ip=source_ip)
+        page.add_like(like)
+        self.activity_log.record(ActivityRecord(
+            actor_id=liker_id, verb="like", target_id=page_id,
+            target_kind="page", target_owner_id=page.owner_id,
+            created_at=self.clock.now(), via_app_id=via_app_id,
+            source_ip=source_ip,
+        ))
+        return like
+
+    def comment_on_post(self, author_id: str, post_id: str, text: str,
+                        via_app_id: Optional[str] = None,
+                        source_ip: Optional[str] = None) -> Comment:
+        """Comment on a post on behalf of ``author_id``."""
+        self._require_active(author_id)
+        post = self.get_post(post_id)
+        comment = Comment(
+            comment_id=self.ids.next("comment"), author_id=author_id,
+            post_id=post_id, text=text, created_at=self.clock.now(),
+            via_app_id=via_app_id, source_ip=source_ip,
+        )
+        post.add_comment(comment)
+        self.activity_log.record(ActivityRecord(
+            actor_id=author_id, verb="comment", target_id=post_id,
+            target_kind="post", target_owner_id=post.author_id,
+            created_at=self.clock.now(), via_app_id=via_app_id,
+            source_ip=source_ip,
+        ))
+        return comment
+
+    # ------------------------------------------------------------------
+    # Moderation
+    # ------------------------------------------------------------------
+    def suspend_account(self, account_id: str) -> None:
+        """Suspend an account; further actions raise AccountSuspendedError."""
+        self._require_account(account_id).status = AccountStatus.SUSPENDED
+
+    def reinstate_account(self, account_id: str) -> None:
+        self._require_account(account_id).status = AccountStatus.ACTIVE
+
+    def remove_like(self, post_id: str, liker_id: str) -> bool:
+        """Remove a fake like (the clean-up step of §6); True if removed."""
+        post = self.get_post(post_id)
+        if not post.liked_by(liker_id):
+            return False
+        post.likes = [lk for lk in post.likes if lk.liker_id != liker_id]
+        del post._likers[liker_id]
+        return True

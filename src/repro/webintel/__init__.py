@@ -1,0 +1,22 @@
+"""Web-intelligence side channels: WHOIS, traffic ranks, ad/tracker scans.
+
+These model the third-party data sources the paper's §5 analyses consume:
+WHOIS registrant records (ownership), Alexa-style traffic ranking with
+per-country visitor shares (Table 2) and Ghostery-style ad network /
+tracker detection (monetization).
+"""
+
+from repro.webintel.whois import WhoisRecord, WhoisRegistry
+from repro.webintel.alexa import TrafficRanker, SiteTraffic, RankEntry
+from repro.webintel.adnetworks import AdScanner, AdScanResult, AdNetwork
+
+__all__ = [
+    "WhoisRecord",
+    "WhoisRegistry",
+    "TrafficRanker",
+    "SiteTraffic",
+    "RankEntry",
+    "AdScanner",
+    "AdScanResult",
+    "AdNetwork",
+]

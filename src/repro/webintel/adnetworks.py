@@ -1,0 +1,89 @@
+"""Ghostery-style ad network and tracker detection (§5.1).
+
+Collusion networks monetize with ads but are blacklisted by reputable ad
+networks, so they bounce users through whitelisted redirect domains and
+deploy anti-adblock scripts.  The scanner reports which networks and
+behaviours are present on a site.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set
+
+
+class AdNetwork(enum.Enum):
+    """Ad networks observed in the paper's Ghostery scans."""
+
+    ADSENSE = "adsense"
+    ATLAS = "atlas"
+    DOUBLECLICK = "doubleclick"
+    POPADS = "popads"
+    ADFLY = "adf.ly"
+    SHORTEST = "sh.st"
+
+
+#: Networks that blacklist reputation-manipulation domains; serving their
+#: ads requires a redirect through a whitelisted intermediate domain.
+REPUTABLE_NETWORKS: FrozenSet[AdNetwork] = frozenset({
+    AdNetwork.ADSENSE, AdNetwork.ATLAS, AdNetwork.DOUBLECLICK,
+})
+
+
+@dataclass
+class SiteAdProfile:
+    """What a site actually runs (ground truth the scanner inspects)."""
+
+    domain: str
+    direct_networks: Set[AdNetwork] = field(default_factory=set)
+    #: intermediate domain -> networks served there after the redirect
+    redirect_networks: Dict[str, Set[AdNetwork]] = field(default_factory=dict)
+    anti_adblock: bool = False
+    requires_adblock_disabled: bool = False
+
+
+@dataclass(frozen=True)
+class AdScanResult:
+    """The scanner's findings for one site."""
+
+    domain: str
+    networks_seen: FrozenSet[AdNetwork]
+    uses_redirect_monetization: bool
+    redirect_domains: FrozenSet[str]
+    anti_adblock_detected: bool
+    policy_violations: FrozenSet[AdNetwork]
+
+
+class AdScanner:
+    """Detects ad networks, redirect monetization and anti-adblock."""
+
+    def __init__(self) -> None:
+        self._profiles: Dict[str, SiteAdProfile] = {}
+
+    def register_site(self, profile: SiteAdProfile) -> None:
+        self._profiles[profile.domain] = profile
+
+    def scan(self, domain: str) -> AdScanResult:
+        profile = self._profiles.get(domain)
+        if profile is None:
+            raise KeyError(f"no ad profile registered for {domain}")
+        indirect: Set[AdNetwork] = set()
+        for networks in profile.redirect_networks.values():
+            indirect |= networks
+        seen = frozenset(profile.direct_networks | indirect)
+        # Reputable networks served *directly* from a blacklisted domain
+        # would violate network policy — collusion sites avoid this via
+        # redirects, so direct placement is the violation signal.
+        violations = frozenset(profile.direct_networks & REPUTABLE_NETWORKS)
+        return AdScanResult(
+            domain=domain,
+            networks_seen=seen,
+            uses_redirect_monetization=bool(profile.redirect_networks),
+            redirect_domains=frozenset(profile.redirect_networks),
+            anti_adblock_detected=profile.anti_adblock,
+            policy_violations=violations,
+        )
+
+    def scan_all(self) -> List[AdScanResult]:
+        return [self.scan(domain) for domain in sorted(self._profiles)]

@@ -1,0 +1,5 @@
+"""Synthetic workload generators (organic third-party app traffic)."""
+
+from repro.workloads.organic import OrganicWorkload, OrganicUser
+
+__all__ = ["OrganicWorkload", "OrganicUser"]

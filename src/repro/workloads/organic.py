@@ -1,0 +1,136 @@
+"""Organic third-party application traffic.
+
+Legitimate users of the susceptible apps (Spotify, HTC Sense, ...) also
+perform Graph API writes — that is exactly why the paper rejects blunt
+countermeasures (suspending apps, banning the implicit flow) and why
+abuse detection must separate the two populations.  The generator
+produces users who behave like people: a handful of likes per day, sent
+from their *own* residential IP, targeting friends' posts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.graphapi.errors import GraphApiError
+from repro.netsim.ip import int_to_ip, ip_to_int
+from repro.oauth.errors import InvalidTokenError
+from repro.oauth.server import AuthorizationRequest
+from repro.socialnet.errors import SocialNetworkError
+
+
+@dataclass
+class OrganicUser:
+    """One legitimate app user: account, token, home IP, friends."""
+
+    account_id: str
+    token: str
+    app_id: str
+    home_ip: str
+    friend_ids: List[str] = field(default_factory=list)
+
+
+class OrganicWorkload:
+    """Creates and drives a population of legitimate app users."""
+
+    #: Residential address space for organic users (distinct from the
+    #: collusion networks' hosting prefixes).
+    HOME_PREFIX = "10.200.0.0"
+
+    def __init__(self, world, app_ids: Sequence[str],
+                 likes_per_user_per_day: float = 3.0,
+                 rng: Optional[random.Random] = None) -> None:
+        if not app_ids:
+            raise ValueError("need at least one application")
+        self.world = world
+        self.app_ids = list(app_ids)
+        self.likes_per_user_per_day = likes_per_user_per_day
+        self.rng = rng or world.rng.stream("organic")
+        self.users: List[OrganicUser] = []
+        self._ip_cursor = ip_to_int(self.HOME_PREFIX)
+
+    # ------------------------------------------------------------------
+    def create_users(self, count: int) -> List[OrganicUser]:
+        """Register ``count`` users, each installing one app via the
+        implicit flow from their own browser."""
+        created: List[OrganicUser] = []
+        for _ in range(count):
+            account = self.world.platform.register_account(
+                f"Organic User {len(self.users) + 1}")
+            app = self.world.apps.get(self.rng.choice(self.app_ids))
+            result = self.world.auth_server.authorize(
+                AuthorizationRequest(app.app_id, app.redirect_uri,
+                                     "token", app.approved_permissions),
+                account.account_id)
+            token = result.token_from_fragment()
+            user = OrganicUser(
+                account_id=account.account_id,
+                token=token,
+                app_id=app.app_id,
+                home_ip=self._next_home_ip(),
+            )
+            self.users.append(user)
+            created.append(user)
+        self._befriend(created)
+        return created
+
+    def _next_home_ip(self) -> str:
+        ip = int_to_ip(self._ip_cursor)
+        self._ip_cursor += 1
+        return ip
+
+    def _befriend(self, users: List[OrganicUser]) -> None:
+        """Give each user a few friends (like targets) among the cohort."""
+        if len(self.users) < 2:
+            return
+        for user in users:
+            friends = self.rng.sample(
+                self.users, min(5, len(self.users)))
+            for friend in friends:
+                if friend.account_id == user.account_id:
+                    continue
+                self.world.platform.befriend(user.account_id,
+                                             friend.account_id)
+                user.friend_ids.append(friend.account_id)
+
+    # ------------------------------------------------------------------
+    def run_day(self) -> int:
+        """One day of organic activity; returns likes performed.
+
+        Each user posts occasionally and likes a few friends' posts from
+        their home IP through their app token.
+        """
+        performed = 0
+        for user in self.users:
+            actions = self._poisson(self.likes_per_user_per_day)
+            for _ in range(actions):
+                if self._like_a_friends_post(user):
+                    performed += 1
+        return performed
+
+    def _like_a_friends_post(self, user: OrganicUser) -> bool:
+        if not user.friend_ids:
+            return False
+        friend = self.rng.choice(user.friend_ids)
+        post = self.world.platform.create_post(
+            friend, f"organic post by {friend}")
+        try:
+            self.world.api.like_post(user.token, post.post_id,
+                                     source_ip=user.home_ip)
+        except (GraphApiError, InvalidTokenError, SocialNetworkError):
+            return False
+        return True
+
+    def _poisson(self, mean: float) -> int:
+        import math
+
+        if mean <= 0:
+            return 0
+        limit = math.exp(-mean)
+        k, product = 0, self.rng.random()
+        while product > limit:
+            k += 1
+            product *= self.rng.random()
+        return k

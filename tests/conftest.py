@@ -1,0 +1,43 @@
+"""Shared fixtures.
+
+Unit tests get cheap, empty worlds; integration tests share a
+session-scoped mini study (built once) to keep the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.catalog import AppCatalog
+from repro.collusion.ecosystem import build_ecosystem
+from repro.core.config import StudyConfig
+from repro.core.world import World
+
+
+@pytest.fixture
+def world() -> World:
+    """A fresh, empty world (no apps, no networks)."""
+    return World(StudyConfig(scale=0.01, seed=42))
+
+
+@pytest.fixture
+def catalog_world():
+    """A world with the full top-100 app catalog registered."""
+    w = World(StudyConfig(scale=0.01, seed=42))
+    catalog = AppCatalog(w.apps, w.rng.stream("catalog"))
+    catalog.build()
+    return w, catalog
+
+
+@pytest.fixture(scope="session")
+def mini_study():
+    """A built world + small ecosystem, shared across integration tests.
+
+    Uses a tiny scale and only the four largest networks so the session
+    fixture builds in a couple of seconds.
+    """
+    w = World(StudyConfig(scale=0.005, seed=7, milking_days=10))
+    catalog = AppCatalog(w.apps, w.rng.stream("catalog"))
+    catalog.build()
+    ecosystem = build_ecosystem(w, network_limit=4)
+    return w, catalog, ecosystem

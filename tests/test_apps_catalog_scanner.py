@@ -1,0 +1,111 @@
+"""Tests for the app catalog and the §2.2 susceptibility scanner."""
+
+import pytest
+
+from repro.apps.catalog import (
+    COLLUSION_APPS,
+    NAMED_SUSCEPTIBLE_APPS,
+    AppCatalog,
+    mau_bucket,
+)
+from repro.apps.scanner import AppScanner, ScanVerdict
+from repro.oauth.tokens import TokenLifetime
+
+
+def test_mau_bucket():
+    assert mau_bucket(50_000_000) == 50_000_000
+    assert mau_bucket(1_900_000) == 1_000_000
+    assert mau_bucket(999_999) == 900_000
+    assert mau_bucket(104_018) == 100_000
+    assert mau_bucket(7) == 7
+    assert mau_bucket(0) == 0
+
+
+def test_catalog_builds_expected_population(catalog_world):
+    world, catalog = catalog_world
+    top = catalog.top_100()
+    assert len(top) == 100
+    named_ids = {spec.app_id for spec in NAMED_SUSCEPTIBLE_APPS}
+    assert named_ids <= {a.app_id for a in top}
+    # Nokia and Sony exist but sit below the leaderboard.
+    top_ids = {a.app_id for a in top}
+    for spec in COLLUSION_APPS[1:]:
+        assert catalog.get(spec.app_id) is not None
+        assert spec.app_id not in top_ids
+
+
+def test_catalog_build_is_single_shot(catalog_world):
+    world, catalog = catalog_world
+    with pytest.raises(RuntimeError):
+        catalog.build()
+
+
+def test_catalog_has_long_tail(catalog_world):
+    world, catalog = catalog_world
+    assert len(world.apps) > 1000
+
+
+def test_catalog_rejects_bad_config(world):
+    with pytest.raises(ValueError):
+        AppCatalog(world.apps, world.rng.stream("x"),
+                   top_n=10, susceptible_short_term=46)
+    with pytest.raises(ValueError):
+        AppCatalog(world.apps, world.rng.stream("x"), tail_apps=-1)
+
+
+def test_scan_reproduces_table1_split(catalog_world):
+    world, catalog = catalog_world
+    scanner = AppScanner(world.platform, world.auth_server, world.api)
+    reports = scanner.scan_all(catalog.top_100())
+    summary = AppScanner.summarize(reports)
+    assert summary == {
+        "scanned": 100,
+        "susceptible": 55,
+        "susceptible_short_term": 46,
+        "susceptible_long_term": 9,
+    }
+
+
+def test_scan_identifies_named_apps_as_susceptible(catalog_world):
+    world, catalog = catalog_world
+    scanner = AppScanner(world.platform, world.auth_server, world.api)
+    for spec in NAMED_SUSCEPTIBLE_APPS:
+        report = scanner.scan(catalog.get(spec.app_id))
+        assert report.verdict is ScanVerdict.SUSCEPTIBLE
+        assert report.token_lifetime is TokenLifetime.LONG_TERM
+
+
+def test_scan_verdicts_for_secure_apps(catalog_world):
+    world, catalog = catalog_world
+    scanner = AppScanner(world.platform, world.auth_server, world.api)
+    reports = scanner.scan_all(catalog.top_100())
+    verdicts = {r.verdict for r in reports if not r.susceptible}
+    # Both defense mechanisms appear among the non-susceptible apps.
+    assert ScanVerdict.CLIENT_FLOW_DISABLED in verdicts
+    assert ScanVerdict.APP_SECRET_REQUIRED in verdicts
+
+
+def test_scanner_actually_exercises_the_flow(catalog_world):
+    """The scanner must retrieve a working token and perform a like."""
+    world, catalog = catalog_world
+    scanner = AppScanner(world.platform, world.auth_server, world.api)
+    spec = NAMED_SUSCEPTIBLE_APPS[0]
+    scanner.scan(catalog.get(spec.app_id))
+    likes = [r for r in world.api.log.successes()
+             if r.action.is_like and r.app_id == spec.app_id]
+    assert likes, "scanner never performed its probe like"
+
+
+def test_scan_deterministic_across_runs():
+    from repro.core.config import StudyConfig
+    from repro.core.world import World
+
+    def run_once():
+        w = World(StudyConfig(scale=0.01, seed=99))
+        catalog = AppCatalog(w.apps, w.rng.stream("catalog"))
+        catalog.build()
+        scanner = AppScanner(w.platform, w.auth_server, w.api)
+        return [(r.app_id, r.verdict) for r in
+                scanner.scan_all(catalog.top_100())]
+
+    assert run_once() == run_once()

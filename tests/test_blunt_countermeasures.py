@@ -1,0 +1,87 @@
+"""Tests for the rejected blunt countermeasures (§6)."""
+
+import pytest
+
+from repro.collusion.profiles import HTC_SENSE
+from repro.countermeasures.blunt import (
+    mandate_app_secret,
+    measure_collateral,
+    suspend_application,
+)
+from repro.honeypot.account import create_honeypot
+from repro.oauth.errors import FlowDisabledError
+from repro.oauth.server import AuthorizationRequest
+from repro.workloads.organic import OrganicWorkload
+
+
+@pytest.fixture()
+def blunt_world():
+    from repro.apps.catalog import AppCatalog
+    from repro.collusion.ecosystem import build_ecosystem
+    from repro.core.config import StudyConfig
+    from repro.core.world import World
+
+    w = World(StudyConfig(scale=0.002, seed=37))
+    AppCatalog(w.apps, w.rng.stream("catalog"), tail_apps=0).build()
+    eco = build_ecosystem(w, network_limit=1)
+    network = eco.network("hublaa.me")
+    honeypot = create_honeypot(w, network)
+    organic = OrganicWorkload(w, [HTC_SENSE])
+    organic.create_users(30)
+    return w, network, honeypot, organic
+
+
+def test_suspension_stops_collusion_and_breaks_users(blunt_world):
+    w, network, honeypot, organic = blunt_world
+    impact = suspend_application(w, HTC_SENSE)
+    assert impact.tokens_invalidated > 0
+    post = w.platform.create_post(honeypot.account_id, "x")
+    report = network.submit_like_request(honeypot.account_id,
+                                         post.post_id)
+    assert report.delivered == 0
+    # ...and every legitimate user of the app is broken too.
+    assert measure_collateral(w, organic.users) == 1.0
+    # New logins are refused as well.
+    app = w.apps.get(HTC_SENSE)
+    victim = w.platform.register_account("V")
+    with pytest.raises(FlowDisabledError):
+        w.auth_server.authorize(
+            AuthorizationRequest(app.app_id, app.redirect_uri, "token",
+                                 app.approved_permissions),
+            victim.account_id)
+
+
+def test_mandated_secret_stops_collusion_and_breaks_client_apps(blunt_world):
+    w, network, honeypot, organic = blunt_world
+    mandate_app_secret(w, HTC_SENSE)
+    post = w.platform.create_post(honeypot.account_id, "x")
+    report = network.submit_like_request(honeypot.account_id,
+                                         post.post_id)
+    assert report.delivered == 0  # bare tokens cannot compute the proof
+    # Client-side-only legitimate apps fail identically.
+    assert measure_collateral(w, organic.users) == 1.0
+    # A proper app *server* holding the secret still works.
+    from repro.oauth.proof import compute_appsecret_proof
+
+    app = w.apps.get(HTC_SENSE)
+    user = organic.users[0]
+    target = w.platform.create_post(user.account_id, "server-side like")
+    proof = compute_appsecret_proof(app.secret, user.token)
+    w.api.like_post(user.token, target.post_id, appsecret_proof=proof,
+                    source_ip=user.home_ip)
+
+
+def test_targeted_countermeasures_have_no_collateral(blunt_world):
+    """The paper's chosen path: invalidate abused tokens only."""
+    w, network, honeypot, organic = blunt_world
+    for member, token in list(network.token_db.items()):
+        w.tokens.invalidate(token, "targeted")
+    post = w.platform.create_post(honeypot.account_id, "x")
+    report = network.submit_like_request(honeypot.account_id,
+                                         post.post_id)
+    assert report.delivered == 0
+    assert measure_collateral(w, organic.users) == 0.0
+
+
+def test_measure_collateral_empty():
+    assert measure_collateral(None, []) == 0.0

@@ -1,0 +1,140 @@
+"""Integration tests for the countermeasure campaign (Fig. 5 dynamics).
+
+Uses a compressed schedule at small scale; assertions target the paper's
+qualitative shape, not absolute numbers.
+"""
+
+import pytest
+
+from repro.apps.catalog import AppCatalog
+from repro.collusion.ecosystem import build_ecosystem
+from repro.core.config import StudyConfig
+from repro.core.world import World
+from repro.countermeasures.campaign import (
+    CampaignConfig,
+    CountermeasureCampaign,
+)
+
+
+@pytest.fixture(scope="module")
+def campaign_run():
+    w = World(StudyConfig(scale=0.01, seed=21))
+    AppCatalog(w.apps, w.rng.stream("catalog"), tail_apps=0).build()
+    eco = build_ecosystem(w, network_limit=2)
+    config = CampaignConfig(
+        days=40, posts_per_day=8,
+        rate_limit_day=6,
+        invalidate_half_day=12,
+        invalidate_all_day=16,
+        daily_half_start_day=17,
+        daily_all_start_day=21,
+        ip_limit_day=26,
+        clustering_start_day=30,
+        clustering_interval_days=3,
+        as_block_day=35,
+        hublaa_outage=None,
+        outgoing_per_hour=2.0,
+    )
+    runner = CountermeasureCampaign(w, eco, config)
+    results = runner.run()
+    return w, eco, config, results
+
+
+def _series(results, domain):
+    return results.series[domain].avg_likes_per_post
+
+
+def test_baseline_delivers_full_quota(campaign_run):
+    w, eco, config, results = campaign_run
+    for domain in ("hublaa.me", "official-liker.net"):
+        quota = eco.network(domain).profile.likes_per_request
+        baseline = _series(results, domain)[:config.rate_limit_day - 1]
+        assert min(baseline) == pytest.approx(quota, rel=0.05)
+
+
+def test_rate_limit_dips_hotset_network_only(campaign_run):
+    w, eco, config, results = campaign_run
+    window = slice(config.rate_limit_day, config.invalidate_half_day - 1)
+    official = _series(results, "official-liker.net")[window]
+    hublaa = _series(results, "hublaa.me")[window]
+    quota_official = eco.network(
+        "official-liker.net").profile.likes_per_request
+    quota_hublaa = eco.network("hublaa.me").profile.likes_per_request
+    # official-liker.net (hot-set reuse) suffers; hublaa.me does not.
+    assert min(official) < 0.75 * quota_official
+    assert min(hublaa) > 0.9 * quota_hublaa
+
+
+def test_invalidation_causes_sharp_drop(campaign_run):
+    w, eco, config, results = campaign_run
+    for domain in ("hublaa.me", "official-liker.net"):
+        series = _series(results, domain)
+        quota = eco.network(domain).profile.likes_per_request
+        before = series[config.invalidate_all_day - 2]
+        after = series[config.invalidate_all_day]  # day after full kill
+        assert after < before
+        assert after < 0.8 * quota
+
+
+def test_daily_invalidation_suppresses_but_does_not_stop(campaign_run):
+    w, eco, config, results = campaign_run
+    for domain in ("hublaa.me", "official-liker.net"):
+        series = _series(results, domain)
+        quota = eco.network(domain).profile.likes_per_request
+        window = series[config.daily_all_start_day:config.ip_limit_day - 1]
+        assert max(window) > 0  # never a full stop (§6.2 conclusion)
+        assert sum(window) / len(window) < 0.9 * quota
+
+
+def test_ip_limits_kill_small_pool_network(campaign_run):
+    w, eco, config, results = campaign_run
+    official = _series(results, "official-liker.net")
+    tail = official[config.ip_limit_day:config.as_block_day - 1]
+    quota = eco.network("official-liker.net").profile.likes_per_request
+    assert sum(tail) / len(tail) < 0.15 * quota
+
+
+def test_ip_limits_do_not_kill_large_pool_network(campaign_run):
+    w, eco, config, results = campaign_run
+    hublaa = _series(results, "hublaa.me")
+    window = hublaa[config.ip_limit_day:config.as_block_day - 1]
+    assert max(window) > 0  # hublaa survives IP limits
+
+
+def test_as_blocking_finishes_hublaa(campaign_run):
+    w, eco, config, results = campaign_run
+    hublaa = _series(results, "hublaa.me")
+    tail = hublaa[config.as_block_day:]
+    assert max(tail) == 0
+
+
+def test_clustering_has_no_major_impact(campaign_run):
+    w, eco, config, results = campaign_run
+    assert results.clustering_outcomes, "clustering never ran"
+    total_killed = sum(outcome.tokens_invalidated
+                       for _, outcome in results.clustering_outcomes)
+    # §6.3: temporal clustering barely touches collusion accounts.
+    assert total_killed < 0.01 * eco.network("hublaa.me").member_count()
+
+
+def test_interventions_logged_in_order(campaign_run):
+    w, eco, config, results = campaign_run
+    days = [day for day, _ in results.interventions]
+    assert days == sorted(days)
+    messages = [m for _, m in results.interventions]
+    assert any("token rate limit" in m for m in messages)
+    assert any("IP like limits" in m for m in messages)
+    assert any("blocked ASes" in m for m in messages)
+
+
+def test_as_block_targets_bulletproof_asns(campaign_run):
+    w, eco, config, results = campaign_run
+    blocked = set()
+    for asns in w.policy.blocked_asns_by_app.values():
+        blocked |= asns
+    assert blocked == {64500, 64501}
+
+
+def test_tokens_invalidated_counter(campaign_run):
+    w, eco, config, results = campaign_run
+    assert results.tokens_invalidated > 0

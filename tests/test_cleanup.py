@@ -1,0 +1,66 @@
+"""Tests for fake-engagement cleanup."""
+
+import pytest
+
+from repro.countermeasures.cleanup import EngagementCleaner
+from repro.honeypot.account import create_honeypot
+
+
+@pytest.fixture()
+def abused_world():
+    from repro.apps.catalog import AppCatalog
+    from repro.collusion.ecosystem import build_ecosystem
+    from repro.core.config import StudyConfig
+    from repro.core.world import World
+
+    w = World(StudyConfig(scale=0.002, seed=31))
+    AppCatalog(w.apps, w.rng.stream("catalog"), tail_apps=0).build()
+    eco = build_ecosystem(w, network_limit=1)
+    network = eco.network("hublaa.me")
+    honeypot = create_honeypot(w, network)
+    post = w.platform.create_post(honeypot.account_id, "bait")
+    network.submit_like_request(honeypot.account_id, post.post_id)
+    return w, network, post
+
+
+def test_cleanup_removes_likes_of_invalidated_tokens(abused_world):
+    w, network, post = abused_world
+    before = w.platform.get_post(post.post_id).like_count
+    assert before > 0
+    # Invalidate every member token, then clean up.
+    for member, token in list(network.token_db.items()):
+        w.tokens.invalidate(token, "abuse")
+    cleaner = EngagementCleaner(w.platform, w.tokens, w.api.log)
+    report = cleaner.remove_fake_likes(app_ids=[network.profile.app_id])
+    assert report.likes_removed == before
+    assert report.posts_touched == 1
+    assert w.platform.get_post(post.post_id).like_count == 0
+
+
+def test_cleanup_spares_live_tokens(abused_world):
+    w, network, post = abused_world
+    before = w.platform.get_post(post.post_id).like_count
+    cleaner = EngagementCleaner(w.platform, w.tokens, w.api.log)
+    report = cleaner.remove_fake_likes()
+    assert report.likes_removed == 0
+    assert w.platform.get_post(post.post_id).like_count == before
+
+
+def test_cleanup_scoped_to_app(abused_world):
+    w, network, post = abused_world
+    for member, token in list(network.token_db.items()):
+        w.tokens.invalidate(token, "abuse")
+    cleaner = EngagementCleaner(w.platform, w.tokens, w.api.log)
+    report = cleaner.remove_fake_likes(app_ids=["someother"])
+    assert report.likes_removed == 0
+
+
+def test_cleanup_idempotent(abused_world):
+    w, network, post = abused_world
+    for member, token in list(network.token_db.items()):
+        w.tokens.invalidate(token, "abuse")
+    cleaner = EngagementCleaner(w.platform, w.tokens, w.api.log)
+    first = cleaner.remove_fake_likes()
+    second = cleaner.remove_fake_likes()
+    assert first.likes_removed > 0
+    assert second.likes_removed == 0

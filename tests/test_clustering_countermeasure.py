@@ -1,0 +1,81 @@
+"""Tests for the clustering-based invalidation countermeasure (§6.3)."""
+
+import random
+
+import pytest
+
+from repro.countermeasures.clustering import ClusteringCountermeasure
+from repro.countermeasures.invalidation import TokenInvalidator
+from repro.detection.synchrotrap import SynchroTrap
+from repro.graphapi.log import RequestLog, RequestRecord
+from repro.graphapi.request import ApiAction
+from repro.honeypot.ledger import MilkedTokenLedger
+from repro.oauth.scopes import PermissionScope
+from repro.oauth.tokens import TokenLifetime, TokenStore
+from repro.sim.clock import DAY, HOUR, SimClock
+
+
+def _like_record(user, target, timestamp, token="t"):
+    return RequestRecord(
+        timestamp=timestamp, action=ApiAction.LIKE_POST, token=token,
+        user_id=user, app_id="app", target_id=target,
+        source_ip="10.0.0.1", asn=None, outcome="ok")
+
+
+def _world_state(accounts):
+    clock = SimClock()
+    store = TokenStore(clock)
+    ledger = MilkedTokenLedger()
+    for account in accounts:
+        store.issue(account, "app", PermissionScope.full(),
+                    TokenLifetime.LONG_TERM)
+        ledger.observe(account, "net", 0, day=0, app_id="app")
+    return store, ledger
+
+
+def test_clustering_kills_lockstep_tokens():
+    bots = [f"bot{i}" for i in range(20)]
+    store, ledger = _world_state(bots)
+    log = RequestLog()
+    for t in range(12):
+        for i, bot in enumerate(bots):
+            log.append(_like_record(bot, f"post{t}", t * HOUR + i))
+    countermeasure = ClusteringCountermeasure(
+        SynchroTrap(min_cluster_size=10), window_days=7)
+    invalidator = TokenInvalidator(store, ledger, random.Random(1))
+    outcome = countermeasure.run(log, invalidator, now=2 * DAY)
+    assert outcome.detection.flagged_count == 20
+    assert outcome.tokens_invalidated == 20
+    assert all(store.live_token_for(b, "app") is None for b in bots)
+
+
+def test_clustering_misses_pool_sampling():
+    members = [f"m{i}" for i in range(2000)]
+    store, ledger = _world_state(members)
+    rng = random.Random(2)
+    log = RequestLog()
+    for t in range(30):
+        for member in rng.sample(members, 150):
+            log.append(_like_record(member, f"post{t}", t * HOUR))
+    countermeasure = ClusteringCountermeasure(
+        SynchroTrap(min_cluster_size=10, max_bucket_actors=100),
+        window_days=7)
+    invalidator = TokenInvalidator(store, ledger, random.Random(3))
+    outcome = countermeasure.run(log, invalidator, now=2 * DAY)
+    assert outcome.tokens_invalidated == 0
+
+
+def test_clustering_window_excludes_old_actions():
+    bots = [f"bot{i}" for i in range(20)]
+    store, ledger = _world_state(bots)
+    log = RequestLog()
+    # All the lockstep activity happened 30 days ago.
+    for t in range(12):
+        for i, bot in enumerate(bots):
+            log.append(_like_record(bot, f"post{t}", t * HOUR + i))
+    countermeasure = ClusteringCountermeasure(
+        SynchroTrap(min_cluster_size=10), window_days=7)
+    invalidator = TokenInvalidator(store, ledger, random.Random(4))
+    outcome = countermeasure.run(log, invalidator, now=30 * DAY)
+    assert outcome.detection.flagged_count == 0
+    assert outcome.tokens_invalidated == 0

@@ -1,0 +1,73 @@
+"""Tests for comment dictionaries and the word bank."""
+
+import random
+
+import pytest
+
+from repro.collusion.comments import CommentDictionary, CommentStyle
+from repro.collusion.wordbank import sample_phrase, spaced_out
+from repro.lexical.analysis import analyze_comments, tokenize
+from repro.lexical.wordlist import is_dictionary_word
+
+
+def test_spaced_out():
+    assert spaced_out("awesome") == "AW E S O M E"
+
+
+def test_sample_phrase_length():
+    rng = random.Random(1)
+    assert len(sample_phrase(rng, 4, 0.0)) == 4
+    with pytest.raises(ValueError):
+        sample_phrase(rng, 0, 0.0)
+
+
+def test_sample_phrase_dictionary_purity():
+    rng = random.Random(1)
+    tokens = sample_phrase(rng, 200, 0.0)
+    assert all(is_dictionary_word(t) for t in tokens)
+
+
+def test_sample_phrase_junk_rate():
+    rng = random.Random(1)
+    tokens = sample_phrase(rng, 2000, 1.0)
+    junk = sum(1 for t in tokens if not is_dictionary_word(t))
+    assert junk / len(tokens) > 0.9
+
+
+def test_dictionary_size_respected():
+    style = CommentStyle(dictionary_size=25)
+    dictionary = CommentDictionary(style, random.Random(2))
+    assert len(dictionary) == 25
+    assert len(set(dictionary.comments)) == 25
+
+
+def test_dictionary_sampling_repeats():
+    style = CommentStyle(dictionary_size=10)
+    dictionary = CommentDictionary(style, random.Random(3))
+    rng = random.Random(4)
+    sample = dictionary.sample_many(rng, 500)
+    assert set(sample) <= set(dictionary.comments)
+    assert len(set(sample)) <= 10
+
+
+def test_dictionary_validates():
+    with pytest.raises(ValueError):
+        CommentDictionary(CommentStyle(dictionary_size=0),
+                          random.Random(1))
+
+
+def test_generated_corpus_matches_table6_statistics():
+    """Sampling from a small dictionary produces Table 6's signature:
+    low unique-comment share, low lexical richness, non-trivial
+    non-dictionary share."""
+    style = CommentStyle(dictionary_size=40, mean_words=3,
+                         non_dictionary_rate=0.2)
+    dictionary = CommentDictionary(style, random.Random(5))
+    rng = random.Random(6)
+    comments = dictionary.sample_many(rng, 2000)
+    analysis = analyze_comments(comments, posts=120)
+    assert analysis.unique_comments <= 40
+    assert analysis.unique_comment_pct < 5
+    assert analysis.lexical_richness_pct < 10
+    assert 5 < analysis.non_dictionary_pct < 45
+    assert 5 < analysis.ari < 35

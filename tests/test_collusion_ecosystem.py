@@ -1,0 +1,98 @@
+"""Tests for the ecosystem builder and its web-intel seeding."""
+
+import pytest
+
+from repro.collusion.profiles import (
+    BULLETPROOF_ASNS,
+    MILKED_PROFILES,
+    unique_table2_sites,
+)
+
+
+def test_networks_built(mini_study):
+    world, catalog, ecosystem = mini_study
+    assert len(ecosystem.networks) == 4
+    assert "hublaa.me" in ecosystem.networks
+    with pytest.raises(KeyError):
+        ecosystem.network("not-built.example")
+
+
+def test_membership_overlap_exists(mini_study):
+    world, catalog, ecosystem = mini_study
+    assert ecosystem.total_memberships() > ecosystem.unique_members()
+
+
+def test_infrastructure_registered(mini_study):
+    world, catalog, ecosystem = mini_study
+    for asn in BULLETPROOF_ASNS:
+        assert world.as_registry.get(asn).is_bulletproof
+    hublaa = ecosystem.network("hublaa.me")
+    asns = {world.as_registry.asn_of(ip)
+            for ip in hublaa.ip_pool.addresses}
+    assert asns == set(BULLETPROOF_ASNS)
+
+
+def test_hublaa_pool_scaled_but_large(mini_study):
+    world, catalog, ecosystem = mini_study
+    hublaa = ecosystem.network("hublaa.me")
+    official = ecosystem.network("official-liker.net")
+    assert len(hublaa.ip_pool) >= 50 * len(official.ip_pool)
+
+
+def test_short_urls_seeded(mini_study):
+    world, catalog, ecosystem = mini_study
+    assert len(ecosystem.table5_slugs) == 13
+    # The biggest link carries its paper click history.
+    label, slug = ecosystem.table5_slugs[0]
+    assert label == "goo.gl/jZ7Nyl"
+    assert world.shortener.get(slug).click_count >= 147_959_735
+
+
+def test_shared_long_url_totals(mini_study):
+    world, catalog, ecosystem = mini_study
+    label_to_slug = dict(ecosystem.table5_slugs)
+    shared = world.shortener.get(label_to_slug["goo.gl/jZ7Nyl"])
+    # Seeded with the paper total; live joins keep adding clicks.
+    total = world.shortener.long_url_click_count(shared.long_url)
+    assert total >= 236_194_576
+    assert total < 236_194_576 * 1.01
+
+
+def test_member_joins_click_short_url(mini_study):
+    world, catalog, ecosystem = mini_study
+    hublaa = ecosystem.network("hublaa.me")
+    slug = hublaa.short_url_slug
+    assert slug is not None
+    before = world.shortener.get(slug).click_count
+    hublaa.join()
+    assert world.shortener.get(slug).click_count == before + 1
+
+
+def test_whois_seeded_for_all_sites(mini_study):
+    world, catalog, ecosystem = mini_study
+    for site in unique_table2_sites():
+        record = world.whois.lookup(site.domain)
+        assert record.nameserver_provider == "cloudflare"
+    share = world.whois.privacy_protected_share()
+    assert 0.15 < share < 0.6  # around the paper's 36%
+
+
+def test_traffic_ranks_follow_table2(mini_study):
+    world, catalog, ecosystem = mini_study
+    ranking = {e.domain: e.rank for e in world.traffic_ranker.ranking()}
+    assert ranking["hublaa.me"] < ranking["official-liker.net"]
+    assert ranking["official-liker.net"] < ranking["arabfblike.com"]
+
+
+def test_ad_profiles_seeded(mini_study):
+    world, catalog, ecosystem = mini_study
+    result = world.ad_scanner.scan("mg-likers.com")
+    assert result.uses_redirect_monetization
+    assert result.anti_adblock_detected
+
+
+def test_exploited_apps_registered(mini_study):
+    world, catalog, ecosystem = mini_study
+    for profile in MILKED_PROFILES[:4]:
+        app = world.apps.get(profile.app_id)
+        assert app.is_susceptible

@@ -1,0 +1,116 @@
+"""Tests for evasion gates and monetization plumbing."""
+
+import random
+
+import pytest
+
+from repro.collusion.evasion import CaptchaChallengeCounter, RequestGate
+from repro.collusion.monetization import (
+    MonetizationProfile,
+    default_ad_profile,
+    default_premium_plans,
+)
+from repro.webintel.adnetworks import AdNetwork
+
+
+def test_gate_delay_range():
+    gate = RequestGate(min_delay=100, max_delay=200)
+    rng = random.Random(1)
+    delays = [gate.delay_for(rng) for _ in range(100)]
+    assert all(100 <= d <= 200 for d in delays)
+    assert len(set(delays)) > 1
+
+
+def test_gate_fixed_delay():
+    gate = RequestGate(min_delay=300, max_delay=300)
+    assert gate.delay_for(random.Random(2)) == 300
+
+
+def test_gate_invalid_range():
+    gate = RequestGate(min_delay=200, max_delay=100)
+    with pytest.raises(ValueError):
+        gate.delay_for(random.Random(3))
+
+
+def test_captcha_counter():
+    counter = CaptchaChallengeCounter()
+    counter.challenge()
+    counter.challenge()
+    counter.record_solution()
+    assert counter.issued == 2
+    assert counter.solved == 1
+    assert counter.outstanding == 1
+
+
+def test_default_plans_ladder():
+    plans = default_premium_plans(free_likes=100)
+    assert [p.name for p in plans] == ["basic", "pro", "ultimate"]
+    likes = [p.likes_per_request for p in plans]
+    assert likes == sorted(likes)
+    assert plans[-1].likes_per_request == 2000  # §5.1, mg-likers max plan
+
+
+def test_monetization_unknown_plan():
+    profile = MonetizationProfile("x.com", free_likes_per_request=50,
+                                  premium_plans=default_premium_plans(50))
+    with pytest.raises(KeyError):
+        profile.plan("platinum")
+    with pytest.raises(KeyError):
+        profile.subscribe("m1", "platinum")
+
+
+def test_monetization_free_tier_default():
+    profile = MonetizationProfile("x.com", free_likes_per_request=50)
+    assert profile.likes_per_request_for("anyone") == 50
+    assert profile.monthly_revenue_usd() == 0.0
+
+
+def test_default_ad_profile_shape():
+    profile = default_ad_profile("liker.com", "redirect.example")
+    assert AdNetwork.ADSENSE in profile.redirect_networks[
+        "redirect.example"]
+    assert profile.anti_adblock
+    assert AdNetwork.ADSENSE not in profile.direct_networks
+
+
+def test_auto_delivery_boosts_subscriber_posts():
+    """§5.1: auto-delivery plans push likes without a manual request."""
+    from repro.apps.catalog import AppCatalog
+    from repro.collusion.ecosystem import build_ecosystem
+    from repro.core.config import StudyConfig
+    from repro.core.world import World
+
+    w = World(StudyConfig(scale=0.002, seed=53))
+    AppCatalog(w.apps, w.rng.stream("catalog"), tail_apps=0).build()
+    eco = build_ecosystem(w, network_limit=1)
+    network = eco.network("hublaa.me")
+    member = network.join()
+    network.monetization.subscribe(member, "pro")  # auto_delivery=True
+    post = w.platform.create_post(member, "premium post")
+    assert w.platform.get_post(post.post_id).like_count == 0
+    network.daily_tick()
+    boosted = w.platform.get_post(post.post_id).like_count
+    assert boosted > 0
+    # Same post is not boosted twice; a new post is.
+    network.daily_tick()
+    assert w.platform.get_post(post.post_id).like_count == boosted
+    newer = w.platform.create_post(member, "another premium post")
+    network.daily_tick()
+    assert w.platform.get_post(newer.post_id).like_count > 0
+
+
+def test_basic_plan_has_no_auto_delivery():
+    from repro.apps.catalog import AppCatalog
+    from repro.collusion.ecosystem import build_ecosystem
+    from repro.core.config import StudyConfig
+    from repro.core.world import World
+
+    w = World(StudyConfig(scale=0.002, seed=54))
+    AppCatalog(w.apps, w.rng.stream("catalog"), tail_apps=0).build()
+    eco = build_ecosystem(w, network_limit=1)
+    network = eco.network("hublaa.me")
+    member = network.join()
+    network.monetization.subscribe(member, "basic")
+    post = w.platform.create_post(member, "basic-tier post")
+    network.daily_tick()
+    assert w.platform.get_post(post.post_id).like_count == 0

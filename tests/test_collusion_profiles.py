@@ -1,0 +1,124 @@
+"""Tests for the profile data and pool calibration."""
+
+import math
+
+import pytest
+
+from repro.collusion.profiles import (
+    MILKED_PROFILES,
+    SHORT_URL_SEEDS,
+    TABLE2_SITES,
+    calibrate_pool_size,
+    profile_for,
+    unique_table2_sites,
+)
+
+
+def test_twenty_two_milked_networks():
+    assert len(MILKED_PROFILES) == 22
+    domains = [p.domain for p in MILKED_PROFILES]
+    assert len(set(domains)) == 22
+    assert domains[0] == "hublaa.me"
+
+
+def test_table4_totals_match_paper():
+    # The paper's "All" row prints 11,751 posts / 1,150,782 members, but
+    # its own 22 rows sum to 11,749 / 1,150,685; we encode the rows.
+    assert sum(p.posts_milked for p in MILKED_PROFILES) == 11_749
+    assert sum(p.membership_target for p in MILKED_PROFILES) == 1_150_685
+
+
+def test_membership_ordering_matches_paper():
+    targets = [p.membership_target for p in MILKED_PROFILES]
+    assert targets == sorted(targets, reverse=True)
+    assert profile_for("hublaa.me").membership_target == 294_949
+    assert profile_for("official-liker.net").membership_target == 233_161
+    assert profile_for("fast-liker.com").membership_target == 834
+
+
+def test_profile_for_unknown():
+    with pytest.raises(KeyError):
+        profile_for("unknown.example")
+
+
+def test_table2_has_fifty_rows_with_paper_duplicates():
+    assert len(TABLE2_SITES) == 50
+    domains = [s.domain for s in TABLE2_SITES]
+    # The paper's table repeats these two domains.
+    assert domains.count("royaliker.net") == 2
+    assert domains.count("autolikesub.com") == 2
+    assert len(unique_table2_sites()) == 48
+
+
+def test_table2_rank_ordering():
+    ranks = [s.alexa_rank for s in TABLE2_SITES]
+    assert ranks[0] == 8_000
+    assert ranks[-1] == 1_379_000
+
+
+def test_seven_comment_networks():
+    comment_nets = [p for p in MILKED_PROFILES
+                    if p.comment_style is not None]
+    assert len(comment_nets) == 7
+    assert {p.domain for p in comment_nets} == {
+        "myliker.com", "monkeyliker.com", "mg-likers.com",
+        "monsterlikes.com", "kdliker.com", "arabfblike.com",
+        "djliker.com",
+    }
+
+
+def test_daily_limits_from_paper():
+    assert profile_for("djliker.com").daily_request_limit == 10
+    assert profile_for("monkeyliker.com").daily_request_limit == 10
+    assert profile_for("hublaa.me").daily_request_limit is None
+
+
+def test_hublaa_infrastructure():
+    hublaa = profile_for("hublaa.me")
+    assert hublaa.ip_pool_size == 6000
+    assert len(hublaa.asns) == 2
+    official = profile_for("official-liker.net")
+    assert official.ip_pool_size < 20
+
+
+def test_thirteen_short_urls():
+    assert len(SHORT_URL_SEEDS) == 13
+    clicks = [s.seed_clicks for s in SHORT_URL_SEEDS]
+    assert max(clicks) == 147_959_735
+
+
+# ----------------------------------------------------------------------
+# Pool calibration
+# ----------------------------------------------------------------------
+
+def test_calibration_inverts_coverage():
+    pool = calibrate_pool_size(unique_target=295_000, total_draws=497_000)
+    observed = pool * (1 - math.exp(-497_000 / pool))
+    assert observed == pytest.approx(295_000, rel=0.001)
+
+
+def test_calibration_saturated_pool():
+    # Heavy oversampling: the pool barely exceeds the observed uniques.
+    pool = calibrate_pool_size(unique_target=834, total_draws=10_208)
+    assert 834 <= pool <= 850
+
+
+def test_calibration_validates():
+    with pytest.raises(ValueError):
+        calibrate_pool_size(0, 100)
+    with pytest.raises(ValueError):
+        calibrate_pool_size(200, 100)
+
+
+def test_profile_pool_size_scales():
+    hublaa = profile_for("hublaa.me")
+    full = hublaa.pool_size(1.0)
+    half = hublaa.pool_size(0.5)
+    assert full > hublaa.membership_target  # true pool exceeds observed
+    assert half == pytest.approx(full * 0.5, rel=0.05)
+
+
+def test_pool_size_small_scale_degenerate():
+    tiny = profile_for("fast-liker.com")
+    # At tiny scales draws may not exceed the target; pool = draws.
+    assert tiny.pool_size(0.001) >= 1

@@ -1,0 +1,58 @@
+"""Tests for the paper-vs-measured scorecard."""
+
+import pytest
+
+from repro.experiments.comparison import Scorecard, score_report
+
+
+@pytest.fixture(scope="module")
+def scored():
+    from repro import Study, StudyConfig
+    from repro.countermeasures.campaign import CampaignConfig
+
+    study = Study(StudyConfig(scale=0.005, seed=61, milking_days=6,
+                              network_limit=None))
+    study.build()
+    study.milk()
+    study.run_countermeasures(CampaignConfig(
+        days=18, posts_per_day=6, rate_limit_day=4,
+        invalidate_half_day=7, invalidate_all_day=9,
+        daily_half_start_day=10, daily_all_start_day=11,
+        ip_limit_day=13, clustering_start_day=15,
+        clustering_interval_days=2, as_block_day=16,
+        hublaa_outage=None, outgoing_per_hour=1.0))
+    report = study.report()
+    return report, score_report(report, study.config.scale)
+
+
+def test_scorecard_structure(scored):
+    report, card = scored
+    assert len(card.checks) > 20
+    experiments = {c.experiment for c in card.checks}
+    assert {"Table 1", "Table 4", "Fig 5", "Fig 8"} <= experiments
+
+
+def test_scorecard_mostly_passes(scored):
+    report, card = scored
+    # At this compressed scale the overwhelming majority of the paper's
+    # results must still hold.
+    assert card.failed <= max(2, int(0.1 * len(card.checks))), \
+        [f"{c.experiment}/{c.name}: {c.expected} vs {c.measured}"
+         for c in card.failures()]
+
+
+def test_exact_checks_pass(scored):
+    report, card = scored
+    exact = [c for c in card.checks if c.experiment == "Table 1"]
+    assert all(c.passed for c in exact)
+
+
+def test_render_marks_failures():
+    card = Scorecard()
+    card.add("X", "good", 1, 1, True)
+    card.add("X", "bad", 1, 2, False)
+    text = card.render()
+    assert "1/2 checks passed" in text
+    assert "[FAIL] bad" in text
+    assert "[ok ] good" in text
+    assert card.failures()[0].name == "bad"

@@ -1,0 +1,47 @@
+"""Tests for the compressed campaign schedule."""
+
+import pytest
+
+from repro.countermeasures.campaign import CampaignConfig
+
+
+def test_compressed_75_matches_paper_schedule():
+    compressed = CampaignConfig.compressed(75)
+    reference = CampaignConfig()
+    for name in ("rate_limit_day", "invalidate_half_day",
+                 "invalidate_all_day", "daily_half_start_day",
+                 "daily_all_start_day", "ip_limit_day",
+                 "clustering_start_day", "as_block_day"):
+        assert getattr(compressed, name) == getattr(reference, name)
+
+
+@pytest.mark.parametrize("days", [10, 15, 20, 40, 60, 120])
+def test_compressed_stays_strictly_increasing(days):
+    config = CampaignConfig.compressed(days)
+    stages = [config.rate_limit_day, config.invalidate_half_day,
+              config.invalidate_all_day, config.daily_half_start_day,
+              config.daily_all_start_day, config.ip_limit_day,
+              config.clustering_start_day, config.as_block_day]
+    assert stages == sorted(stages)
+    assert len(set(stages)) == len(stages)
+    assert stages[0] >= 2
+    assert stages[-1] < days
+    start, end = config.hublaa_outage
+    assert 1 < start < end
+
+
+def test_compressed_rejects_tiny_windows():
+    # 8 days fails the hard floor; 9 cannot fit all eight stages below
+    # the final day.
+    with pytest.raises(ValueError):
+        CampaignConfig.compressed(8)
+    with pytest.raises(ValueError):
+        CampaignConfig.compressed(9)
+
+
+def test_compressed_accepts_overrides():
+    config = CampaignConfig.compressed(20, posts_per_day=3,
+                                       hublaa_outage=None)
+    assert config.posts_per_day == 3
+    assert config.hublaa_outage is None
+    assert config.days == 20

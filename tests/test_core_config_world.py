@@ -1,0 +1,63 @@
+"""Tests for StudyConfig and World wiring."""
+
+import pytest
+
+from repro.core.config import StudyConfig
+from repro.core.world import World
+from repro.sim.clock import DAY
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        StudyConfig(scale=0)
+    with pytest.raises(ValueError):
+        StudyConfig(scale=-0.5)
+    with pytest.raises(ValueError):
+        StudyConfig(seed=-1)
+
+
+def test_config_scaled():
+    config = StudyConfig(scale=0.01)
+    assert config.scaled(1000) == 10
+    assert config.scaled(10) == 1       # minimum floor
+    assert config.scaled(10, minimum=0) == 0
+    assert config.scaled(149) == 1
+    assert config.scaled(151) == 2
+
+
+def test_world_shares_one_clock():
+    world = World(StudyConfig(scale=0.01))
+    assert world.platform.clock is world.clock
+    assert world.api.clock is world.clock
+    # Advancing via the world moves every subsystem's view of time.
+    world.advance_days(2)
+    assert world.clock.day() == 2
+
+
+def test_world_policy_shared_with_api():
+    world = World(StudyConfig(scale=0.01))
+    assert world.api.policy is world.policy
+
+
+def test_world_advance_runs_scheduled_events():
+    world = World(StudyConfig(scale=0.01))
+    fired = []
+    world.scheduler.at(DAY // 2, lambda: fired.append(world.clock.now()))
+    world.advance_days(1)
+    assert fired == [DAY // 2]
+
+
+def test_worlds_with_same_seed_are_identical():
+    def fingerprint():
+        world = World(StudyConfig(scale=0.01, seed=77))
+        account = world.platform.register_account("A")
+        return (account.account_id,
+                world.rng.stream("x").random())
+
+    assert fingerprint() == fingerprint()
+
+
+def test_worlds_with_different_seeds_differ():
+    a = World(StudyConfig(scale=0.01, seed=1)).rng.stream("x").random()
+    b = World(StudyConfig(scale=0.01, seed=2)).rng.stream("x").random()
+    assert a != b

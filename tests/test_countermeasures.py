@@ -1,0 +1,228 @@
+"""Tests for the individual countermeasures."""
+
+import random
+
+import pytest
+
+from repro.countermeasures.asblocking import (
+    block_asns_for_apps,
+    identify_abusive_asns,
+)
+from repro.countermeasures.invalidation import TokenInvalidator
+from repro.countermeasures.iplimits import (
+    apply_ip_like_limits,
+    as_observation_stats,
+    heavy_hitter_ips,
+    ip_observation_stats,
+)
+from repro.countermeasures.ratelimits import (
+    apply_reduced_token_limit,
+    restore_default_token_limit,
+)
+from repro.graphapi.log import RequestLog, RequestRecord
+from repro.graphapi.ratelimit import (
+    DEFAULT_TOKEN_ACTIONS_PER_DAY,
+    RateLimitPolicy,
+)
+from repro.graphapi.request import ApiAction
+from repro.honeypot.ledger import MilkedTokenLedger
+from repro.netsim.asn import AsRegistry
+from repro.oauth.scopes import PermissionScope
+from repro.oauth.tokens import TokenLifetime, TokenStore
+from repro.sim.clock import DAY, SimClock
+
+
+# ----------------------------------------------------------------------
+# §6.1 token rate limits
+# ----------------------------------------------------------------------
+
+def test_apply_reduced_token_limit():
+    policy = RateLimitPolicy()
+    assert apply_reduced_token_limit(policy) < DEFAULT_TOKEN_ACTIONS_PER_DAY
+    assert policy.token_actions_per_day == 40
+
+
+def test_reduced_limit_must_reduce():
+    policy = RateLimitPolicy(token_actions_per_day=10)
+    with pytest.raises(ValueError):
+        apply_reduced_token_limit(policy, 50)
+    with pytest.raises(ValueError):
+        apply_reduced_token_limit(policy, 0)
+
+
+def test_restore_default_token_limit():
+    policy = RateLimitPolicy(token_actions_per_day=40)
+    restore_default_token_limit(policy)
+    assert policy.token_actions_per_day == DEFAULT_TOKEN_ACTIONS_PER_DAY
+
+
+# ----------------------------------------------------------------------
+# §6.2 token invalidation
+# ----------------------------------------------------------------------
+
+def _ledger_with_tokens(n, clock=None):
+    clock = clock or SimClock()
+    store = TokenStore(clock)
+    ledger = MilkedTokenLedger()
+    accounts = []
+    for i in range(n):
+        account = f"acct:{i}"
+        store.issue(account, "app", PermissionScope.full(),
+                    TokenLifetime.LONG_TERM)
+        ledger.observe(account, "net", timestamp=i, day=0, app_id="app")
+        accounts.append(account)
+    return store, ledger, accounts
+
+
+def test_invalidate_all_observed():
+    store, ledger, accounts = _ledger_with_tokens(20)
+    invalidator = TokenInvalidator(store, ledger, random.Random(0))
+    assert invalidator.invalidate_all_observed(until_day=0) == 20
+    assert all(store.live_token_for(a, "app") is None for a in accounts)
+    # Re-running kills nothing further.
+    assert invalidator.invalidate_all_observed(until_day=0) == 0
+
+
+def test_invalidate_fraction():
+    store, ledger, accounts = _ledger_with_tokens(100)
+    invalidator = TokenInvalidator(store, ledger, random.Random(1))
+    killed = invalidator.invalidate_fraction_of_observed(0, fraction=0.5)
+    assert killed == 50
+    live = sum(1 for a in accounts
+               if store.live_token_for(a, "app") is not None)
+    assert live == 50
+
+
+def test_invalidate_fraction_validates():
+    store, ledger, _ = _ledger_with_tokens(5)
+    invalidator = TokenInvalidator(store, ledger)
+    with pytest.raises(ValueError):
+        invalidator.invalidate_fraction_of_observed(0, fraction=0.0)
+    with pytest.raises(ValueError):
+        invalidator.invalidate_new_observations(0, fraction=1.5)
+
+
+def test_daily_invalidation_kills_fresh_tokens_of_returning_members():
+    clock = SimClock()
+    store, ledger, accounts = _ledger_with_tokens(5, clock)
+    invalidator = TokenInvalidator(store, ledger, random.Random(2))
+    invalidator.invalidate_all_observed(until_day=0)
+    # A member rejoins with a fresh token and acts again on day 1.
+    fresh = store.issue(accounts[0], "app", PermissionScope.full(),
+                        TokenLifetime.LONG_TERM)
+    ledger.observe(accounts[0], "net", timestamp=DAY + 5, day=1)
+    killed = invalidator.invalidate_new_observations(day=1)
+    assert killed == 1
+    assert fresh.invalidated
+
+
+def test_invalidate_specific_and_counter():
+    store, ledger, accounts = _ledger_with_tokens(10)
+    invalidator = TokenInvalidator(store, ledger)
+    assert invalidator.invalidate_specific(accounts[:3]) == 3
+    assert invalidator.total_invalidated == 3
+
+
+def test_invalidation_skips_unobserved_accounts():
+    store, ledger, _ = _ledger_with_tokens(3)
+    invalidator = TokenInvalidator(store, ledger)
+    assert invalidator.invalidate_specific(["acct:unknown"]) == 0
+
+
+# ----------------------------------------------------------------------
+# §6.4 IP limits and analyses
+# ----------------------------------------------------------------------
+
+def _log_with_likes(entries):
+    log = RequestLog()
+    for (ip, asn, timestamp) in entries:
+        log.append(RequestRecord(
+            timestamp=timestamp, action=ApiAction.LIKE_POST, token="t",
+            user_id="u", app_id="a", target_id="p", source_ip=ip,
+            asn=asn, outcome="ok"))
+    return log
+
+
+def test_apply_ip_like_limits_validates():
+    policy = RateLimitPolicy()
+    apply_ip_like_limits(policy, daily=10, weekly=50)
+    assert policy.ip_likes_per_day == 10
+    with pytest.raises(ValueError):
+        apply_ip_like_limits(policy, daily=0, weekly=50)
+    with pytest.raises(ValueError):
+        apply_ip_like_limits(policy, daily=50, weekly=10)
+
+
+def test_ip_observation_stats():
+    log = _log_with_likes([
+        ("1.1.1.1", 1, 0), ("1.1.1.1", 1, DAY), ("1.1.1.1", 1, DAY + 5),
+        ("2.2.2.2", 2, 0),
+    ])
+    stats = ip_observation_stats(log)
+    assert stats[0].source == "1.1.1.1"
+    assert stats[0].total_likes == 3
+    assert stats[0].days_observed == 2
+    assert stats[1].total_likes == 1
+
+
+def test_as_observation_stats():
+    registry = AsRegistry()
+    log = _log_with_likes([("1.1.1.1", 64500, 0),
+                           ("1.1.1.2", 64500, DAY),
+                           ("9.9.9.9", 64501, 0)])
+    stats = as_observation_stats(log, registry)
+    assert stats[0].source == "AS64500"
+    assert stats[0].total_likes == 2
+
+
+def test_heavy_hitter_ips():
+    log = _log_with_likes([("1.1.1.1", 1, i) for i in range(10)]
+                          + [("2.2.2.2", 1, 0)])
+    assert heavy_hitter_ips(log, min_likes=5) == ["1.1.1.1"]
+
+
+# ----------------------------------------------------------------------
+# §6.4 AS blocking
+# ----------------------------------------------------------------------
+
+def test_identify_abusive_asns_requires_fanout():
+    registry = AsRegistry()
+    # AS 64500: 60 IPs x 20 likes; AS 64510: 2 IPs x 600 likes.
+    entries = []
+    for i in range(60):
+        for j in range(20):
+            entries.append((f"10.50.0.{i}", 64500, j))
+    for i in range(2):
+        for j in range(600):
+            entries.append((f"10.60.0.{i}", 64510, j))
+    log = _log_with_likes(entries)
+    abusive = identify_abusive_asns(log, registry, min_ips=50,
+                                    min_share=0.05)
+    assert abusive == [64500]
+
+
+def test_identify_abusive_asns_empty_log_and_validation():
+    registry = AsRegistry()
+    assert identify_abusive_asns(RequestLog(), registry) == []
+    with pytest.raises(ValueError):
+        identify_abusive_asns(RequestLog(), registry, min_share=0.0)
+
+
+def test_identify_abusive_asns_share_threshold():
+    registry = AsRegistry()
+    # AS 64500 fans out over many IPs but carries only ~2% of traffic.
+    entries = [(f"10.50.0.{i}", 64500, i) for i in range(60)]
+    entries += [("10.60.0.1", 64510, i) for i in range(3000)]
+    log = _log_with_likes(entries)
+    assert identify_abusive_asns(log, registry, min_ips=50,
+                                 min_share=0.05) == []
+
+
+def test_block_asns_for_apps():
+    policy = RateLimitPolicy()
+    installed = block_asns_for_apps(policy, [64500, 64501],
+                                    ["app:1", "app:2"])
+    assert installed == 4
+    assert policy.is_as_blocked("app:1", 64500)
+    assert policy.is_as_blocked("app:2", 64501)
+    assert not policy.is_as_blocked("app:3", 64500)

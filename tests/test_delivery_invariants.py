@@ -1,0 +1,88 @@
+"""Invariant tests for the delivery engine across many requests."""
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def delivery_world():
+    from repro.apps.catalog import AppCatalog
+    from repro.collusion.ecosystem import build_ecosystem
+    from repro.core.config import StudyConfig
+    from repro.core.world import World
+    from repro.honeypot.account import create_honeypot
+
+    w = World(StudyConfig(scale=0.004, seed=71))
+    AppCatalog(w.apps, w.rng.stream("catalog"), tail_apps=0).build()
+    eco = build_ecosystem(w, network_limit=3)
+    honeypots = {}
+    for domain in eco.networks:
+        honeypots[domain] = create_honeypot(w, eco.network(domain))
+    return w, eco, honeypots
+
+
+def _run_requests(world, network, honeypot, count):
+    reports = []
+    for i in range(count):
+        post = world.platform.create_post(honeypot.account_id,
+                                          f"inv{i}")
+        reports.append((post,
+                        network.submit_like_request(
+                            honeypot.account_id, post.post_id)))
+    return reports
+
+
+def test_delivery_never_exceeds_quota(delivery_world):
+    w, eco, honeypots = delivery_world
+    for domain, network in eco.networks.items():
+        for post, report in _run_requests(w, network,
+                                          honeypots[domain], 5):
+            assert report.delivered <= report.requested
+            assert report.attempts >= report.delivered
+
+
+def test_likers_are_distinct_members_not_requester(delivery_world):
+    w, eco, honeypots = delivery_world
+    network = eco.network("hublaa.me")
+    honeypot = honeypots["hublaa.me"]
+    for post, report in _run_requests(w, network, honeypot, 5):
+        likers = w.platform.get_post(post.post_id).liker_ids()
+        assert len(likers) == len(set(likers))
+        assert honeypot.account_id not in likers
+        for liker in likers:
+            assert network.is_member(liker)
+
+
+def test_report_delivered_matches_platform_state(delivery_world):
+    w, eco, honeypots = delivery_world
+    network = eco.network("mg-likers.com")
+    honeypot = honeypots["mg-likers.com"]
+    for post, report in _run_requests(w, network, honeypot, 5):
+        assert (w.platform.get_post(post.post_id).like_count
+                == report.delivered)
+
+
+def test_network_counters_consistent(delivery_world):
+    w, eco, honeypots = delivery_world
+    network = eco.network("official-liker.net")
+    honeypot = honeypots["official-liker.net"]
+    before_likes = network.total_likes_delivered
+    before_requests = network.total_requests_served
+    reports = _run_requests(w, network, honeypot, 4)
+    delivered = sum(r.delivered for _, r in reports)
+    assert network.total_likes_delivered == before_likes + delivered
+    assert network.total_requests_served == before_requests + 4
+
+
+def test_all_likes_flow_through_graph_api(delivery_world):
+    """Every like on a honeypot post exists in the Graph API log with
+    matching attribution — nothing bypasses the front door."""
+    w, eco, honeypots = delivery_world
+    network = eco.network("hublaa.me")
+    honeypot = honeypots["hublaa.me"]
+    post, report = _run_requests(w, network, honeypot, 1)[0]
+    log_records = [r for r in w.api.log.like_requests()
+                   if r.target_id == post.post_id]
+    assert len(log_records) == report.delivered
+    platform_likers = set(w.platform.get_post(post.post_id).liker_ids())
+    assert {r.user_id for r in log_records} == platform_likers
+    assert all(r.app_id == network.profile.app_id for r in log_records)

@@ -1,0 +1,163 @@
+"""Tests for SynchroTrap, the lockstep baseline, and evaluation."""
+
+import pytest
+
+from repro.detection.actions import Action
+from repro.detection.evaluation import evaluate_detection
+from repro.detection.lockstep import LockstepDetector
+from repro.detection.synchrotrap import SynchroTrap
+from repro.detection.unionfind import UnionFind
+from repro.sim.clock import HOUR
+
+
+def lockstep_actions(accounts, targets, t0=0, spacing=60):
+    """Every account likes every target at nearly the same time."""
+    actions = []
+    for i, target in enumerate(targets):
+        when = t0 + i * spacing
+        for account in accounts:
+            actions.append(Action(account, target, when))
+    return actions
+
+
+# ----------------------------------------------------------------------
+# Union-find
+# ----------------------------------------------------------------------
+
+def test_union_find_groups():
+    uf = UnionFind()
+    uf.union("a", "b")
+    uf.union("c", "d")
+    uf.union("b", "c")
+    groups = uf.groups()
+    assert len(groups) == 1
+    assert set(groups[0]) == {"a", "b", "c", "d"}
+
+
+def test_union_find_separate_components():
+    uf = UnionFind()
+    uf.union("a", "b")
+    uf.union("x", "y")
+    assert uf.find("a") != uf.find("x")
+    assert len(uf.groups()) == 2
+
+
+# ----------------------------------------------------------------------
+# SynchroTrap
+# ----------------------------------------------------------------------
+
+def test_synchrotrap_catches_lockstep_botnet():
+    bots = [f"bot{i}" for i in range(30)]
+    targets = [f"post{i}" for i in range(12)]
+    detector = SynchroTrap(min_cluster_size=10, min_matched_actions=5,
+                           similarity_threshold=0.5)
+    result = detector.detect(lockstep_actions(bots, targets))
+    assert set(bots) <= result.flagged_accounts
+    assert len(result.clusters) == 1
+
+
+def test_synchrotrap_ignores_sparse_coincidence():
+    """Accounts that co-like only one or two posts never accumulate
+    enough matched actions — the collusion networks' evasion (§6.3)."""
+    actions = []
+    # 100 accounts, each likes exactly one of 10 posts.
+    for i in range(100):
+        actions.append(Action(f"user{i}", f"post{i % 10}", i * 10))
+    result = SynchroTrap().detect(actions)
+    assert result.flagged_accounts == set()
+
+
+def test_synchrotrap_time_window_matters():
+    bots = [f"bot{i}" for i in range(20)]
+    targets = [f"post{i}" for i in range(10)]
+    # Same targets, but each bot acts days apart from the others.
+    actions = []
+    for t_idx, target in enumerate(targets):
+        for b_idx, bot in enumerate(bots):
+            actions.append(Action(bot, target,
+                                  t_idx * 100 + b_idx * 50 * HOUR))
+    result = SynchroTrap(window_seconds=3600).detect(actions)
+    assert result.flagged_accounts == set()
+
+
+def test_synchrotrap_min_cluster_size():
+    bots = [f"bot{i}" for i in range(5)]
+    targets = [f"post{i}" for i in range(12)]
+    detector = SynchroTrap(min_cluster_size=10)
+    result = detector.detect(lockstep_actions(bots, targets))
+    assert result.flagged_accounts == set()  # too few to form a cluster
+
+
+def test_synchrotrap_similarity_denominator():
+    """An account with many unrelated actions dilutes its similarity."""
+    bots = [f"bot{i}" for i in range(12)]
+    targets = [f"post{i}" for i in range(10)]
+    actions = lockstep_actions(bots, targets)
+    # bot0 also has a large volume of unrelated solo actions.
+    for i in range(200):
+        actions.append(Action("noisy", f"solo{i}", i * 7))
+    result = SynchroTrap(min_cluster_size=5).detect(actions)
+    assert "noisy" not in result.flagged_accounts
+    assert set(bots) <= result.flagged_accounts
+
+
+def test_synchrotrap_validates_params():
+    with pytest.raises(ValueError):
+        SynchroTrap(window_seconds=0)
+    with pytest.raises(ValueError):
+        SynchroTrap(similarity_threshold=0.0)
+
+
+def test_synchrotrap_bucket_sampling_keeps_result_bounded():
+    bots = [f"bot{i}" for i in range(300)]
+    detector = SynchroTrap(max_bucket_actors=50, min_cluster_size=10)
+    result = detector.detect(lockstep_actions(bots, ["p1"] * 1))
+    # One post cannot produce min_matched_actions matches.
+    assert result.flagged_accounts == set()
+    assert result.pairs_scored <= 50 * 49  # sampling bound (two buckets)
+
+
+# ----------------------------------------------------------------------
+# Lockstep baseline
+# ----------------------------------------------------------------------
+
+def test_lockstep_detector_catches_shared_targets():
+    bots = [f"bot{i}" for i in range(15)]
+    targets = [f"post{i}" for i in range(8)]
+    # Timing spread out doesn't matter for the lockstep detector.
+    actions = []
+    for t_idx, target in enumerate(targets):
+        for b_idx, bot in enumerate(bots):
+            actions.append(Action(bot, target,
+                                  t_idx * 100 + b_idx * 50 * HOUR))
+    result = LockstepDetector(min_common_targets=5,
+                              min_cluster_size=10).detect(actions)
+    assert set(bots) <= result.flagged_accounts
+
+
+def test_lockstep_detector_ignores_disjoint_accounts():
+    actions = [Action(f"user{i}", f"post{i}", i) for i in range(100)]
+    result = LockstepDetector().detect(actions)
+    assert result.flagged_accounts == set()
+
+
+# ----------------------------------------------------------------------
+# Evaluation
+# ----------------------------------------------------------------------
+
+def test_evaluation_metrics():
+    bots = [f"bot{i}" for i in range(30)]
+    result = SynchroTrap(min_cluster_size=10).detect(
+        lockstep_actions(bots, [f"p{i}" for i in range(10)]))
+    metrics = evaluate_detection(result, ground_truth=bots)
+    assert metrics.precision == 1.0
+    assert metrics.recall == 1.0
+    assert metrics.f1 == 1.0
+
+
+def test_evaluation_handles_empty():
+    result = SynchroTrap().detect([])
+    metrics = evaluate_detection(result, ground_truth=["a"])
+    assert metrics.precision == 0.0
+    assert metrics.recall == 0.0
+    assert metrics.f1 == 0.0

@@ -1,0 +1,61 @@
+"""Tests for the collusion-network economics model (§8)."""
+
+import pytest
+
+from repro.collusion.economics import (
+    demonetization_impact,
+    estimate_economics,
+)
+
+
+def test_top_network_is_very_profitable(mini_study):
+    world, catalog, ecosystem = mini_study
+    estimate = estimate_economics(world, ecosystem.network("hublaa.me"))
+    assert estimate.is_profitable
+    assert estimate.ad_revenue_monthly > estimate.hosting_cost_monthly
+    assert estimate.revenue_monthly == (estimate.ad_revenue_monthly
+                                        + estimate.premium_revenue_monthly)
+
+
+def test_ad_revenue_scales_with_traffic(mini_study):
+    world, catalog, ecosystem = mini_study
+    big = estimate_economics(world, ecosystem.network("hublaa.me"))
+    small = estimate_economics(world,
+                               ecosystem.network("monkeyliker.com"))
+    assert big.daily_visits > small.daily_visits
+    # hublaa's visits dominate even though monkeyliker forces no
+    # additional redirect hops.
+    assert big.ad_revenue_monthly > small.ad_revenue_monthly
+
+
+def test_bulletproof_hosting_costs_premium(mini_study):
+    world, catalog, ecosystem = mini_study
+    hublaa = estimate_economics(world, ecosystem.network("hublaa.me"))
+    official = estimate_economics(
+        world, ecosystem.network("official-liker.net"))
+    # 600 bulletproof IPs vs 8 plain ones.
+    assert hublaa.hosting_cost_monthly > 50 * official.hosting_cost_monthly
+
+
+def test_explicit_subscriptions_override_uptake(mini_study):
+    world, catalog, ecosystem = mini_study
+    network = ecosystem.network("mg-likers.com")
+    member = network.join()
+    network.monetization.subscribe(member, "ultimate")
+    estimate = estimate_economics(world, network)
+    assert estimate.premium_revenue_monthly == pytest.approx(29.99)
+
+
+def test_demonetization_cuts_ad_revenue(mini_study):
+    world, catalog, ecosystem = mini_study
+    impact = demonetization_impact(world,
+                                   ecosystem.network("hublaa.me"))
+    assert impact["ad_revenue_lost"] > 0
+    assert impact["profit_after"] < impact["profit_before"]
+
+
+def test_premium_uptake_validation(mini_study):
+    world, catalog, ecosystem = mini_study
+    with pytest.raises(ValueError):
+        estimate_economics(world, ecosystem.network("hublaa.me"),
+                           premium_uptake=1.5)

@@ -1,0 +1,43 @@
+"""Smoke tests: the fast example scripts run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+FAST_EXAMPLES = [
+    ("quickstart.py", [], "Requested likes"),
+    ("token_leakage_demo.py", [], "EXPLOITED"),
+    ("detect_lockstep.py", [], "recall"),
+]
+
+
+@pytest.mark.parametrize("script,args,marker", FAST_EXAMPLES,
+                         ids=[s for s, _, _ in FAST_EXAMPLES])
+def test_example_runs(script, args, marker):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert marker in result.stdout
+
+
+def test_all_examples_exist_and_have_docstrings():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 8
+    for script in scripts:
+        text = script.read_text()
+        assert text.startswith("#!/usr/bin/env python3"), script.name
+        assert '"""' in text.split("\n", 1)[1][:20], script.name
+
+
+def test_cli_help_runs():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"],
+        capture_output=True, text=True, timeout=60)
+    assert result.returncode == 0
+    for command in ("scan", "milk", "campaign", "full", "score"):
+        assert command in result.stdout

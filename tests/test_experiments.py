@@ -1,0 +1,209 @@
+"""Tests for the table/figure experiment modules over a mini study."""
+
+import pytest
+
+from repro.apps.catalog import AppCatalog
+from repro.collusion.ecosystem import build_ecosystem
+from repro.core.config import StudyConfig
+from repro.core.world import World
+from repro.countermeasures.campaign import (
+    CampaignConfig,
+    CountermeasureCampaign,
+)
+from repro.experiments import (
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from repro.experiments.formats import format_table, humanize_count
+from repro.honeypot.milker import MilkingCampaign
+from repro.oauth.tokens import TokenLifetime
+
+
+@pytest.fixture(scope="module")
+def full_artifacts():
+    """A complete mini study: build + milk + campaign."""
+    w = World(StudyConfig(scale=0.005, seed=5, milking_days=8))
+    catalog = AppCatalog(w.apps, w.rng.stream("catalog"))
+    catalog.build()
+    eco = build_ecosystem(w)
+    milking = MilkingCampaign(w, eco).run(8)
+    config = CampaignConfig(
+        days=20, posts_per_day=6, rate_limit_day=4,
+        invalidate_half_day=7, invalidate_all_day=9,
+        daily_half_start_day=10, daily_all_start_day=12,
+        ip_limit_day=14, clustering_start_day=16,
+        clustering_interval_days=2, as_block_day=18,
+        hublaa_outage=None, outgoing_per_hour=2.0)
+    campaign = CountermeasureCampaign(w, eco, config).run()
+    return w, catalog, eco, milking, campaign
+
+
+# ----------------------------------------------------------------------
+# Formats
+# ----------------------------------------------------------------------
+
+def test_format_table_alignment():
+    text = format_table(["name", "n"], [("a", 1), ("bb", 22)], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1]
+    assert lines[-1].endswith("22")
+
+
+def test_humanize_count():
+    assert humanize_count(50_000_000) == "50M"
+    assert humanize_count(1_500_000) == "1.5M"
+    assert humanize_count(100_000) == "100K"
+    assert humanize_count(42) == "42"
+
+
+# ----------------------------------------------------------------------
+# Tables
+# ----------------------------------------------------------------------
+
+def test_table1_reproduces_split(full_artifacts):
+    w, catalog, eco, milking, campaign = full_artifacts
+    result = table1.run(w, catalog)
+    assert (result.susceptible, result.susceptible_short_term,
+            result.susceptible_long_term) == (55, 46, 9)
+    assert result.rows[0][1] == "Spotify"
+    assert "Table 1" in result.render()
+
+
+def test_table2_top_sites_and_countries(full_artifacts):
+    w, catalog, eco, milking, campaign = full_artifacts
+    result = table2.run(w)
+    assert result.rows[0][0] == "hublaa.me"
+    assert result.rank_of("hublaa.me") < result.rank_of("djliker.com")
+    # Top countries survive the synthetic remainder split.
+    by_domain = {r[0]: r for r in result.rows}
+    assert by_domain["hublaa.me"][2] == "IN"
+    assert by_domain["begeniyor.com"][2] == "TR"
+    assert by_domain["autolike.vn"][2] == "VN"
+    with pytest.raises(KeyError):
+        result.rank_of("nope.example")
+
+
+def test_table3_app_order_and_buckets(full_artifacts):
+    w, catalog, eco, milking, campaign = full_artifacts
+    result = table3.run(w)
+    names = [r.name for r in result.rows]
+    assert names == ["HTC Sense", "Nokia Account",
+                     "Sony Xperia smartphone"]
+    dau = [r.dau for r in result.rows]
+    assert dau[0] > dau[1] > dau[2]
+    ranks = [r.dau_rank for r in result.rows]
+    assert ranks[0] < ranks[1] < ranks[2]
+
+
+def test_table4_rows_and_totals(full_artifacts):
+    w, catalog, eco, milking, campaign = full_artifacts
+    result = table4.run(milking, scale=w.config.scale)
+    assert result.rows[0].domain == "hublaa.me"  # biggest membership
+    assert result.total_posts == milking.total_posts()
+    assert result.unique_accounts <= result.total_memberships
+    assert "Table 4" in result.render()
+    row = result.row_for("official-liker.net")
+    assert row.avg_likes_per_post == pytest.approx(390, rel=0.1)
+    with pytest.raises(KeyError):
+        result.row_for("missing")
+
+
+def test_table5_rows(full_artifacts):
+    w, catalog, eco, milking, campaign = full_artifacts
+    result = table5.run(w, eco)
+    assert len(result.rows) == 13
+    assert result.rows[0].label == "goo.gl/jZ7Nyl"
+    assert result.rows[0].report.short_url_clicks >= 147_959_735
+    assert result.rows[0].app_name == "HTC Sense"
+    assert result.total_long_url_clicks() > 289_000_000
+    assert "Table 5" in result.render()
+
+
+def test_table6_lexical_shape(full_artifacts):
+    w, catalog, eco, milking, campaign = full_artifacts
+    result = table6.run(milking)
+    assert len(result.per_network) == 7
+    for domain, analysis in result.per_network.items():
+        assert analysis.comments > 0
+        assert analysis.lexical_richness_pct < 40
+    assert result.overall.unique_comment_pct < 30
+    assert 5 < result.overall.non_dictionary_pct < 45
+    assert "Table 6" in result.render()
+
+
+# ----------------------------------------------------------------------
+# Figures
+# ----------------------------------------------------------------------
+
+def test_fig4_curves(full_artifacts):
+    w, catalog, eco, milking, campaign = full_artifacts
+    result = fig4.run(milking)
+    for domain, curve in result.curves.items():
+        assert curve.posts > 0
+        likes = curve.cumulative_likes
+        assert all(a <= b for a, b in zip(likes, likes[1:]))
+        unique = curve.cumulative_unique
+        assert all(a <= b for a, b in zip(unique, unique[1:]))
+        # Diminishing returns: the tail finds fewer new accounts per
+        # like than the beginning.
+        assert curve.new_unique_rate(tail_fraction=0.3) < 1.0
+    assert "Figure 4" in result.render()
+
+
+def test_fig5_phases(full_artifacts):
+    w, catalog, eco, milking, campaign = full_artifacts
+    result = fig5.run(campaign)
+    baseline = result.phase_avg("official-liker.net", "baseline")
+    ip_phase = result.phase_avg("official-liker.net", "IP rate limits")
+    assert ip_phase < 0.2 * baseline
+    assert "Figure 5" in result.render()
+    with pytest.raises(KeyError):
+        result.phase_avg("official-liker.net", "no such phase")
+
+
+def test_fig6_histogram(full_artifacts):
+    w, catalog, eco, milking, campaign = full_artifacts
+    result = fig6.run(w, campaign, ecosystem=eco)
+    for domain, hist in result.histograms.items():
+        assert hist.accounts > 0
+        assert sum(hist.shares.values()) == pytest.approx(1.0)
+        # Most accounts like only a few posts (account rotation, §6.3).
+        assert hist.share_at_most(3) > 0.5
+    assert "Figure 6" in result.render()
+
+
+def test_fig7_hourly_spread(full_artifacts):
+    w, catalog, eco, milking, campaign = full_artifacts
+    result = fig7.run(w, campaign)
+    for domain, series in result.series.items():
+        assert len(series.hourly_average) == 24
+        assert series.total_actions > 0
+        # Spread across the day, close to the configured 2/hour, with
+        # no single-hour binge.
+        assert series.peak < 12 * max(series.mean, 0.1)
+    assert "Figure 7" in result.render()
+
+
+def test_fig8_source_concentration(full_artifacts):
+    w, catalog, eco, milking, campaign = full_artifacts
+    result = fig8.run(w, campaign)
+    official = result.breakdowns["official-liker.net"]
+    hublaa = result.breakdowns["hublaa.me"]
+    # official-liker.net: few IPs, traffic concentrated (zipf).
+    assert official.distinct_ips < 20
+    assert official.top_ip_share() > 0.5
+    # hublaa.me: large pool across exactly the two bulletproof ASes.
+    assert hublaa.distinct_ips > 100
+    assert hublaa.distinct_asns == 2
+    assert hublaa.top_ip_share() < 0.2
+    assert "Figure 8" in result.render()

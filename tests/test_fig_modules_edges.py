@@ -1,0 +1,49 @@
+"""Edge-case tests for figure modules and campaign configuration."""
+
+import pytest
+
+from repro.countermeasures.campaign import (
+    CampaignConfig,
+    NetworkDailySeries,
+)
+from repro.experiments.fig4 import MilkingCurve
+from repro.experiments.fig5 import _phases_for
+
+
+def test_campaign_config_validation():
+    with pytest.raises(ValueError):
+        CampaignConfig(days=0)
+    with pytest.raises(ValueError):
+        CampaignConfig(posts_per_day=0)
+
+
+def test_daily_series_averages():
+    series = NetworkDailySeries(domain="x",
+                                posts_per_day=[2, 2, 0],
+                                likes_per_day=[200, 100, 0])
+    assert series.avg_likes_per_post == [100.0, 50.0, 0.0]
+    assert series.window_average(1, 2) == 75.0
+    assert series.window_average(3, 3) == 0.0
+    assert series.window_average(5, 9) == 0.0  # out of range -> empty
+
+
+def test_phase_windows_tile_the_campaign():
+    config = CampaignConfig()
+    phases = _phases_for(config)
+    # Phases are contiguous and ordered: each starts right after the
+    # previous ends, the first covers day 1, the last ends at days.
+    assert phases[0][1] == 1
+    for (_, _, prev_end), (_, start, _) in zip(phases, phases[1:]):
+        assert start == prev_end + 1
+    assert phases[-1][2] == config.days
+
+
+def test_milking_curve_new_unique_rate_bounds():
+    curve = MilkingCurve(domain="x",
+                         cumulative_likes=[100, 200, 300, 400],
+                         cumulative_unique=[100, 150, 175, 185])
+    rate = curve.new_unique_rate(tail_fraction=0.5)
+    assert 0.0 <= rate <= 1.0
+    # Single-post curve degenerates to 1.0 (no tail to measure).
+    single = MilkingCurve("y", [50], [50])
+    assert single.new_unique_rate() == 1.0

@@ -1,0 +1,99 @@
+"""Tests for lexical analysis: tokenization, richness, ARI, dictionary."""
+
+import pytest
+
+from repro.lexical.analysis import (
+    analyze_comments,
+    lexical_richness,
+    tokenize,
+)
+from repro.lexical.ari import (
+    automated_readability_index,
+    corpus_ari,
+    count_sentences,
+)
+from repro.lexical.wordlist import (
+    english_words,
+    is_dictionary_word,
+    normalize_token,
+)
+
+
+def test_tokenize_skips_pure_punctuation():
+    # "<3" survives tokenization (contains a digit) but normalizes away.
+    assert tokenize("nice pic !!! <3 ??") == ["nice", "pic", "<3"]
+    assert tokenize("!!! ?? ...") == []
+
+
+def test_tokenize_keeps_leet():
+    assert tokenize("gr8 w00t") == ["gr8", "w00t"]
+
+
+def test_normalize_token():
+    assert normalize_token("Nice!!!") == "nice"
+    assert normalize_token("gr8") == "gr"
+    assert normalize_token("??!") == ""
+
+
+def test_dictionary_classification():
+    assert is_dictionary_word("awesome")
+    assert is_dictionary_word("Nice!")
+    assert not is_dictionary_word("bravooooo")
+    assert not is_dictionary_word("bfewguvchieuwver")
+    assert not is_dictionary_word("??")
+
+
+def test_wordlist_loads_once():
+    words = english_words()
+    assert "nice" in words
+    assert len(words) > 100
+
+
+def test_lexical_richness():
+    assert lexical_richness(["a", "a", "b", "b"]) == 0.5
+    assert lexical_richness([]) == 0.0
+    assert lexical_richness(["x"]) == 1.0
+
+
+def test_count_sentences():
+    assert count_sentences("Hello there. How are you?") == 2
+    assert count_sentences("no terminator") == 1
+    assert count_sentences("!!! ???") == 1  # punctuation only
+
+
+def test_ari_monotone_in_word_length():
+    short = automated_readability_index("an ox is in it")
+    long_ = automated_readability_index(
+        "extraordinarily sophisticated vocabulary illuminates discourse")
+    assert long_ > short
+
+
+def test_ari_empty():
+    assert automated_readability_index("") == 0.0
+    assert corpus_ari([]) == 0.0
+    assert corpus_ari(["   "]) == 0.0
+
+
+def test_elongated_words_inflate_ari():
+    plain = corpus_ari(["nice pic"] * 10)
+    inflated = corpus_ari(["niceeeeeeeee piccccccccc"] * 10)
+    assert inflated > plain
+
+
+def test_analyze_comments_full():
+    comments = ["nice pic", "nice pic", "gr8 photo", "so lovely !!!"]
+    analysis = analyze_comments(comments, posts=2)
+    assert analysis.comments == 4
+    assert analysis.unique_comments == 3
+    assert analysis.avg_comments_per_post == 2.0
+    assert analysis.unique_comment_pct == 75.0
+    assert analysis.words == 8
+    # gr8 -> "gr" is non-dictionary.
+    assert analysis.non_dictionary_pct > 0
+
+
+def test_analyze_comments_empty():
+    analysis = analyze_comments([], posts=0)
+    assert analysis.comments == 0
+    assert analysis.lexical_richness_pct == 0.0
+    assert analysis.ari == 0.0

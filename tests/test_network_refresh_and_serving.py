@@ -1,0 +1,72 @@
+"""Tests for token refresh and charge-only background serving."""
+
+import pytest
+
+from repro.apps.catalog import AppCatalog
+from repro.collusion.ecosystem import build_ecosystem
+from repro.core.config import StudyConfig
+from repro.core.world import World
+from repro.oauth.tokens import LONG_TERM_LIFETIME
+
+
+@pytest.fixture()
+def small_eco():
+    w = World(StudyConfig(scale=0.002, seed=19))
+    AppCatalog(w.apps, w.rng.stream("catalog"), tail_apps=0).build()
+    eco = build_ecosystem(w, network_limit=2)
+    return w, eco
+
+
+def test_refresh_revives_expired_pool(small_eco):
+    w, eco = small_eco
+    net = eco.network("official-liker.net")
+    # Let every token from the build expire.
+    w.clock.advance(LONG_TERM_LIFETIME + 1)
+    hp = w.platform.register_account("HP", is_honeypot=True)
+    net.join(hp.account_id)
+    refreshed = net.refresh_all_tokens()
+    assert refreshed > 0
+    post = w.platform.create_post(hp.account_id, "x")
+    report = net.submit_like_request(hp.account_id, post.post_id)
+    assert report.delivered == net.profile.likes_per_request
+
+
+def test_refresh_revives_invalidated_members(small_eco):
+    w, eco = small_eco
+    net = eco.network("official-liker.net")
+    victims = list(net.token_db)[:30]
+    for member in victims:
+        w.tokens.invalidate(net.token_db[member])
+        net._drop_member(member)
+    before = net.member_count()
+    net.refresh_all_tokens()
+    assert net.member_count() == before + 30
+    assert not net.dead_members
+
+
+def test_refresh_is_noop_on_healthy_pool(small_eco):
+    w, eco = small_eco
+    net = eco.network("official-liker.net")
+    assert net.refresh_all_tokens() == 0
+
+
+def test_background_serving_charges_without_posts(small_eco):
+    w, eco = small_eco
+    net = eco.network("hublaa.me")
+    posts_before = len(w.platform.posts)
+    log_before = len(w.api.log)
+    delivered = net.serve_background_requests(3)
+    assert delivered == 3 * net.profile.likes_per_request
+    assert len(w.platform.posts) == posts_before  # nothing materialized
+    assert len(w.api.log) == log_before           # nothing logged
+    assert w.api.charge_counters["likes"] == delivered
+
+
+def test_background_serving_discovers_dead_tokens(small_eco):
+    w, eco = small_eco
+    net = eco.network("hublaa.me")
+    for member in list(net.token_db)[:100]:
+        w.tokens.invalidate(net.token_db[member])
+    before = net.member_count()
+    net.serve_background_requests(5)
+    assert net.member_count() < before

@@ -1,0 +1,123 @@
+"""Tests for the application registry and the review process."""
+
+import pytest
+
+from repro.oauth.apps import ApplicationRegistry, AppSecuritySettings
+from repro.oauth.errors import UnknownApplicationError
+from repro.oauth.review import AppReviewProcess, ReviewDecision
+from repro.oauth.scopes import Permission, PermissionScope
+
+
+def test_register_and_get():
+    registry = ApplicationRegistry()
+    app = registry.register("App", "https://a.example/cb")
+    assert registry.get(app.app_id) is app
+    assert len(registry) == 1
+
+
+def test_unknown_app():
+    registry = ApplicationRegistry()
+    with pytest.raises(UnknownApplicationError):
+        registry.get("app:404")
+
+
+def test_pinned_app_id():
+    registry = ApplicationRegistry()
+    app = registry.register("App", "https://a.example/cb",
+                            app_id="41158896424")
+    assert app.app_id == "41158896424"
+    with pytest.raises(ValueError):
+        registry.register("Dup", "https://b.example/cb",
+                          app_id="41158896424")
+
+
+def test_secret_check():
+    registry = ApplicationRegistry()
+    app = registry.register("App", "https://a.example/cb")
+    assert app.check_secret(app.secret)
+    assert not app.check_secret("guess")
+
+
+def test_susceptibility_requires_all_three_conditions():
+    registry = ApplicationRegistry()
+    full = PermissionScope.full()
+    susceptible = registry.register(
+        "S", "https://s.example/cb",
+        security=AppSecuritySettings(True, False),
+        approved_permissions=full)
+    assert susceptible.is_susceptible
+    no_client_flow = registry.register(
+        "NC", "https://nc.example/cb",
+        security=AppSecuritySettings(False, False),
+        approved_permissions=full)
+    assert not no_client_flow.is_susceptible
+    needs_secret = registry.register(
+        "NS", "https://ns.example/cb",
+        security=AppSecuritySettings(True, True),
+        approved_permissions=full)
+    assert not needs_secret.is_susceptible
+    read_only = registry.register(
+        "RO", "https://ro.example/cb",
+        security=AppSecuritySettings(True, False))
+    assert not read_only.is_susceptible
+
+
+def test_find_by_name_and_top_by_mau():
+    registry = ApplicationRegistry()
+    registry.register("Big", "https://b.example/cb",
+                      monthly_active_users=100)
+    registry.register("Small", "https://s.example/cb",
+                      monthly_active_users=10)
+    registry.register("Big", "https://b2.example/cb",
+                      monthly_active_users=50)
+    assert len(registry.find_by_name("Big")) == 2
+    top = registry.top_by_mau(2)
+    assert [a.monthly_active_users for a in top] == [100, 50]
+
+
+# ----------------------------------------------------------------------
+# Review process (§3: collusion networks cannot register their own apps)
+# ----------------------------------------------------------------------
+
+def _app(name):
+    registry = ApplicationRegistry()
+    return registry.register(name, "https://x.example/cb")
+
+
+def test_review_approves_legitimate_app():
+    review = AppReviewProcess()
+    app = _app("Music Player")
+    outcome = review.submit(app, PermissionScope.full(),
+                            declared_purpose="share played tracks")
+    assert outcome.decision is ReviewDecision.APPROVED
+    assert app.approved_permissions.contains(Permission.PUBLISH_ACTIONS)
+
+
+def test_review_rejects_autoliker():
+    review = AppReviewProcess()
+    app = _app("Super AutoLiker Pro")
+    outcome = review.submit(app, PermissionScope.full())
+    assert outcome.decision is ReviewDecision.REJECTED
+    assert not app.approved_permissions.contains(Permission.PUBLISH_ACTIONS)
+
+
+def test_review_rejects_on_declared_purpose():
+    review = AppReviewProcess()
+    app = _app("Innocent Name")
+    outcome = review.submit(app, PermissionScope.full(),
+                            declared_purpose="get free likes fast")
+    assert outcome.decision is ReviewDecision.REJECTED
+
+
+def test_basic_permissions_skip_review():
+    review = AppReviewProcess()
+    app = _app("Liker App")  # suspicious name, but asks nothing sensitive
+    outcome = review.submit(app, PermissionScope.basic())
+    assert outcome.decision is ReviewDecision.APPROVED
+
+
+def test_review_history_recorded():
+    review = AppReviewProcess()
+    review.submit(_app("A"), PermissionScope.basic())
+    review.submit(_app("B Liker"), PermissionScope.full())
+    assert len(review.history) == 2

@@ -1,0 +1,71 @@
+"""Tests for permissions and scopes."""
+
+import pytest
+
+from repro.oauth.scopes import (
+    BASIC_PERMISSIONS,
+    SENSITIVE_PERMISSIONS,
+    Permission,
+    PermissionScope,
+)
+
+
+def test_publish_actions_is_sensitive():
+    assert Permission.PUBLISH_ACTIONS.is_sensitive
+    assert not Permission.PUBLIC_PROFILE.is_sensitive
+
+
+def test_basic_and_sensitive_partition():
+    assert BASIC_PERMISSIONS | SENSITIVE_PERMISSIONS == frozenset(Permission)
+    assert not BASIC_PERMISSIONS & SENSITIVE_PERMISSIONS
+
+
+def test_parse_scope_string():
+    scope = PermissionScope.parse("public_profile,email")
+    assert scope.contains(Permission.PUBLIC_PROFILE)
+    assert scope.contains(Permission.EMAIL)
+    assert not scope.contains(Permission.PUBLISH_ACTIONS)
+
+
+def test_parse_space_separated():
+    scope = PermissionScope.parse("public_profile publish_actions")
+    assert scope.contains(Permission.PUBLISH_ACTIONS)
+
+
+def test_parse_unknown_permission():
+    with pytest.raises(ValueError):
+        PermissionScope.parse("made_up_permission")
+
+
+def test_full_scope_contains_everything():
+    scope = PermissionScope.full()
+    assert len(scope) == len(Permission)
+
+
+def test_sensitive_subset():
+    assert PermissionScope.full().sensitive() == SENSITIVE_PERMISSIONS
+    assert not PermissionScope.basic().sensitive()
+
+
+def test_issubset():
+    assert PermissionScope.basic().issubset(PermissionScope.full())
+    assert not PermissionScope.full().issubset(PermissionScope.basic())
+
+
+def test_scope_string_round_trip():
+    scope = PermissionScope.full()
+    again = PermissionScope.parse(scope.to_scope_string())
+    assert scope == again
+
+
+def test_equality_and_hash():
+    a = PermissionScope({Permission.EMAIL})
+    b = PermissionScope({Permission.EMAIL})
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != PermissionScope.basic()
+
+
+def test_iteration_is_sorted():
+    values = [p.value for p in PermissionScope.full()]
+    assert values == sorted(values)

@@ -1,0 +1,124 @@
+"""Tests for token issuance, expiry and invalidation."""
+
+import pytest
+
+from repro.oauth.errors import InvalidTokenError
+from repro.oauth.scopes import Permission, PermissionScope
+from repro.oauth.tokens import (
+    LONG_TERM_LIFETIME,
+    SHORT_TERM_LIFETIME,
+    TokenLifetime,
+    TokenStore,
+)
+from repro.sim.clock import HOUR, SimClock
+
+
+def make_store():
+    clock = SimClock()
+    return clock, TokenStore(clock)
+
+
+def test_issue_and_validate():
+    clock, store = make_store()
+    token = store.issue("u1", "a1", PermissionScope.full(),
+                        TokenLifetime.LONG_TERM)
+    assert store.validate(token.token) is token
+    assert token.grants(Permission.PUBLISH_ACTIONS)
+
+
+def test_token_string_is_opaque_and_unique():
+    clock, store = make_store()
+    t1 = store.issue("u1", "a1", PermissionScope.basic(),
+                     TokenLifetime.SHORT_TERM)
+    t2 = store.issue("u2", "a1", PermissionScope.basic(),
+                     TokenLifetime.SHORT_TERM)
+    assert t1.token != t2.token
+    assert "u1" not in t1.token  # no user info leaks into the string
+
+
+def test_short_term_expiry():
+    clock, store = make_store()
+    token = store.issue("u1", "a1", PermissionScope.basic(),
+                        TokenLifetime.SHORT_TERM)
+    clock.advance(SHORT_TERM_LIFETIME + 1)
+    with pytest.raises(InvalidTokenError):
+        store.validate(token.token)
+
+
+def test_long_term_lifetime_is_two_months():
+    assert LONG_TERM_LIFETIME == 60 * 24 * HOUR
+
+
+def test_long_term_outlives_short_term():
+    clock, store = make_store()
+    token = store.issue("u1", "a1", PermissionScope.basic(),
+                        TokenLifetime.LONG_TERM)
+    clock.advance(SHORT_TERM_LIFETIME + 1)
+    assert store.validate(token.token) is token
+
+
+def test_unknown_token_rejected():
+    clock, store = make_store()
+    with pytest.raises(InvalidTokenError):
+        store.validate("EAABnope")
+
+
+def test_invalidate():
+    clock, store = make_store()
+    token = store.issue("u1", "a1", PermissionScope.basic(),
+                        TokenLifetime.LONG_TERM)
+    assert store.invalidate(token.token, "test") is True
+    with pytest.raises(InvalidTokenError):
+        store.validate(token.token)
+    assert token.invalidation_reason == "test"
+    # Second invalidation reports False (already dead).
+    assert store.invalidate(token.token) is False
+
+
+def test_invalidate_many_counts_live_only():
+    clock, store = make_store()
+    t1 = store.issue("u1", "a1", PermissionScope.basic(),
+                     TokenLifetime.LONG_TERM)
+    t2 = store.issue("u2", "a1", PermissionScope.basic(),
+                     TokenLifetime.LONG_TERM)
+    store.invalidate(t2.token)
+    assert store.invalidate_many([t1.token, t2.token, "missing"]) == 1
+
+
+def test_reissue_supersedes_previous():
+    clock, store = make_store()
+    old = store.issue("u1", "a1", PermissionScope.basic(),
+                      TokenLifetime.LONG_TERM)
+    new = store.issue("u1", "a1", PermissionScope.basic(),
+                      TokenLifetime.LONG_TERM)
+    assert old.invalidated
+    assert old.invalidation_reason == "superseded"
+    assert store.live_token_for("u1", "a1").token == new.token
+
+
+def test_live_token_for_none_when_dead():
+    clock, store = make_store()
+    token = store.issue("u1", "a1", PermissionScope.basic(),
+                        TokenLifetime.SHORT_TERM)
+    store.invalidate(token.token)
+    assert store.live_token_for("u1", "a1") is None
+
+
+def test_live_tokens_for_app():
+    clock, store = make_store()
+    store.issue("u1", "a1", PermissionScope.basic(),
+                TokenLifetime.LONG_TERM)
+    store.issue("u2", "a1", PermissionScope.basic(),
+                TokenLifetime.LONG_TERM)
+    store.issue("u3", "a2", PermissionScope.basic(),
+                TokenLifetime.LONG_TERM)
+    assert len(store.live_tokens_for_app("a1")) == 2
+
+
+def test_peek_ignores_validity():
+    clock, store = make_store()
+    token = store.issue("u1", "a1", PermissionScope.basic(),
+                        TokenLifetime.SHORT_TERM)
+    store.invalidate(token.token)
+    assert store.peek(token.token) is token
+    assert store.peek("missing") is None

@@ -1,0 +1,63 @@
+"""Tests for the §5.2 ownership / self-promotion subsystem."""
+
+import pytest
+
+from repro.collusion.ownership import (
+    DEFAULT_OWNER_FOLLOWERS,
+    OWNER_FOLLOWERS,
+    ownership_report,
+)
+
+
+def test_owners_created_for_every_network(mini_study):
+    world, catalog, ecosystem = mini_study
+    for domain, network in ecosystem.networks.items():
+        owner = network.owner
+        assert owner is not None
+        account = world.platform.get_account(owner.account_id)
+        assert account.follower_count == owner.followers
+        assert len(owner.promo_post_ids) == 3
+        world.platform.get_page(owner.page_id)  # exists
+
+
+def test_owner_follower_scaling(mini_study):
+    world, catalog, ecosystem = mini_study
+    mg = ecosystem.network("mg-likers.com").owner
+    hublaa = ecosystem.network("hublaa.me").owner
+    scale = world.config.scale
+    assert mg.followers == int(OWNER_FOLLOWERS["mg-likers.com"] * scale)
+    assert mg.followers > hublaa.followers
+
+
+def test_background_activity_promotes_owner(mini_study):
+    world, catalog, ecosystem = mini_study
+    network = ecosystem.network("mg-likers.com")
+    owner = network.owner
+    before = sum(world.platform.get_post(p).like_count
+                 for p in owner.promo_post_ids)
+    # Drive enough background actions that the 5% promotion share fires.
+    members = list(network.token_db)[:40]
+    for member in members:
+        network.use_member_token_for_background(member, 10)
+    after = sum(world.platform.get_post(p).like_count
+                for p in owner.promo_post_ids)
+    page_likes = world.platform.get_page(owner.page_id).like_count
+    assert after + page_likes > before
+
+
+def test_ownership_report(mini_study):
+    world, catalog, ecosystem = mini_study
+    report = ownership_report(world, ecosystem)
+    assert len(report.rows) == len(ecosystem.networks)
+    # Sorted by owner visibility; mg-likers' operator leads.
+    assert report.rows[0].domain == "mg-likers.com"
+    # Privacy-protected rows disclose nothing.
+    for row in report.rows:
+        if row.privacy_protected:
+            assert row.registrant_name is None
+            assert row.registrant_country is None
+    countries = report.registrant_countries()
+    assert all(isinstance(v, int) for v in countries.values())
+    text = report.render()
+    assert "Ownership analysis" in text
+    assert "mg-likers.com" in text

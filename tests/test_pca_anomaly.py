@@ -1,0 +1,85 @@
+"""Tests for the PCA anomaly-detection baseline (§7.3)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.detection.actions import Action
+from repro.detection.pca_anomaly import (
+    PcaAnomalyDetector,
+    account_daily_vectors,
+)
+from repro.sim.clock import DAY, HOUR
+
+WINDOW = 14
+
+
+def _normal_vectors(n=200, seed=1):
+    rng = np.random.default_rng(seed)
+    # Normal users: a few likes/day with a weekly rhythm.
+    base = 2 + np.sin(np.arange(WINDOW) * 2 * np.pi / 7)
+    return [rng.poisson(base).astype(float) for _ in range(n)]
+
+
+def test_daily_vector_binning():
+    actions = [
+        Action("a", "p1", 5),
+        Action("a", "p2", DAY + 10),
+        Action("a", "p3", DAY + 20),
+        Action("b", "p1", 3 * DAY),
+        Action("b", "p2", WINDOW * DAY + 1),  # outside the window
+    ]
+    vectors = account_daily_vectors(actions, WINDOW)
+    assert vectors["a"][0] == 1 and vectors["a"][1] == 2
+    assert vectors["b"][3] == 1
+    assert vectors["b"].sum() == 1
+
+
+def test_daily_vector_validation():
+    with pytest.raises(ValueError):
+        account_daily_vectors([], 0)
+
+
+def test_fit_requires_samples():
+    with pytest.raises(ValueError):
+        PcaAnomalyDetector().fit([np.zeros(WINDOW)])
+
+
+def test_unfitted_detector_raises():
+    detector = PcaAnomalyDetector()
+    with pytest.raises(RuntimeError):
+        detector.score(np.zeros(WINDOW))
+    with pytest.raises(RuntimeError):
+        detector.detect({})
+
+
+def test_normal_traffic_not_flagged():
+    detector = PcaAnomalyDetector().fit(_normal_vectors())
+    fresh = {f"user{i}": v
+             for i, v in enumerate(_normal_vectors(50, seed=2))}
+    result = detector.detect(fresh)
+    assert len(result.flagged_accounts) <= 3  # ~3-sigma false positives
+
+
+def test_heavy_automation_flagged():
+    detector = PcaAnomalyDetector().fit(_normal_vectors())
+    bots = {f"bot{i}": np.full(WINDOW, 200.0) for i in range(10)}
+    result = detector.detect(bots)
+    assert result.flagged_accounts == set(bots)
+    assert all(result.scores[b] > result.threshold for b in bots)
+
+
+def test_low_volume_collusion_mostly_evades():
+    """§7.3: colluding accounts mixing low-volume fake activity stay
+    inside the normal subspace."""
+    detector = PcaAnomalyDetector().fit(_normal_vectors())
+    rng = np.random.default_rng(3)
+    colluders = {}
+    for i in range(100):
+        # Normal rhythm plus one or two extra collusion likes per week.
+        base = rng.poisson(2 + np.sin(np.arange(WINDOW) * 2 * np.pi / 7))
+        extra = rng.choice([0, 1], size=WINDOW, p=[0.8, 0.2])
+        colluders[f"member{i}"] = (base + extra).astype(float)
+    result = detector.detect(colluders)
+    assert len(result.flagged_accounts) < 0.1 * len(colluders)

@@ -1,0 +1,127 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collusion.profiles import calibrate_pool_size
+from repro.graphapi.ratelimit import SlidingWindowLimiter
+from repro.lexical.analysis import analyze_comments, lexical_richness, tokenize
+from repro.lexical.ari import automated_readability_index
+from repro.netsim.ip import int_to_ip, ip_to_int
+from repro.oauth.scopes import Permission, PermissionScope
+from repro.oauth.tokens import TokenLifetime, TokenStore
+from repro.sim.clock import SimClock
+from repro.sim.events import EventScheduler
+from repro.sim.ids import IdAllocator
+from repro.sim.rng import derive_seed
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_ip_int_round_trip(value):
+    assert ip_to_int(int_to_ip(value)) == value
+
+
+@given(st.integers(min_value=0, max_value=2**31),
+       st.text(min_size=1, max_size=30))
+def test_derive_seed_stable_and_bounded(seed, name):
+    a = derive_seed(seed, name)
+    assert a == derive_seed(seed, name)
+    assert 0 <= a < 2**64
+
+
+@given(st.lists(st.sampled_from(sorted(Permission,
+                                       key=lambda p: p.value)),
+                min_size=0, max_size=6))
+def test_scope_string_round_trip(perms):
+    scope = PermissionScope(perms)
+    if perms:
+        assert PermissionScope.parse(scope.to_scope_string()) == scope
+    else:
+        assert scope.to_scope_string() == ""
+
+
+@given(st.integers(min_value=1, max_value=10_000),
+       st.floats(min_value=1.01, max_value=50.0))
+def test_calibration_round_trip(unique, oversample):
+    draws = int(unique * oversample) + 1
+    pool = calibrate_pool_size(unique, draws)
+    assert pool >= 1
+    observed = pool * (1 - math.exp(-draws / pool))
+    # Inversion is accurate to within a percent (plus integer slack).
+    assert abs(observed - unique) <= max(2, unique * 0.01)
+
+
+@given(st.integers(min_value=1, max_value=20),
+       st.integers(min_value=1, max_value=500),
+       st.lists(st.integers(min_value=0, max_value=10_000), min_size=1,
+                max_size=200))
+def test_sliding_window_never_exceeds_limit(limit, window, times):
+    limiter = SlidingWindowLimiter(limit, window)
+    times = sorted(times)
+    for now in times:
+        limiter.try_acquire("k", now)
+        assert limiter.usage("k", now) <= limit
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100_000),
+                min_size=0, max_size=50))
+def test_scheduler_executes_everything_in_order(times):
+    clock = SimClock()
+    sched = EventScheduler(clock)
+    executed = []
+    for when in times:
+        sched.at(when, lambda w=when: executed.append(w))
+    sched.drain()
+    assert executed == sorted(times)
+    assert len(executed) == len(times)
+
+
+@given(st.lists(st.text(alphabet="abcdefgh !?.", min_size=0,
+                        max_size=40), min_size=0, max_size=30),
+       st.integers(min_value=1, max_value=10))
+def test_analyze_comments_bounds(comments, posts):
+    analysis = analyze_comments(comments, posts)
+    assert 0 <= analysis.unique_comment_pct <= 100
+    assert 0 <= analysis.lexical_richness_pct <= 100
+    assert 0 <= analysis.non_dictionary_pct <= 100
+    assert analysis.unique_comments <= analysis.comments
+    assert analysis.unique_words <= analysis.words
+
+
+@given(st.text(max_size=200))
+def test_ari_finite(text):
+    value = automated_readability_index(text)
+    assert math.isfinite(value)
+
+
+@given(st.lists(st.text(alphabet="abc", min_size=1, max_size=5),
+                min_size=1, max_size=100))
+def test_lexical_richness_bounds(tokens):
+    richness = lexical_richness(tokens)
+    assert 0 < richness <= 1
+
+
+@given(st.integers(min_value=1, max_value=30))
+@settings(max_examples=20)
+def test_token_reissue_keeps_one_live_token(n_reissues):
+    clock = SimClock()
+    store = TokenStore(clock)
+    for _ in range(n_reissues):
+        store.issue("u", "a", PermissionScope.basic(),
+                    TokenLifetime.LONG_TERM)
+    live = [t for t in store.live_tokens_for_app("a")
+            if t.user_id == "u"]
+    assert len(live) == 1
+
+
+@given(st.lists(st.sampled_from(["acct", "post", "page"]), min_size=1,
+                max_size=100))
+def test_id_allocation_unique(kinds):
+    ids = IdAllocator()
+    allocated = [ids.next(kind) for kind in kinds]
+    assert len(set(allocated)) == len(allocated)
+    for kind in set(kinds):
+        assert ids.count(kind) == kinds.count(kind)

@@ -1,0 +1,90 @@
+"""Property-based tests for detection algorithms and misc helpers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.catalog import mau_bucket
+from repro.detection.actions import Action
+from repro.detection.lockstep import LockstepDetector
+from repro.detection.synchrotrap import SynchroTrap
+from repro.detection.unionfind import UnionFind
+from repro.experiments.formats import humanize_count
+
+action_lists = st.lists(
+    st.builds(
+        Action,
+        actor=st.sampled_from([f"a{i}" for i in range(12)]),
+        target=st.sampled_from([f"t{i}" for i in range(6)]),
+        timestamp=st.integers(min_value=0, max_value=100_000),
+    ),
+    max_size=120,
+)
+
+
+@given(action_lists)
+@settings(max_examples=40)
+def test_synchrotrap_flags_subset_of_actors(actions):
+    result = SynchroTrap(min_cluster_size=2,
+                         min_matched_actions=1,
+                         similarity_threshold=0.1).detect(actions)
+    actors = {a.actor for a in actions}
+    assert result.flagged_accounts <= actors
+    for cluster in result.clusters:
+        assert len(cluster) >= 2
+        assert set(cluster) <= result.flagged_accounts
+
+
+@given(action_lists)
+@settings(max_examples=40)
+def test_lockstep_flags_subset_of_actors(actions):
+    result = LockstepDetector(min_common_targets=1,
+                              min_cluster_size=2).detect(actions)
+    assert result.flagged_accounts <= {a.actor for a in actions}
+
+
+@given(action_lists)
+@settings(max_examples=30)
+def test_stricter_synchrotrap_flags_fewer(actions):
+    loose = SynchroTrap(min_cluster_size=2, min_matched_actions=1,
+                        similarity_threshold=0.1).detect(actions)
+    strict = SynchroTrap(min_cluster_size=2, min_matched_actions=3,
+                         similarity_threshold=0.1).detect(actions)
+    # Raising the matched-action floor only removes edges, so the union
+    # of flagged accounts cannot grow.
+    assert strict.edges <= loose.edges
+
+
+@given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)),
+                max_size=60))
+def test_union_find_partition(pairs):
+    uf = UnionFind()
+    for a, b in pairs:
+        uf.union(a, b)
+    groups = uf.groups()
+    seen = [item for group in groups for item in group]
+    assert len(seen) == len(set(seen))  # groups are disjoint
+    for a, b in pairs:
+        assert uf.find(a) == uf.find(b)
+
+
+@given(st.integers(min_value=0, max_value=10**12))
+def test_mau_bucket_properties(value):
+    bucket = mau_bucket(value)
+    assert 0 <= bucket <= value
+    if value > 0:
+        assert bucket > value / 10  # within one order of magnitude
+
+
+@given(st.integers(min_value=0, max_value=10**10))
+def test_humanize_count_parses_back(value):
+    text = humanize_count(value)
+    if text.endswith("M"):
+        parsed = float(text[:-1]) * 1_000_000
+    elif text.endswith("K"):
+        parsed = float(text[:-1]) * 1_000
+    else:
+        parsed = int(text)
+        assert parsed == value
+        return
+    # Rounded representation stays within ~6% of the true value.
+    assert 0.94 * value <= parsed <= 1.06 * value

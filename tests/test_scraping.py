@@ -1,0 +1,55 @@
+"""Tests for the token-based data harvester."""
+
+import pytest
+
+from repro.collusion.scraping import DataHarvester
+from repro.graphapi.request import ApiAction
+
+
+def test_harvest_reads_profiles(mini_study):
+    world, catalog, ecosystem = mini_study
+    network = ecosystem.network("hublaa.me")
+    harvester = DataHarvester(world)
+    report = harvester.harvest(network.token_db, limit=50)
+    assert report.tokens_tried == 50
+    assert report.accounts_exposed == 50 - report.tokens_dead
+    assert report.accounts_exposed > 0
+    for profile in report.profiles:
+        assert profile.account_id in network.token_db
+        assert profile.country
+    assert sum(report.countries.values()) == report.accounts_exposed
+
+
+def test_harvest_counts_dead_tokens(mini_study):
+    world, catalog, ecosystem = mini_study
+    network = ecosystem.network("official-liker.net")
+    sample = dict(list(network.token_db.items())[:20])
+    for member in list(sample)[:10]:
+        world.tokens.invalidate(sample[member])
+    report = DataHarvester(world).harvest(sample)
+    assert report.tokens_tried == 20
+    assert report.tokens_dead == 10
+    assert report.accounts_exposed == 10
+
+
+def test_harvest_visible_in_request_log(mini_study):
+    world, catalog, ecosystem = mini_study
+    network = ecosystem.network("mg-likers.com")
+    attacker_ip = "10.62.42.42"
+    before = len(world.api.log.for_ip(attacker_ip))
+    DataHarvester(world, source_ip=attacker_ip).harvest(
+        network.token_db, limit=15)
+    records = world.api.log.for_ip(attacker_ip)
+    assert len(records) - before == 15
+    assert all(r.action is ApiAction.GET_PROFILE for r in records)
+
+
+def test_friend_graph_reach_bound(mini_study):
+    world, catalog, ecosystem = mini_study
+    network = ecosystem.network("hublaa.me")
+    members = list(network.token_db)[:3]
+    world.platform.befriend(members[0], members[1])
+    world.platform.befriend(members[0], members[2])
+    report = DataHarvester(world).harvest(
+        {m: network.token_db[m] for m in members})
+    assert report.reachable_via_friend_graph >= 4  # 2 + 1 + 1

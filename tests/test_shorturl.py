@@ -1,0 +1,107 @@
+"""Tests for the URL shortener and its analytics."""
+
+import pytest
+
+from repro.shorturl.analytics import ShortUrlAnalytics
+from repro.shorturl.shortener import UrlShortener
+from repro.sim.clock import DAY, SimClock
+
+
+@pytest.fixture
+def shortener():
+    return UrlShortener(SimClock())
+
+
+def test_shorten_and_resolve(shortener):
+    short = shortener.shorten("https://long.example/page")
+    assert shortener.resolve(short.slug) == "https://long.example/page"
+    assert short.short_url.endswith(short.slug)
+
+
+def test_unknown_slug(shortener):
+    with pytest.raises(KeyError):
+        shortener.resolve("nope")
+
+
+def test_click_records_attribution(shortener):
+    short = shortener.shorten("https://x.example")
+    shortener.click(short.slug, referrer="site.com", country="IN")
+    shortener.click(short.slug, referrer="site.com", country="EG")
+    assert short.click_count == 2
+    assert short.clicks_by_referrer == {"site.com": 2}
+    assert short.clicks_by_country == {"IN": 1, "EG": 1}
+
+
+def test_bulk_clicks(shortener):
+    short = shortener.shorten("https://x.example")
+    shortener.record_clicks(short.slug, 1_000_000, referrer="r",
+                            country="IN")
+    assert short.click_count == 1_000_000
+
+
+def test_bulk_clicks_positive(shortener):
+    short = shortener.shorten("https://x.example")
+    with pytest.raises(ValueError):
+        shortener.record_clicks(short.slug, 0)
+
+
+def test_negative_created_at_allowed(shortener):
+    short = shortener.shorten("https://x.example", created_at=-500 * DAY)
+    assert short.created_at == -500 * DAY
+    assert short.created_date.year < 2015
+
+
+def test_long_url_aggregation(shortener):
+    a = shortener.shorten("https://shared.example")
+    b = shortener.shorten("https://shared.example")
+    shortener.record_clicks(a.slug, 10)
+    shortener.record_clicks(b.slug, 5)
+    assert shortener.long_url_click_count("https://shared.example") == 15
+    assert set(shortener.slugs_for("https://shared.example")) == {
+        a.slug, b.slug}
+
+
+def test_clicks_by_day(shortener):
+    short = shortener.shorten("https://x.example")
+    shortener.click(short.slug, timestamp=0)
+    shortener.click(short.slug, timestamp=DAY + 5)
+    shortener.click(short.slug, timestamp=DAY + 6)
+    assert short.daily_clicks(0) == 1
+    assert short.daily_clicks(1) == 2
+
+
+def test_analytics_report(shortener):
+    short = shortener.shorten("https://x.example")
+    shortener.record_clicks(short.slug, 70, referrer="big.com",
+                            country="IN")
+    shortener.record_clicks(short.slug, 30, referrer="small.com",
+                            country="VN")
+    report = ShortUrlAnalytics(shortener).report(short.slug)
+    assert report.short_url_clicks == 100
+    assert report.top_referrer == "big.com"
+    assert report.top_countries[0] == ("IN", 0.7)
+
+
+def test_analytics_ordering(shortener):
+    a = shortener.shorten("https://a.example")
+    b = shortener.shorten("https://b.example")
+    shortener.record_clicks(a.slug, 5)
+    shortener.record_clicks(b.slug, 50)
+    reports = ShortUrlAnalytics(shortener).reports_by_clicks()
+    assert reports[0].long_url == "https://b.example"
+
+
+def test_daily_click_rate(shortener):
+    short = shortener.shorten("https://x.example")
+    shortener.record_clicks(short.slug, 10, timestamp=0)
+    shortener.record_clicks(short.slug, 20, timestamp=DAY)
+    rate = ShortUrlAnalytics(shortener).daily_click_rate(short.slug)
+    assert rate == 15.0
+
+
+def test_report_without_clicks(shortener):
+    short = shortener.shorten("https://x.example")
+    report = ShortUrlAnalytics(shortener).report(short.slug)
+    assert report.short_url_clicks == 0
+    assert report.top_referrer is None
+    assert report.top_countries == ()

@@ -1,0 +1,70 @@
+"""Tests for the simulation clock."""
+
+import datetime
+
+import pytest
+
+from repro.sim.clock import DAY, HOUR, MINUTE, SECOND, SimClock
+
+
+def test_clock_starts_at_zero():
+    clock = SimClock()
+    assert clock.now() == 0
+    assert clock.day() == 0
+    assert clock.hour_of_day() == 0
+
+
+def test_advance_moves_forward():
+    clock = SimClock()
+    assert clock.advance(90) == 90
+    assert clock.now() == 90
+
+
+def test_advance_rejects_negative():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.advance(-1)
+
+
+def test_advance_to_rejects_rewind():
+    clock = SimClock()
+    clock.advance(100)
+    with pytest.raises(ValueError):
+        clock.advance_to(50)
+
+
+def test_advance_to_absolute():
+    clock = SimClock()
+    clock.advance_to(3 * DAY + 5)
+    assert clock.day() == 3
+
+
+def test_day_and_hour_arithmetic():
+    clock = SimClock()
+    clock.advance(2 * DAY + 13 * HOUR + 59 * MINUTE)
+    assert clock.day() == 2
+    assert clock.hour_of_day() == 13
+
+
+def test_advance_days_fractional():
+    clock = SimClock()
+    clock.advance_days(1.5)
+    assert clock.now() == int(1.5 * DAY)
+
+
+def test_now_datetime_tracks_epoch():
+    epoch = datetime.datetime(2015, 11, 1, tzinfo=datetime.timezone.utc)
+    clock = SimClock(epoch)
+    clock.advance(DAY)
+    assert clock.now_datetime() == epoch + datetime.timedelta(days=1)
+
+
+def test_naive_epoch_gets_utc():
+    clock = SimClock(datetime.datetime(2016, 1, 1))
+    assert clock.epoch.tzinfo is datetime.timezone.utc
+
+
+def test_duration_constants_consistent():
+    assert MINUTE == 60 * SECOND
+    assert HOUR == 60 * MINUTE
+    assert DAY == 24 * HOUR

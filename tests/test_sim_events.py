@@ -1,0 +1,103 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.events import EventScheduler
+
+
+def make():
+    clock = SimClock()
+    return clock, EventScheduler(clock)
+
+
+def test_events_run_in_time_order():
+    clock, sched = make()
+    order = []
+    sched.at(30, lambda: order.append("b"))
+    sched.at(10, lambda: order.append("a"))
+    sched.at(50, lambda: order.append("c"))
+    sched.run_until(100)
+    assert order == ["a", "b", "c"]
+    assert clock.now() == 100
+
+
+def test_ties_break_in_submission_order():
+    clock, sched = make()
+    order = []
+    sched.at(10, lambda: order.append(1))
+    sched.at(10, lambda: order.append(2))
+    sched.run_until(10)
+    assert order == [1, 2]
+
+
+def test_clock_advances_to_event_time():
+    clock, sched = make()
+    seen = []
+    sched.at(42, lambda: seen.append(clock.now()))
+    sched.run_until(100)
+    assert seen == [42]
+
+
+def test_past_scheduling_rejected():
+    clock, sched = make()
+    clock.advance(100)
+    with pytest.raises(ValueError):
+        sched.at(50, lambda: None)
+
+
+def test_after_is_relative():
+    clock, sched = make()
+    clock.advance(100)
+    event = sched.after(20, lambda: None)
+    assert event.when == 120
+
+
+def test_cancelled_events_skipped():
+    clock, sched = make()
+    ran = []
+    event = sched.at(10, lambda: ran.append(1))
+    event.cancel()
+    assert sched.run_until(20) == 0
+    assert ran == []
+
+
+def test_events_may_enqueue_events():
+    clock, sched = make()
+    order = []
+
+    def first():
+        order.append("first")
+        sched.at(clock.now() + 5, lambda: order.append("second"))
+
+    sched.at(10, first)
+    sched.run_until(30)
+    assert order == ["first", "second"]
+
+
+def test_run_until_stops_at_boundary():
+    clock, sched = make()
+    ran = []
+    sched.at(10, lambda: ran.append("early"))
+    sched.at(40, lambda: ran.append("late"))
+    sched.run_until(20)
+    assert ran == ["early"]
+    sched.run_until(50)
+    assert ran == ["early", "late"]
+
+
+def test_drain_runs_everything():
+    clock, sched = make()
+    ran = []
+    sched.at(10, lambda: ran.append(1))
+    sched.at(10_000, lambda: ran.append(2))
+    assert sched.drain() == 2
+    assert ran == [1, 2]
+
+
+def test_executed_counter():
+    clock, sched = make()
+    sched.at(1, lambda: None)
+    sched.at(2, lambda: None)
+    sched.run_until(5)
+    assert sched.executed == 2

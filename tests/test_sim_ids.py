@@ -1,0 +1,39 @@
+"""Tests for id allocation."""
+
+import pytest
+
+from repro.sim.ids import IdAllocator
+
+
+def test_sequential_allocation():
+    ids = IdAllocator()
+    assert ids.next("acct") == "acct:1"
+    assert ids.next("acct") == "acct:2"
+    assert ids.next("post") == "post:1"
+
+
+def test_count_tracks_per_kind():
+    ids = IdAllocator()
+    ids.next("a")
+    ids.next("a")
+    assert ids.count("a") == 2
+    assert ids.count("b") == 0
+
+
+def test_invalid_kind_rejected():
+    ids = IdAllocator()
+    with pytest.raises(ValueError):
+        ids.next("")
+    with pytest.raises(ValueError):
+        ids.next("a:b")
+
+
+def test_kind_of_parses():
+    assert IdAllocator.kind_of("acct:12") == "acct"
+
+
+def test_kind_of_rejects_malformed():
+    with pytest.raises(ValueError):
+        IdAllocator.kind_of("justtext")
+    with pytest.raises(ValueError):
+        IdAllocator.kind_of("acct:")

@@ -1,0 +1,150 @@
+"""Tests for WHOIS, traffic ranking and ad scanning."""
+
+import pytest
+
+from repro.webintel.adnetworks import (
+    AdNetwork,
+    AdScanner,
+    SiteAdProfile,
+)
+from repro.webintel.alexa import TrafficRanker
+from repro.webintel.whois import WhoisRegistry
+
+
+# ----------------------------------------------------------------------
+# WHOIS (§5.2)
+# ----------------------------------------------------------------------
+
+def test_whois_plain_record():
+    registry = WhoisRegistry()
+    record = registry.register("site.com", "Bob", "IN")
+    assert record.discloses_registrant
+    assert registry.lookup("site.com").registrant_name == "Bob"
+
+
+def test_whois_privacy_redacts():
+    registry = WhoisRegistry()
+    record = registry.register("hidden.com", "Bob", "IN",
+                               privacy_protected=True)
+    assert not record.discloses_registrant
+    assert record.registrant_name is None
+    assert record.registrant_country is None
+
+
+def test_whois_unknown_domain():
+    registry = WhoisRegistry()
+    with pytest.raises(KeyError):
+        registry.lookup("missing.com")
+
+
+def test_whois_aggregates():
+    registry = WhoisRegistry()
+    registry.register("a.com", "A", "IN", privacy_protected=True)
+    registry.register("b.com", "B", "IN")
+    registry.register("c.com", "C", "PK",
+                      nameserver_provider="hostco")
+    assert registry.privacy_protected_share() == pytest.approx(1 / 3)
+    assert registry.registrant_country_counts() == {"IN": 1, "PK": 1}
+    assert registry.cloudflare_share() == pytest.approx(2 / 3)
+
+
+def test_whois_empty_aggregates():
+    registry = WhoisRegistry()
+    assert registry.privacy_protected_share() == 0.0
+    assert registry.cloudflare_share() == 0.0
+
+
+# ----------------------------------------------------------------------
+# Traffic ranking (Table 2)
+# ----------------------------------------------------------------------
+
+def test_ranker_orders_by_visits():
+    ranker = TrafficRanker()
+    ranker.observe("big.com", 1_000_000)
+    ranker.observe("small.com", 1_000)
+    ranking = ranker.ranking()
+    assert [e.domain for e in ranking] == ["big.com", "small.com"]
+    assert ranking[0].rank < ranking[1].rank
+
+
+def test_ranker_anchor_inversion():
+    ranker = TrafficRanker(anchor_rank=8000, anchor_daily_visits=300_000)
+    ranker.observe("anchor.com", 300_000)
+    assert ranker.global_rank("anchor.com") == 8000
+    assert ranker.visits_for_rank(8000) == 300_000
+
+
+def test_ranker_monotone_ranks():
+    ranker = TrafficRanker()
+    for i in range(20):
+        ranker.observe(f"site{i}.com", 1000.0)  # all tied
+    ranks = [e.rank for e in ranker.ranking()]
+    assert ranks == sorted(ranks)
+    assert len(set(ranks)) == len(ranks)  # strictly increasing
+
+
+def test_ranker_top_country():
+    ranker = TrafficRanker()
+    site = ranker.observe("x.com", 100, {"IN": 60, "US": 40})
+    assert site.top_country() == ("IN", 0.6)
+
+
+def test_ranker_top_country_empty():
+    ranker = TrafficRanker()
+    site = ranker.observe("x.com", 100)
+    assert site.top_country() is None
+
+
+def test_ranker_validates():
+    with pytest.raises(ValueError):
+        TrafficRanker(anchor_rank=0)
+    ranker = TrafficRanker()
+    with pytest.raises(ValueError):
+        ranker.observe("x.com", -1)
+    with pytest.raises(KeyError):
+        ranker.get("missing.com")
+    with pytest.raises(ValueError):
+        ranker.visits_for_rank(0)
+
+
+# ----------------------------------------------------------------------
+# Ad scanning (§5.1)
+# ----------------------------------------------------------------------
+
+def test_ad_scanner_redirect_monetization():
+    scanner = AdScanner()
+    scanner.register_site(SiteAdProfile(
+        domain="liker.com",
+        direct_networks={AdNetwork.POPADS},
+        redirect_networks={"kackroch.example": {AdNetwork.ADSENSE,
+                                                AdNetwork.ATLAS}},
+        anti_adblock=True,
+    ))
+    result = scanner.scan("liker.com")
+    assert result.uses_redirect_monetization
+    assert AdNetwork.ADSENSE in result.networks_seen
+    assert result.anti_adblock_detected
+    assert not result.policy_violations  # reputable nets only via redirect
+
+
+def test_ad_scanner_flags_direct_reputable_placement():
+    scanner = AdScanner()
+    scanner.register_site(SiteAdProfile(
+        domain="naive.com",
+        direct_networks={AdNetwork.DOUBLECLICK},
+    ))
+    result = scanner.scan("naive.com")
+    assert AdNetwork.DOUBLECLICK in result.policy_violations
+
+
+def test_ad_scanner_unknown_site():
+    scanner = AdScanner()
+    with pytest.raises(KeyError):
+        scanner.scan("missing.com")
+
+
+def test_ad_scanner_scan_all_sorted():
+    scanner = AdScanner()
+    scanner.register_site(SiteAdProfile(domain="b.com"))
+    scanner.register_site(SiteAdProfile(domain="a.com"))
+    assert [r.domain for r in scanner.scan_all()] == ["a.com", "b.com"]

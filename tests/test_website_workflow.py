@@ -1,0 +1,94 @@
+"""Tests for the Fig. 3 collusion-site workflow state machine."""
+
+import pytest
+
+from repro.collusion.website import CollusionWebsiteSession, WorkflowError
+from repro.sim.clock import HOUR
+
+
+@pytest.fixture()
+def session(mini_study):
+    world, catalog, ecosystem = mini_study
+    network = ecosystem.network("hublaa.me")
+    user = world.platform.register_account("Workflow User")
+    return world, network, CollusionWebsiteSession(network,
+                                                   user.account_id)
+
+
+def test_steps_enforce_order(session):
+    world, network, s = session
+    with pytest.raises(WorkflowError):
+        s.install_app()
+    s.open_site()
+    with pytest.raises(WorkflowError):
+        s.click_get_access_token()
+    s.install_app()
+    with pytest.raises(WorkflowError):
+        s.copy_token_from_address_bar()
+    url = s.click_get_access_token()
+    assert url.startswith("view-source:")
+    assert "access_token=" in url
+
+
+def test_token_must_belong_to_user(session):
+    world, network, s = session
+    s.open_site()
+    # Steal some other member's token string and try to submit it.
+    other_token = next(iter(network.token_db.values()))
+    with pytest.raises(WorkflowError):
+        s.submit_token(other_token)
+
+
+def test_full_workflow_delivers_likes(session):
+    world, network, s = session
+    post = world.platform.create_post(s.user_id, "my post")
+    report = s.run_full_workflow(post.post_id)
+    assert report.delivered == network.profile.likes_per_request
+    assert network.is_member(s.user_id)
+
+
+def test_captcha_gate(session):
+    world, network, s = session
+    assert network.profile.gate.captcha_required
+    s.open_site()
+    s.install_app()
+    s.click_get_access_token()
+    s.submit_token(s.copy_token_from_address_bar())
+    post = world.platform.create_post(s.user_id, "p")
+    s.request_captcha()
+    with pytest.raises(WorkflowError):
+        s.request_likes(post.post_id)  # CAPTCHA unsolved
+    with pytest.raises(WorkflowError):
+        s.solve_captcha(solution_ok=False)
+    # request_captcha again, solve, proceed.
+    s.solve_captcha()
+    assert s.request_likes(post.post_id).delivered > 0
+
+
+def test_inter_request_delay(session):
+    world, network, s = session
+    post = world.platform.create_post(s.user_id, "p1")
+    s.run_full_workflow(post.post_id)
+    post2 = world.platform.create_post(s.user_id, "p2")
+    if s.request_captcha() is not None:
+        s.solve_captcha()
+    with pytest.raises(WorkflowError):
+        s.request_likes(post2.post_id)  # too soon
+    world.clock.advance(HOUR)
+    if s.request_captcha() is not None:
+        s.solve_captcha()
+    assert s.request_likes(post2.post_id).delivered > 0
+
+
+def test_ad_redirects_match_gate(session):
+    world, network, s = session
+    hops = s.ad_redirects()
+    assert len(hops) == network.profile.gate.redirect_hops
+
+
+def test_open_site_clicks_short_url(session):
+    world, network, s = session
+    slug = network.short_url_slug
+    before = world.shortener.get(slug).click_count
+    s.open_site()
+    assert world.shortener.get(slug).click_count == before + 1
