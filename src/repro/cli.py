@@ -6,12 +6,14 @@ scan       run the §2.2 application scan and print Table 1
 milk       run the §4 milking campaign (Tables 4/6, Fig. 4)
 campaign   run the §6 countermeasure campaign (Figs. 5-8)
 full       run everything and print the complete report
+bench      benchmark the pipeline stages (BENCH_PIPELINE.json)
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -63,6 +65,22 @@ def build_parser() -> argparse.ArgumentParser:
     _common_flags(score)
     score.add_argument("--milking-days", type=int, default=30)
     score.add_argument("--campaign-days", type=int, default=75)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark pipeline stage throughput")
+    _common_flags(bench)
+    bench.set_defaults(scale=0.01)
+    bench.add_argument("--milking-days", type=int, default=None)
+    bench.add_argument("--campaign-days", type=int, default=None)
+    bench.add_argument("--parallel-experiments", action="store_true",
+                       help="fan experiment jobs out over processes")
+    bench.add_argument("--baseline", type=str, default=None,
+                       help="src dir of a baseline tree to compare "
+                            "against (runs both in subprocesses with "
+                            "PYTHONHASHSEED pinned)")
+    bench.add_argument("--repeats", type=int, default=1,
+                       help="with --baseline, benchmark each tree this "
+                            "many times (interleaved) and keep the best")
     return parser
 
 
@@ -162,12 +180,57 @@ def cmd_score(args) -> int:
     return 0 if card.failed == 0 else 1
 
 
+def cmd_bench(args) -> int:
+    from repro.perf import bench
+
+    if args.baseline is not None:
+        document = bench.compare_trees(
+            current_src=_own_src_dir(), baseline_src=args.baseline,
+            scale=args.scale, seed=args.seed,
+            parallel_experiments=args.parallel_experiments,
+            milking_days=args.milking_days,
+            campaign_days=args.campaign_days,
+            repeats=args.repeats)
+    else:
+        payload = bench.run_benchmark(
+            scale=args.scale, seed=args.seed,
+            parallel_experiments=args.parallel_experiments,
+            milking_days=args.milking_days,
+            campaign_days=args.campaign_days)
+        document = {
+            "benchmark": "run_full_study",
+            "meta": {"scale": args.scale, "seed": args.seed,
+                     "milking_days": args.milking_days,
+                     "campaign_days": args.campaign_days,
+                     "parallel_experiments": args.parallel_experiments},
+            "current": payload,
+        }
+    if args.json:
+        _emit(json.dumps(document, indent=2), args.out)
+    else:
+        text = bench.render(document)
+        print(text)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, indent=2)
+                handle.write("\n")
+    return 0
+
+
+def _own_src_dir() -> str:
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(
+        repro.__file__)))
+
+
 COMMANDS = {
     "scan": cmd_scan,
     "milk": cmd_milk,
     "campaign": cmd_campaign,
     "full": cmd_full,
     "score": cmd_score,
+    "bench": cmd_bench,
 }
 
 

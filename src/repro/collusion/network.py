@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 import random
+from bisect import bisect
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -35,6 +36,7 @@ from repro.graphapi.errors import (
     IpRateLimitError,
     RateLimitExceededError,
 )
+from repro.graphapi.request import ApiAction, ApiRequest
 from repro.netsim.pools import IpPool
 from repro.oauth.errors import InvalidTokenError, OAuthError
 from repro.oauth.server import AuthorizationRequest
@@ -116,6 +118,12 @@ class CollusionNetwork:
         self.domain = profile.domain
         self.app = world.apps.get(profile.app_id)
         self.rng = world.rng.stream(f"network:{profile.domain}")
+        # Bound-method caches for the sampling hot path; the rng instance
+        # never changes (setstate mutates it in place) and the profile is
+        # static, so these stay valid for the network's lifetime.
+        self._rng_random = self.rng.random
+        self._getrandbits = self.rng.getrandbits
+        self._reuse_bias = profile.token_reuse_bias
 
         # Token database: member account id -> token string, plus a list
         # for O(1) uniform sampling with swap-pop removal.
@@ -142,6 +150,17 @@ class CollusionNetwork:
         # Daily request accounting (free-plan limits).
         self._requests_today: Dict[str, int] = {}
         self._accounted_day = -1
+
+        # Batched-delivery health: after a failed all-or-nothing chunk
+        # (token invalidation storms, limit pressure) stay on the scalar
+        # path for a while instead of paying sample-rollback-replay on
+        # every chunk; the backoff doubles while failures persist.
+        # ``batch_requests_enabled = False`` forces the scalar path
+        # everywhere (the two are RNG-stream equivalent; the flag exists
+        # for equivalence tests and debugging).
+        self.batch_requests_enabled = True
+        self._batch_cooldown = 0
+        self._batch_backoff = self._BATCH_CHUNK
 
         # IP health for today.
         self._exhausted_ips: Set[str] = set()
@@ -319,22 +338,44 @@ class CollusionNetwork:
         members = self._member_list
         if not members:
             return None
-        if not self._uniform_mode and not self._hot_members:
-            self._refresh_hot_set()
-        if (not self._uniform_mode and self._hot_members
-                and self.rng.random() < self.profile.token_reuse_bias):
+        if self._uniform_mode:
+            hot = None
+        else:
+            hot = self._hot_members
+            if not hot:
+                self._refresh_hot_set()
+                hot = self._hot_members
+        # rng.choice(seq) is seq[rng._randbelow(len(seq))], and
+        # _randbelow(n) is a rejection loop over getrandbits(n.bit_length()).
+        # Inlining that loop draws the identical bit stream while dropping
+        # two Python frames per probe in the simulator's hottest function.
+        getrandbits = self._getrandbits
+        if hot and self._rng_random() < self._reuse_bias:
+            token_db = self.token_db
+            size = len(hot)
+            bits = size.bit_length()
             for _ in range(4):
-                member = self.rng.choice(self._hot_members)
-                if member not in exclude and member in self.token_db:
+                r = getrandbits(bits)
+                while r >= size:
+                    r = getrandbits(bits)
+                member = hot[r]
+                if member not in exclude and member in token_db:
                     return member
+        size = len(members)
+        bits = size.bit_length()
         for _ in range(10):
-            member = self.rng.choice(members)
+            r = getrandbits(bits)
+            while r >= size:
+                r = getrandbits(bits)
+            member = members[r]
             if member not in exclude:
                 return member
         # Small-pool fallback: deterministic sweep from a random offset.
-        start = self.rng.randrange(len(members))
-        for i in range(len(members)):
-            member = members[(start + i) % len(members)]
+        start = getrandbits(bits)
+        while start >= size:
+            start = getrandbits(bits)
+        for i in range(size):
+            member = members[(start + i) % size]
             if member not in exclude:
                 return member
         return None
@@ -378,11 +419,15 @@ class CollusionNetwork:
                 total += weight
                 cum.append(total)
             self._usable_cum_weights = cum
-        if not self._usable_ips:
+        usable = self._usable_ips
+        if not usable:
             return None
-        return self.rng.choices(self._usable_ips,
-                                cum_weights=self._usable_cum_weights,
-                                k=1)[0]
+        # Inlined rng.choices(..., cum_weights=..., k=1)[0]: one uniform
+        # draw + one bisect over the cached cumulative weights, consuming
+        # the identical RNG stream without list/validation overhead.
+        cum = self._usable_cum_weights
+        return usable[bisect(cum, self._rng_random() * cum[-1],
+                             0, len(usable) - 1)]
 
     # ------------------------------------------------------------------
     # Request accounting & gates
@@ -442,13 +487,39 @@ class CollusionNetwork:
         return self._deliver_comments(post_id, quota,
                                       exclude={requester_id})
 
+    #: Pairs sampled per optimistic batch chunk.
+    _BATCH_CHUNK = 48
+    #: Don't bother batching tails smaller than this.
+    _BATCH_MIN = 8
+    #: Backoff ceiling, in scalar iterations between batch probes.
+    _BATCH_BACKOFF_MAX = 4096
+
+    def _batch_failed(self) -> None:
+        self._batch_cooldown = self._batch_backoff
+        self._batch_backoff = min(self._batch_backoff * 2,
+                                  self._BATCH_BACKOFF_MAX)
+
     def _deliver_likes(self, post_id: str, quota: int,
                        exclude: Set[str]) -> DeliveryReport:
         report = DeliveryReport(requested=quota, delivered=0, attempts=0)
         used: Set[str] = set(exclude)
         budget = max(1, int(quota * self.profile.retry_factor))
+        batch_enabled = self.batch_requests_enabled
         while (report.delivered < quota and report.attempts < budget
                and not report.halted):
+            if batch_enabled and self._batch_cooldown <= 0:
+                room = min(quota - report.delivered,
+                           budget - report.attempts)
+                if room >= self._BATCH_MIN:
+                    done = self._deliver_chunk(
+                        post_id, min(room, self._BATCH_CHUNK), used, report)
+                    if done is not None:
+                        if done:
+                            break
+                        continue
+                    self._batch_failed()
+            elif self._batch_cooldown > 0:
+                self._batch_cooldown -= 1
             report.attempts += 1
             member = self._sample_member(used)
             if member is None:
@@ -460,6 +531,67 @@ class CollusionNetwork:
         self.total_likes_delivered += report.delivered
         return report
 
+    def _deliver_chunk(self, post_id: str, goal: int, used: Set[str],
+                       report: DeliveryReport) -> Optional[bool]:
+        """Try to deliver ``goal`` likes as one all-or-nothing batch.
+
+        Samples (member, IP) pairs consuming the exact RNG stream of the
+        scalar loop's all-success trajectory, then submits them as one
+        :meth:`GraphApi.execute_batch`.  If the batch predicts any
+        failure (a dead token, a limit, a duplicate like), the RNG and
+        hot-set state are rolled back and ``None`` is returned so the
+        scalar loop replays the identical stream with the usual
+        per-request bookkeeping.  Otherwise ``report``/``used`` are
+        updated and the return says whether delivery must stop (member
+        pool exhausted or no usable IPs).
+        """
+        rng = self.rng
+        state = rng.getstate()
+        hot_checkpoint = self._hot_members
+        token_db = self.token_db
+        sample_member = self._sample_member
+        pick_ip = self._pick_ip
+        local_used = set(used)
+        requests: List[ApiRequest] = []
+        members: List[str] = []
+        attempts = 0
+        blocked = 0
+        exhausted = False
+        halted = False
+        while len(requests) < goal:
+            attempts += 1
+            member = sample_member(local_used)
+            if member is None:
+                exhausted = True
+                break
+            token = token_db.get(member)
+            if token is None:
+                rng.setstate(state)
+                self._hot_members = hot_checkpoint
+                return None
+            ip = pick_ip()
+            if ip is None:
+                # Matches _perform_like's no-usable-IP bookkeeping.
+                blocked += 1
+                halted = True
+                break
+            local_used.add(member)
+            members.append(member)
+            requests.append(ApiRequest(
+                ApiAction.LIKE_POST, token, {"post_id": post_id},
+                source_ip=ip))
+        if requests and self.world.api.execute_batch(requests) is None:
+            rng.setstate(state)
+            self._hot_members = hot_checkpoint
+            return None
+        self._batch_backoff = self._BATCH_CHUNK
+        used.update(members)
+        report.attempts += attempts
+        report.delivered += len(requests)
+        report.blocked += blocked
+        report.halted = report.halted or halted
+        return exhausted or halted
+
     def _perform_like(self, member: str, post_id: str,
                       report: DeliveryReport) -> bool:
         token = self.token_db.get(member)
@@ -470,30 +602,26 @@ class CollusionNetwork:
             report.blocked += 1
             report.halted = True
             return False
-        try:
-            self.world.api.like_post(token, post_id, source_ip=ip)
-        except InvalidTokenError:
-            self._drop_member(member)
-            report.dead_tokens_dropped += 1
-            return False
-        except RateLimitExceededError:
-            self._rate_errors_today += 1
-            report.rate_limited += 1
-            return False
-        except IpRateLimitError:
-            self._exhausted_ips.add(ip)
-            self._invalidate_ip_cache()
-            report.ip_limited += 1
-            return False
-        except BlockedSourceError:
-            asn = self.world.as_registry.asn_of(ip)
-            if asn is not None:
-                self._blocked_asns.add(asn)
+        code = self.world.api.try_like_post(token, post_id, source_ip=ip)
+        if code is not None:
+            if code == "invalid_token":
+                self._drop_member(member)
+                report.dead_tokens_dropped += 1
+            elif code == "token_limit":
+                self._rate_errors_today += 1
+                report.rate_limited += 1
+            elif code == "ip_limit":
+                self._exhausted_ips.add(ip)
                 self._invalidate_ip_cache()
-            report.blocked += 1
-            return False
-        except (GraphApiError, SocialNetworkError):
-            report.other_failures += 1
+                report.ip_limited += 1
+            elif code == "blocked":
+                asn = self.world.as_registry.asn_of(ip)
+                if asn is not None:
+                    self._blocked_asns.add(asn)
+                    self._invalidate_ip_cache()
+                report.blocked += 1
+            else:
+                report.other_failures += 1
             return False
         self._note_use(member)
         return True
@@ -744,40 +872,101 @@ class CollusionNetwork:
         delivered = 0
         attempts = 0
         used: Set[str] = set()
+        sample_member = self._sample_member
+        token_get = self.token_db.get
+        pick_ip = self._pick_ip
+        try_charge_like = self.world.api.try_charge_like
+        # Only interventions between ticks flip this, never mid-request.
+        batch_enabled = self.batch_requests_enabled
         while delivered < quota and attempts < budget:
+            if batch_enabled and self._batch_cooldown <= 0:
+                room = min(quota - delivered, budget - attempts)
+                if room >= self._BATCH_MIN:
+                    got = self._background_chunk(
+                        min(room, self._BATCH_CHUNK), used)
+                    if got is not None:
+                        charged, spent, stop = got
+                        delivered += charged
+                        attempts += spent
+                        if stop:
+                            break
+                        continue
+                    self._batch_failed()
+            elif self._batch_cooldown > 0:
+                self._batch_cooldown -= 1
             attempts += 1
-            member = self._sample_member(used)
+            member = sample_member(used)
             if member is None:
                 break
-            token = self.token_db.get(member)
+            token = token_get(member)
             if token is None:
                 continue
-            ip = self._pick_ip()
+            ip = pick_ip()
             if ip is None:
                 break
-            try:
-                self.world.api.charge_like(token, source_ip=ip)
-            except InvalidTokenError:
-                self._drop_member(member)
-                continue
-            except RateLimitExceededError:
-                self._rate_errors_today += 1
-                continue
-            except IpRateLimitError:
-                self._exhausted_ips.add(ip)
-                self._invalidate_ip_cache()
-                continue
-            except BlockedSourceError:
-                asn = self.world.as_registry.asn_of(ip)
-                if asn is not None:
-                    self._blocked_asns.add(asn)
+            code = try_charge_like(token, source_ip=ip)
+            if code is not None:
+                if code == "invalid_token":
+                    self._drop_member(member)
+                elif code == "token_limit":
+                    self._rate_errors_today += 1
+                elif code == "ip_limit":
+                    self._exhausted_ips.add(ip)
                     self._invalidate_ip_cache()
-                continue
-            except GraphApiError:
+                elif code == "blocked":
+                    asn = self.world.as_registry.asn_of(ip)
+                    if asn is not None:
+                        self._blocked_asns.add(asn)
+                        self._invalidate_ip_cache()
                 continue
             used.add(member)
             delivered += 1
         return delivered
+
+    def _background_chunk(
+            self, goal: int,
+            used: Set[str]) -> Optional[Tuple[int, int, bool]]:
+        """Charge-only analogue of :meth:`_deliver_chunk`.
+
+        Returns ``None`` after rolling back (go scalar), else
+        ``(charged, attempts_spent, must_stop)`` with ``used`` updated.
+        """
+        rng = self.rng
+        state = rng.getstate()
+        hot_checkpoint = self._hot_members
+        token_db = self.token_db
+        sample_member = self._sample_member
+        pick_ip = self._pick_ip
+        local_used = set(used)
+        members: List[str] = []
+        entries: List[Tuple[str, str]] = []
+        attempts = 0
+        stop = False
+        while len(entries) < goal:
+            attempts += 1
+            member = sample_member(local_used)
+            if member is None:
+                stop = True
+                break
+            token = token_db.get(member)
+            if token is None:
+                rng.setstate(state)
+                self._hot_members = hot_checkpoint
+                return None
+            ip = pick_ip()
+            if ip is None:
+                stop = True
+                break
+            local_used.add(member)
+            members.append(member)
+            entries.append((token, ip))
+        if entries and not self.world.api.charge_like_batch(entries):
+            rng.setstate(state)
+            self._hot_members = hot_checkpoint
+            return None
+        self._batch_backoff = self._BATCH_CHUNK
+        used.update(members)
+        return len(entries), attempts, stop
 
     def _binomial(self, n: int, p: float) -> int:
         if n <= 0 or p <= 0:

@@ -32,15 +32,15 @@ def identify_abusive_asns(log: RequestLog, as_registry: AsRegistry,
     ips_by_asn: Dict[int, Set[str]] = defaultdict(set)
     likes_by_asn: Dict[int, int] = defaultdict(int)
     total = 0
-    for record in log.like_requests(since=since):
-        if record.source_ip is None:
+    ips, asns = log.like_columns(("source_ip", "asn"), since=since)
+    for source_ip, asn in zip(ips, asns):
+        if source_ip is None:
             continue
-        asn = record.asn
         if asn is None:
-            asn = as_registry.asn_of(record.source_ip)
+            asn = as_registry.asn_of(source_ip)
         if asn is None:
             continue
-        ips_by_asn[asn].add(record.source_ip)
+        ips_by_asn[asn].add(source_ip)
         likes_by_asn[asn] += 1
         total += 1
     if not total:

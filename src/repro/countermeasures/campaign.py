@@ -45,6 +45,7 @@ from repro.detection.synchrotrap import SynchroTrap
 from repro.honeypot.account import HoneypotAccount, create_honeypot
 from repro.honeypot.crawler import TimelineCrawler
 from repro.honeypot.ledger import MilkedTokenLedger
+from repro.perf import PERF
 from repro.sim.clock import DAY, HOUR
 
 
@@ -368,9 +369,12 @@ class CountermeasureCampaign:
                 and campaign_day >= config.clustering_start_day
                 and (campaign_day - config.clustering_start_day)
                 % config.clustering_interval_days == 0):
-            outcome = self.clustering.run(self.world.api.log,
-                                          self.invalidator,
-                                          now=self.world.clock.now())
+            with PERF.stage("detection"):
+                outcome = self.clustering.run(self.world.api.log,
+                                              self.invalidator,
+                                              now=self.world.clock.now())
+            PERF.count("detection.pairs_scored",
+                       outcome.detection.pairs_scored)
             self.clustering_outcomes.append((campaign_day, outcome))
             self._note(campaign_day,
                        f"clustering invalidated "

@@ -49,24 +49,28 @@ class EngagementCleaner:
                                           if app_ids is not None else None)
         report = CleanupReport()
         touched: Set[str] = set()
-        for record in self._log.like_requests(since=since):
-            if record.action is not ApiAction.LIKE_POST:
+        actions, tokens, apps, users, targets = self._log.like_columns(
+            ("action", "token", "app_id", "user_id", "target_id"),
+            since=since)
+        peek = self._tokens.peek
+        for action, token_string, app_id, user_id, target_id in zip(
+                actions, tokens, apps, users, targets):
+            if action is not ApiAction.LIKE_POST:
                 continue
-            if app_filter is not None and record.app_id not in app_filter:
+            if app_filter is not None and app_id not in app_filter:
                 continue
-            token = self._tokens.peek(record.token)
+            token = peek(token_string)
             if token is None or not token.invalidated:
                 continue
             report.likes_examined += 1
-            if record.user_id is None or record.target_id is None:
+            if user_id is None or target_id is None:
                 continue
             try:
-                removed = self._platform.remove_like(record.target_id,
-                                                     record.user_id)
+                removed = self._platform.remove_like(target_id, user_id)
             except SocialNetworkError:
                 continue
             if removed:
                 report.likes_removed += 1
-                touched.add(record.target_id)
+                touched.add(target_id)
         report.posts_touched = len(touched)
         return report

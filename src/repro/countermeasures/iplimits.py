@@ -49,11 +49,13 @@ def ip_observation_stats(log: RequestLog,
     """Per-IP (days observed, likes) over successful like requests."""
     days: Dict[str, Set[int]] = defaultdict(set)
     likes: Dict[str, int] = defaultdict(int)
-    for record in log.like_requests(since=since):
-        if record.source_ip is None:
+    timestamps, ips = log.like_columns(("timestamp", "source_ip"),
+                                       since=since)
+    for timestamp, source_ip in zip(timestamps, ips):
+        if source_ip is None:
             continue
-        days[record.source_ip].add(record.timestamp // DAY)
-        likes[record.source_ip] += 1
+        days[source_ip].add(timestamp // DAY)
+        likes[source_ip] += 1
     return [SourceStats(ip, len(days[ip]), likes[ip])
             for ip in sorted(likes, key=likes.get, reverse=True)]
 
@@ -63,13 +65,14 @@ def as_observation_stats(log: RequestLog, as_registry: AsRegistry,
     """Per-AS (days observed, likes) over successful like requests."""
     days: Dict[int, Set[int]] = defaultdict(set)
     likes: Dict[int, int] = defaultdict(int)
-    for record in log.like_requests(since=since):
-        asn = record.asn
-        if asn is None and record.source_ip is not None:
-            asn = as_registry.asn_of(record.source_ip)
+    timestamps, ips, asns = log.like_columns(
+        ("timestamp", "source_ip", "asn"), since=since)
+    for timestamp, source_ip, asn in zip(timestamps, ips, asns):
+        if asn is None and source_ip is not None:
+            asn = as_registry.asn_of(source_ip)
         if asn is None:
             continue
-        days[asn].add(record.timestamp // DAY)
+        days[asn].add(timestamp // DAY)
         likes[asn] += 1
     return [SourceStats(f"AS{asn}", len(days[asn]), likes[asn])
             for asn in sorted(likes, key=likes.get, reverse=True)]

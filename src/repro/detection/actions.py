@@ -19,13 +19,14 @@ def actions_from_request_log(log, since: Optional[int] = None,
                              until: Optional[int] = None) -> List[Action]:
     """Convert successful like records from a Graph API request log into
     detector actions."""
+    timestamps, users, targets = log.like_columns(
+        ("timestamp", "user_id", "target_id"), since=since)
     actions: List[Action] = []
-    for record in log.like_requests(since=since):
-        if until is not None and record.timestamp >= until:
+    for timestamp, user_id, target_id in zip(timestamps, users, targets):
+        if until is not None and timestamp >= until:
             continue
-        if record.user_id is None or record.target_id is None:
+        if user_id is None or target_id is None:
             continue
-        actions.append(Action(actor=record.user_id,
-                              target=record.target_id,
-                              timestamp=record.timestamp))
+        actions.append(Action(actor=user_id, target=target_id,
+                              timestamp=timestamp))
     return actions

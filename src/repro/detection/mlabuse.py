@@ -66,18 +66,21 @@ def extract_token_features(log: RequestLog,
     tokens_by_ip: Dict[str, Set[str]] = defaultdict(set)
     user_by_token: Dict[str, Optional[str]] = {}
 
-    for record in log.like_requests(since=since):
-        token = record.token
+    columns = log.like_columns(
+        ("timestamp", "token", "user_id", "source_ip", "asn",
+         "target_id"), since=since)
+    for timestamp, token, user_id, source_ip, asn, target_id in zip(
+            *columns):
         likes_by_token[token] += 1
-        days_by_token[token].add(record.timestamp // DAY)
-        user_by_token.setdefault(token, record.user_id)
-        if record.source_ip is not None:
-            ips_by_token[token].add(record.source_ip)
-            tokens_by_ip[record.source_ip].add(token)
-        if record.asn is not None:
+        days_by_token[token].add(timestamp // DAY)
+        user_by_token.setdefault(token, user_id)
+        if source_ip is not None:
+            ips_by_token[token].add(source_ip)
+            tokens_by_ip[source_ip].add(token)
+        if asn is not None:
             datacenter_by_token[token] += 1
-        if record.target_id is not None:
-            targets_by_token[token].add(record.target_id)
+        if target_id is not None:
+            targets_by_token[token].add(target_id)
 
     features: List[TokenFeatures] = []
     for token, likes in likes_by_token.items():

@@ -22,9 +22,10 @@ timing) exceeds every threshold.
 from __future__ import annotations
 
 import random
-from collections import defaultdict
+from collections import Counter, defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Set, Tuple
+from itertools import combinations
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.detection.actions import Action
 from repro.detection.unionfind import UnionFind
@@ -69,29 +70,52 @@ class SynchroTrap:
 
     # ------------------------------------------------------------------
     def detect(self, actions: Iterable[Action]) -> DetectionResult:
-        actions = list(actions)
+        # Phase 1: the inverted index — (target, window) -> actor set.
         action_counts: Dict[str, int] = defaultdict(int)
         buckets: Dict[Tuple[str, int], Set[str]] = defaultdict(set)
+        window = self.window_seconds
+        half = window // 2
+        last_key: Optional[Tuple[str, str, int]] = None
+        last_edged = False
         for action in actions:
-            action_counts[action.actor] += 1
-            bucket = action.timestamp // self.window_seconds
-            buckets[(action.target, bucket)].add(action.actor)
+            actor = action.actor
+            action_counts[actor] += 1
+            bucket, remainder = divmod(action.timestamp, window)
             # An action near a bucket edge also matches the next bucket.
-            if (action.timestamp % self.window_seconds
-                    > self.window_seconds // 2):
-                buckets[(action.target, bucket + 1)].add(action.actor)
+            edge = remainder > half
+            key = (actor, action.target, bucket)
+            if key == last_key and (last_edged or not edge):
+                # Repeat of the previous (actor, target, window): both
+                # inserts would leave the actor sets unchanged.
+                continue
+            buckets[(action.target, bucket)].add(actor)
+            if edge:
+                buckets[(action.target, bucket + 1)].add(actor)
+                last_edged = True
+            elif key != last_key:
+                last_edged = False
+            last_key = key
 
-        matches: Dict[Tuple[str, str], int] = defaultdict(int)
+        # Phase 2: co-occurrence counting.  combinations() over the
+        # sorted members feeds Counter.update at C speed, replacing the
+        # nested Python pair loops; pairs arrive in the same (a < b)
+        # order, so downstream union order is unchanged.
+        matches: Counter = Counter()
+        sample = self._rng.sample
+        cap = self.max_bucket_actors
         for actors in buckets.values():
             if len(actors) < 2:
                 continue
             members = sorted(actors)
-            if len(members) > self.max_bucket_actors:
-                members = self._rng.sample(members, self.max_bucket_actors)
-                members.sort()
-            for i, a in enumerate(members):
-                for b in members[i + 1:]:
-                    matches[(a, b)] += 1
+            if len(members) > cap:
+                # Down-sample by index position: consumes the identical
+                # RNG stream as sampling the members directly, and the
+                # sorted index list keeps members sorted without a
+                # second pass over strings.
+                picked = sample(range(len(members)), cap)
+                picked.sort()
+                members = [members[i] for i in picked]
+            matches.update(combinations(members, 2))
 
         uf = UnionFind()
         edges = 0

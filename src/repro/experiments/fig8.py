@@ -69,13 +69,16 @@ def run(world, results: CampaignResults) -> Fig8Result:
         lambda: defaultdict(set))
     ip_likes: Dict[str, Dict[str, int]] = defaultdict(
         lambda: defaultdict(int))
-    for record in world.api.log.like_requests():
-        domain = post_owner.get(record.target_id or "")
-        if domain is None or record.source_ip is None:
+    timestamps, targets, sources = world.api.log.like_columns(
+        ("timestamp", "target_id", "source_ip"))
+    for timestamp, target_id, source_ip in zip(timestamps, targets,
+                                               sources):
+        domain = post_owner.get(target_id or "")
+        if domain is None or source_ip is None:
             continue
-        day = record.timestamp // DAY
-        ips[domain][record.source_ip].add(day)
-        ip_likes[domain][record.source_ip] += 1
+        day = timestamp // DAY
+        ips[domain][source_ip].add(day)
+        ip_likes[domain][source_ip] += 1
 
     breakdowns: Dict[str, SourceBreakdown] = {}
     for domain in results.honeypots:

@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.apps.catalog import AppCatalog
 from repro.collusion.ecosystem import CollusionEcosystem, build_ecosystem
@@ -28,6 +31,7 @@ from repro.experiments import (
     table6,
 )
 from repro.honeypot.milker import MilkingCampaign, MilkingResults
+from repro.perf import StageTimer, paused_gc
 
 
 @dataclass
@@ -40,6 +44,7 @@ class StudyArtifacts:
     ecosystem: CollusionEcosystem
     milking: Optional[MilkingResults] = None
     campaign: Optional[CampaignResults] = None
+    timings: Optional[StageTimer] = None
 
 
 @dataclass
@@ -71,11 +76,13 @@ class StudyReport:
 def build_world(config: Optional[StudyConfig] = None) -> StudyArtifacts:
     """Create and populate a world (catalog + collusion ecosystem)."""
     config = config or StudyConfig()
-    world = World(config)
-    catalog = AppCatalog(world.apps, world.rng.stream("catalog"),
-                         top_n=config.top_apps)
-    catalog.build()
-    ecosystem = build_ecosystem(world, network_limit=config.network_limit)
+    with paused_gc():
+        world = World(config)
+        catalog = AppCatalog(world.apps, world.rng.stream("catalog"),
+                             top_n=config.top_apps)
+        catalog.build()
+        ecosystem = build_ecosystem(world,
+                                    network_limit=config.network_limit)
     return StudyArtifacts(config=config, world=world, catalog=catalog,
                           ecosystem=ecosystem)
 
@@ -84,7 +91,9 @@ def run_milking(artifacts: StudyArtifacts,
                 days: Optional[int] = None) -> MilkingResults:
     """Run the §4 milking campaign over every built network."""
     campaign = MilkingCampaign(artifacts.world, artifacts.ecosystem)
-    artifacts.milking = campaign.run(days or artifacts.config.milking_days)
+    with paused_gc():
+        artifacts.milking = campaign.run(
+            days or artifacts.config.milking_days)
     return artifacts.milking
 
 
@@ -104,40 +113,163 @@ def run_campaign(artifacts: StudyArtifacts,
                                    "networks": networks})
     runner = CountermeasureCampaign(artifacts.world, artifacts.ecosystem,
                                     config)
-    artifacts.campaign = runner.run()
+    with paused_gc():
+        artifacts.campaign = runner.run()
     return artifacts.campaign
 
 
-def run_experiments(artifacts: StudyArtifacts) -> StudyReport:
-    """Produce every table/figure that the available artifacts allow."""
-    report = StudyReport()
-    world = artifacts.world
-    report.table1 = table1.run(world, artifacts.catalog)
-    report.table2 = table2.run(world)
-    report.table3 = table3.run(world)
-    report.table5 = table5.run(world, artifacts.ecosystem)
+# ----------------------------------------------------------------------
+# Experiment jobs.  Each is a pure function of the artifacts, which is
+# what lets run_experiments fan them out across worker processes.
+# ----------------------------------------------------------------------
+def _exp_table1(a: StudyArtifacts):
+    return table1.run(a.world, a.catalog)
+
+
+def _exp_table2(a: StudyArtifacts):
+    return table2.run(a.world)
+
+
+def _exp_table3(a: StudyArtifacts):
+    return table3.run(a.world)
+
+
+def _exp_table5(a: StudyArtifacts):
+    return table5.run(a.world, a.ecosystem)
+
+
+def _exp_table4(a: StudyArtifacts):
+    return table4.run(a.milking, a.config.scale)
+
+
+def _exp_table6(a: StudyArtifacts):
+    return table6.run(a.milking)
+
+
+def _exp_fig4(a: StudyArtifacts):
+    networks = [d for d in fig4.DEFAULT_NETWORKS
+                if d in a.milking.per_network]
+    if not networks:
+        return None
+    return fig4.run(a.milking, networks)
+
+
+def _exp_fig5(a: StudyArtifacts):
+    return fig5.run(a.campaign)
+
+
+def _exp_fig6(a: StudyArtifacts):
+    return fig6.run(a.world, a.campaign, ecosystem=a.ecosystem)
+
+
+def _exp_fig7(a: StudyArtifacts):
+    return fig7.run(a.world, a.campaign)
+
+
+def _exp_fig8(a: StudyArtifacts):
+    return fig8.run(a.world, a.campaign)
+
+
+_EXPERIMENT_RUNNERS: Dict[str, Callable[[StudyArtifacts], Any]] = {
+    "table1": _exp_table1,
+    "table2": _exp_table2,
+    "table3": _exp_table3,
+    "table5": _exp_table5,
+    "table4": _exp_table4,
+    "table6": _exp_table6,
+    "fig4": _exp_fig4,
+    "fig5": _exp_fig5,
+    "fig6": _exp_fig6,
+    "fig7": _exp_fig7,
+    "fig8": _exp_fig8,
+}
+
+#: Artifacts handed to forked experiment workers.  Fork shares the
+#: parent's memory copy-on-write, so workers read the world without
+#: pickling it; only the (small) result objects travel back.
+_PARALLEL_STATE: Dict[str, StudyArtifacts] = {}
+
+
+def _planned_experiments(artifacts: StudyArtifacts) -> List[str]:
+    names = ["table1", "table2", "table3", "table5"]
     if artifacts.milking is not None:
-        scale = artifacts.config.scale
-        report.table4 = table4.run(artifacts.milking, scale)
-        report.table6 = table6.run(artifacts.milking)
-        fig4_networks = [d for d in fig4.DEFAULT_NETWORKS
-                         if d in artifacts.milking.per_network]
-        if fig4_networks:
-            report.fig4 = fig4.run(artifacts.milking, fig4_networks)
+        names += ["table4", "table6", "fig4"]
     if artifacts.campaign is not None:
-        report.fig5 = fig5.run(artifacts.campaign)
-        report.fig6 = fig6.run(world, artifacts.campaign,
-                              ecosystem=artifacts.ecosystem)
-        report.fig7 = fig7.run(world, artifacts.campaign)
-        report.fig8 = fig8.run(world, artifacts.campaign)
+        names += ["fig5", "fig6", "fig7", "fig8"]
+    return names
+
+
+def _run_planned(name: str) -> Tuple[str, Any]:
+    return name, _EXPERIMENT_RUNNERS[name](_PARALLEL_STATE["artifacts"])
+
+
+def _run_experiments_parallel(
+        artifacts: StudyArtifacts, names: List[str],
+        max_workers: Optional[int]) -> Optional[List[Tuple[str, Any]]]:
+    """Fan experiments out over forked workers; None if unavailable."""
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+    workers = max_workers or min(len(names), os.cpu_count() or 1)
+    _PARALLEL_STATE["artifacts"] = artifacts
+    try:
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=context) as pool:
+            return list(pool.map(_run_planned, names))
+    except Exception:  # pragma: no cover - fall back to serial
+        return None
+    finally:
+        _PARALLEL_STATE.clear()
+
+
+def run_experiments(artifacts: StudyArtifacts, parallel: bool = False,
+                    max_workers: Optional[int] = None) -> StudyReport:
+    """Produce every table/figure that the available artifacts allow.
+
+    With ``parallel=True`` the experiment jobs run across forked worker
+    processes (each job is a pure function of the artifacts, so the
+    report is identical to a serial run); serial execution is the
+    default and the fallback wherever fork is unavailable.
+    """
+    names = _planned_experiments(artifacts)
+    results: Optional[List[Tuple[str, Any]]] = None
+    if parallel and len(names) > 1:
+        results = _run_experiments_parallel(artifacts, names, max_workers)
+    if results is None:
+        results = [(name, _EXPERIMENT_RUNNERS[name](artifacts))
+                   for name in names]
+    report = StudyReport()
+    for name, result in results:
+        setattr(report, name, result)
     return report
 
 
 def run_full_study(config: Optional[StudyConfig] = None,
-                   campaign_config: Optional[CampaignConfig] = None):
-    """Build, milk, counter, and report.  Returns (artifacts, report)."""
-    artifacts = build_world(config)
-    run_milking(artifacts)
-    run_campaign(artifacts, campaign_config)
-    report = run_experiments(artifacts)
+                   campaign_config: Optional[CampaignConfig] = None,
+                   timer: Optional[StageTimer] = None,
+                   parallel_experiments: bool = False):
+    """Build, milk, counter, and report.  Returns (artifacts, report).
+
+    Stage timings and per-stage API-request counts accumulate into
+    ``timer`` (also stored as ``artifacts.timings``).
+    """
+    timer = timer if timer is not None else StageTimer()
+    with timer.stage("build"):
+        artifacts = build_world(config)
+    artifacts.timings = timer
+    log = artifacts.world.api.log
+    timer.count("build.log_rows", len(log.all()))
+    with timer.stage("milking"):
+        run_milking(artifacts)
+    milked_rows = len(log.all())
+    timer.count("milking.log_rows",
+                milked_rows - timer.counters.get("build.log_rows", 0))
+    with timer.stage("campaign"):
+        run_campaign(artifacts, campaign_config)
+    timer.count("campaign.log_rows", len(log.all()) - milked_rows)
+    with timer.stage("experiments"):
+        report = run_experiments(artifacts,
+                                 parallel=parallel_experiments)
+    timer.count("experiments.log_rows", len(log.all()))
     return artifacts, report

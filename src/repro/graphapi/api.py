@@ -15,7 +15,8 @@ Every request — successful or not — lands in the :class:`RequestLog`.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from collections import deque
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.graphapi.errors import (
     AppSecretRequiredError,
@@ -25,9 +26,15 @@ from repro.graphapi.errors import (
     PermissionDeniedError,
     RateLimitExceededError,
 )
-from repro.graphapi.log import RequestLog, RequestRecord
+from repro.graphapi.log import RequestLog
 from repro.graphapi.ratelimit import PolicyEnforcer, RateLimitPolicy
-from repro.graphapi.request import ApiAction, ApiRequest, ApiResponse
+from repro.graphapi.request import (
+    LIKE_ACTIONS,
+    WRITE_ACTIONS,
+    ApiAction,
+    ApiRequest,
+    ApiResponse,
+)
 from repro.netsim.asn import AsRegistry
 from repro.oauth.apps import ApplicationRegistry
 from repro.oauth.errors import InvalidTokenError
@@ -35,6 +42,7 @@ from repro.oauth.proof import verify_appsecret_proof
 from repro.oauth.scopes import Permission
 from repro.oauth.tokens import AccessToken, TokenStore
 from repro.sim.clock import SimClock
+from repro.socialnet.account import AccountStatus
 from repro.socialnet.errors import SocialNetworkError
 from repro.socialnet.platform import SocialPlatform
 
@@ -55,9 +63,14 @@ class GraphApi:
         self.enforcer = PolicyEnforcer(self.policy)
         self.log = RequestLog()
         #: Aggregate counters for the charge-only path (see charge_like).
-        self.charge_counters: Dict[str, int] = {}
+        self.charge_counters: Dict[str, int] = {"likes": 0}
         # Source IPs are drawn from static pools, so IP->ASN memoizes well.
         self._asn_cache: Dict[str, Optional[int]] = {}
+        # Charge-path token memo: access token -> (token, app, granted).
+        # Token objects are shared references, so the mutable validity
+        # bits (invalidated, expiry) are still checked on every call.
+        self._charge_token_cache: Dict[
+            str, Tuple[AccessToken, Any, bool]] = {}
 
     # ------------------------------------------------------------------
     # Core dispatch
@@ -67,20 +80,25 @@ class GraphApi:
         now = self.clock.now()
         token: Optional[AccessToken] = None
         outcome = "ok"
+        asn: Optional[int] = None
+        asn_resolved = False
         try:
             token = self.tokens.validate(request.access_token)
             app = self.apps.get(token.app_id)
             self._check_app_secret(app, request)
             self._check_permissions(token, request.action)
             asn = self._resolve_asn(request.source_ip)
-            if request.action.is_like and self.policy.is_as_blocked(
-                    app.app_id, asn):
-                raise BlockedSourceError(request.source_ip or "?", asn)
-            if request.action.is_like:
-                violated = self.enforcer.admit_ip_like(request.source_ip, now)
+            asn_resolved = True
+            if request.action in LIKE_ACTIONS:
+                if self.policy.is_as_blocked(app.app_id, asn):
+                    raise BlockedSourceError(request.source_ip or "?", asn)
+                violated = self.enforcer.admit_like(
+                    token.token, request.source_ip, now)
+                if violated == "token":
+                    raise RateLimitExceededError(token.token[-6:])
                 if violated is not None:
                     raise IpRateLimitError(request.source_ip or "?", violated)
-            if request.action.is_write:
+            elif request.action in WRITE_ACTIONS:
                 if not self.enforcer.admit_token_action(token.token, now):
                     raise RateLimitExceededError(token.token[-6:])
             data = self._perform(token, request)
@@ -95,17 +113,190 @@ class GraphApi:
             outcome = "platform_error"
             raise
         finally:
-            self.log.append(RequestRecord(
-                timestamp=now,
+            if not asn_resolved:
+                # Admission failed before reaching ASN resolution.
+                asn = self._resolve_asn(request.source_ip)
+            self.log.append_row(
+                now, request.action, request.access_token,
+                token.user_id if token else None,
+                token.app_id if token else None,
+                self._target_of(request), request.source_ip, asn, outcome)
+
+    # ------------------------------------------------------------------
+    # Batched admission fast paths
+    # ------------------------------------------------------------------
+    def execute_batch(
+            self,
+            requests: Sequence[ApiRequest]) -> Optional[List[ApiResponse]]:
+        """Atomically execute a batch of *like* requests.
+
+        The scalar admission pipeline of :meth:`execute` is re-run here
+        in two phases — a pure validation pass (token / proof / scope /
+        AS block / rate-limit verdicts / platform pre-checks, amortized
+        across distinct tokens, scopes, apps and IPs), then a single
+        apply pass (limiter charges, platform writes, log appends in
+        request order).
+
+        All-or-nothing: when every request would succeed, the batch is
+        applied and the responses are returned, leaving byte-identical
+        state to scalar execution.  When *any* request would fail,
+        ``None`` is returned with **no state mutated** — callers fall
+        back to per-request :meth:`execute`, which surfaces individual
+        errors and partial side effects exactly as before.
+        """
+        now = self.clock._now
+        peek = self.tokens.peek
+        apps_get = self.apps.get
+        policy = self.policy
+        resolve = self._resolve_asn
+        posts = self.platform.posts
+        pages = self.platform.pages
+        accounts = self.platform.accounts
+        token_cache = self._charge_token_cache
+        account_ok: Dict[str, bool] = {}
+        batch_liked = set()
+        plan = []
+        for request in requests:
+            action = request.action
+            if action not in LIKE_ACTIONS:
+                return None
+            cached = token_cache.get(request.access_token)
+            if cached is None:
+                token = peek(request.access_token)
+                if token is None:
+                    return None
+                app = apps_get(token.app_id)
+                granted = token.grants(Permission.PUBLISH_ACTIONS)
+                token_cache[request.access_token] = (token, app, granted)
+            else:
+                token, app, granted = cached
+            if token.invalidated or now >= token.expires_at:
+                return None
+            if app.security.require_app_secret:
+                proof = request.appsecret_proof
+                if proof != app.secret and not verify_appsecret_proof(
+                        app.secret, request.access_token, proof or ""):
+                    return None
+            if not granted:
+                return None
+            asn = resolve(request.source_ip)
+            if (policy.blocked_asns_by_app
+                    and policy.is_as_blocked(app.app_id, asn)):
+                return None
+            # Platform pre-checks: a write that would raise (unknown or
+            # duplicate target, suspended account) must bail out here,
+            # because the scalar path charges limits before performing.
+            if action is ApiAction.LIKE_POST:
+                object_id = str(request.params["post_id"])
+                target = posts.get(object_id)
+            else:
+                object_id = str(request.params["page_id"])
+                target = pages.get(object_id)
+            if target is None:
+                return None
+            active = account_ok.get(token.user_id)
+            if active is None:
+                account = accounts.get(token.user_id)
+                active = (account is not None
+                          and account.status is AccountStatus.ACTIVE)
+                account_ok[token.user_id] = active
+            if not active:
+                return None
+            key = (token.user_id, object_id)
+            if key in batch_liked or target.liked_by(token.user_id):
+                return None
+            batch_liked.add(key)
+            plan.append((request, token, asn, object_id))
+        pairs = [(req.access_token, req.source_ip)
+                 for req, _, _, _ in plan]
+        if self.enforcer.admit_like_batch(pairs, now) is not None:
+            return None
+        like_post = self.platform.like_post
+        like_page = self.platform.like_page
+        append_row = self.log.append_row
+        responses = []
+        for request, token, asn, object_id in plan:
+            if request.action is ApiAction.LIKE_POST:
+                like = like_post(token.user_id, object_id,
+                                 via_app_id=token.app_id,
+                                 source_ip=request.source_ip)
+            else:
+                like = like_page(token.user_id, object_id,
+                                 via_app_id=token.app_id,
+                                 source_ip=request.source_ip)
+            append_row(now, request.action, request.access_token,
+                       token.user_id, token.app_id, object_id,
+                       request.source_ip, asn, "ok")
+            responses.append(ApiResponse(
                 action=request.action,
-                token=request.access_token,
-                user_id=token.user_id if token else None,
-                app_id=token.app_id if token else None,
-                target_id=self._target_of(request),
-                source_ip=request.source_ip,
-                asn=self._resolve_asn(request.source_ip),
-                outcome=outcome,
-            ))
+                data={"object_id": like.object_id,
+                      "liker_id": like.liker_id}))
+        return responses
+
+    def charge_like_batch(
+            self, entries: Sequence[Tuple[str, Optional[str]]],
+            appsecret_proof: Optional[str] = None) -> bool:
+        """Vectorized :meth:`charge_like` over ``(token, source_ip)``.
+
+        Token validity, proof, scope, ASN and AS-block checks are
+        amortized per distinct token / app / (app, IP); the rate-limit
+        verdicts are computed for the whole batch and then charged in
+        one pass.  Returns ``True`` when every entry was admitted and
+        charged.  All-or-nothing: if any entry would be rejected the
+        method returns ``False`` with **no state mutated**, and callers
+        replay the batch through scalar :meth:`charge_like` calls to get
+        per-entry errors and partial charges.
+        """
+        now = self.clock._now
+        peek = self.tokens.peek
+        apps_get = self.apps.get
+        policy = self.policy
+        resolve = self._resolve_asn
+        token_cache = self._charge_token_cache
+        blocked: Dict[Tuple[str, Optional[str]], bool] = {}
+        # A batch almost always spans one application (a network's
+        # members share its app), so memo the proof-requirement lookup.
+        last_app = None
+        proof_ok = False
+        for access_token, source_ip in entries:
+            cached = token_cache.get(access_token)
+            if cached is None:
+                token = peek(access_token)
+                if (token is None or token.invalidated
+                        or token.is_expired(now)):
+                    return False
+                app = apps_get(token.app_id)
+                granted = token.grants(Permission.PUBLISH_ACTIONS)
+                token_cache[access_token] = (token, app, granted)
+            else:
+                token, app, granted = cached
+                if token.invalidated or now >= token.expires_at:
+                    return False
+            if app is not last_app:
+                last_app = app
+                proof_ok = (not app.security.require_app_secret
+                            or appsecret_proof == app.secret)
+            if not proof_ok:
+                if not verify_appsecret_proof(app.secret, access_token,
+                                              appsecret_proof or ""):
+                    return False
+            if not granted:
+                return False
+            # AS blocking is off (empty blocklist) until the §6.4
+            # intervention lands; skip the per-entry ASN work entirely.
+            if policy.blocked_asns_by_app:
+                key = (app.app_id, source_ip)
+                verdict = blocked.get(key)
+                if verdict is None:
+                    verdict = policy.is_as_blocked(app.app_id,
+                                                   resolve(source_ip))
+                    blocked[key] = verdict
+                if verdict:
+                    return False
+        if self.enforcer.admit_like_batch(entries, now) is not None:
+            return False
+        self.charge_counters["likes"] += len(entries)
+        return True
 
     def _resolve_asn(self, source_ip: Optional[str]) -> Optional[int]:
         if source_ip is None or self.as_registry is None:
@@ -210,24 +401,191 @@ class GraphApi:
         :attr:`charge_counters`.
         """
         now = self.clock.now()
-        token = self.tokens.validate(access_token)
-        app = self.apps.get(token.app_id)
+        cached = self._charge_token_cache.get(access_token)
+        if cached is None:
+            token = self.tokens.validate(access_token)
+            app = self.apps.get(token.app_id)
+            granted = token.grants(Permission.PUBLISH_ACTIONS)
+            self._charge_token_cache[access_token] = (token, app, granted)
+        else:
+            token, app, granted = cached
+            if token.invalidated:
+                raise InvalidTokenError(
+                    f"access token invalidated "
+                    f"({token.invalidation_reason})")
+            if token.is_expired(now):
+                raise InvalidTokenError("access token expired")
         if app.security.require_app_secret and appsecret_proof != app.secret:
             if not verify_appsecret_proof(app.secret, access_token,
                                           appsecret_proof or ""):
                 raise AppSecretRequiredError(app.app_id)
-        if not token.grants(Permission.PUBLISH_ACTIONS):
+        if not granted:
             raise PermissionDeniedError(Permission.PUBLISH_ACTIONS.value)
-        asn = self._resolve_asn(source_ip)
-        if self.policy.is_as_blocked(app.app_id, asn):
-            raise BlockedSourceError(source_ip or "?", asn)
-        violated = self.enforcer.admit_ip_like(source_ip, now)
+        if self.policy.blocked_asns_by_app:
+            asn = self._resolve_asn(source_ip)
+            if self.policy.is_as_blocked(app.app_id, asn):
+                raise BlockedSourceError(source_ip or "?", asn)
+        violated = self.enforcer.admit_like(token.token, source_ip, now)
+        if violated == "token":
+            raise RateLimitExceededError(token.token[-6:])
         if violated is not None:
             raise IpRateLimitError(source_ip or "?", violated)
-        if not self.enforcer.admit_token_action(token.token, now):
-            raise RateLimitExceededError(token.token[-6:])
-        self.charge_counters["likes"] = (
-            self.charge_counters.get("likes", 0) + 1)
+        self.charge_counters["likes"] += 1
+
+    def try_charge_like(self, access_token: str,
+                        source_ip: Optional[str] = None,
+                        appsecret_proof: Optional[str] = None
+                        ) -> Optional[str]:
+        """Non-raising :meth:`charge_like`.
+
+        Identical enforcement, charges and counters, but rejections come
+        back as a code instead of an exception — ``None`` on success,
+        else ``"invalid_token"`` / ``"app_secret"`` / ``"permission"`` /
+        ``"blocked"`` / ``"token_limit"`` / ``"ip_limit"``.  Bulk
+        delivery loops reject millions of requests once the §6
+        countermeasures bite; returning a code keeps that path free of
+        exception construction and unwinding.
+        """
+        # Direct attribute reads of the shared clock / token expiry: this
+        # is the single hottest call site in the simulator, so the method
+        # wrappers are bypassed (the semantics are identical).
+        now = self.clock._now
+        cached = self._charge_token_cache.get(access_token)
+        if cached is None:
+            token = self.tokens.peek(access_token)
+            if (token is None or token.invalidated
+                    or token.is_expired(now)):
+                return "invalid_token"
+            app = self.apps.get(token.app_id)
+            granted = token.grants(Permission.PUBLISH_ACTIONS)
+            self._charge_token_cache[access_token] = (token, app, granted)
+        else:
+            token, app, granted = cached
+            if token.invalidated or now >= token.expires_at:
+                return "invalid_token"
+        if app.security.require_app_secret and appsecret_proof != app.secret:
+            if not verify_appsecret_proof(app.secret, access_token,
+                                          appsecret_proof or ""):
+                return "app_secret"
+        if not granted:
+            return "permission"
+        policy = self.policy
+        if policy.blocked_asns_by_app:
+            asn = self._resolve_asn(source_ip)
+            if policy.is_as_blocked(app.app_id, asn):
+                return "blocked"
+        enforcer = self.enforcer
+        limiter = enforcer._token_limiter
+        if (policy.ip_likes_per_day is None
+                and policy.ip_likes_per_week is None
+                and limiter.limit == policy.token_actions_per_day):
+            # Inlined token-only admission (admit_like's fast path):
+            # this is the million-plus-per-day rejection loop once §6.1
+            # tightens the budget, so spare it the extra frames.  The
+            # policy-field gate doubles as the _sync() check — any other
+            # configuration (IP limits on, token limit just changed)
+            # falls through to admit_like, which re-syncs the limiters.
+            until = limiter._saturated_until.get(access_token)
+            if until is not None:
+                if now < until:
+                    return "token_limit"
+                del limiter._saturated_until[access_token]
+            events = limiter._events.get(access_token)
+            if events is None:
+                events = limiter._events[access_token] = deque()
+            else:
+                horizon = now - limiter.window_seconds
+                while events and events[0] <= horizon:
+                    events.popleft()
+            if len(events) >= limiter.limit:
+                limiter.mark_saturated(access_token, events)
+                return "token_limit"
+            events.append(now)
+        else:
+            violated = enforcer.admit_like(token.token, source_ip, now)
+            if violated == "token":
+                return "token_limit"
+            if violated is not None:
+                return "ip_limit"
+        self.charge_counters["likes"] += 1
+        return None
+
+    def try_like_post(self, access_token: str, post_id: str,
+                      source_ip: Optional[str] = None,
+                      appsecret_proof: Optional[str] = None
+                      ) -> Optional[str]:
+        """Non-raising :meth:`like_post`.
+
+        Runs the exact :meth:`execute` pipeline for a ``LIKE_POST``
+        request — same enforcement order, same platform write, same log
+        row — but reports rejections as codes (the same vocabulary as
+        :meth:`try_charge_like`, plus ``"platform_error"``) instead of
+        exceptions, sparing the bulk delivery loops millions of raises.
+        """
+        now = self.clock._now
+        cached = self._charge_token_cache.get(access_token)
+        if cached is None:
+            token = self.tokens.peek(access_token)
+            if (token is not None and not token.invalidated
+                    and not token.is_expired(now)):
+                app = self.apps.get(token.app_id)
+                granted = token.grants(Permission.PUBLISH_ACTIONS)
+                self._charge_token_cache[access_token] = (
+                    token, app, granted)
+            else:
+                token = None
+        else:
+            token, app, granted = cached
+            if token.invalidated or now >= token.expires_at:
+                token = None
+        asn = self._resolve_asn(source_ip)
+        append_row = self.log.append_row
+        if token is None:
+            append_row(now, ApiAction.LIKE_POST, access_token, None, None,
+                       post_id, source_ip, asn, "invalid_token")
+            return "invalid_token"
+        user_id = token.user_id
+        app_id = token.app_id
+        if app.security.require_app_secret and appsecret_proof != app.secret:
+            if not verify_appsecret_proof(app.secret, access_token,
+                                          appsecret_proof or ""):
+                append_row(now, ApiAction.LIKE_POST, access_token, user_id,
+                           app_id, post_id, source_ip, asn,
+                           AppSecretRequiredError.code)
+                return "app_secret"
+        if not granted:
+            append_row(now, ApiAction.LIKE_POST, access_token, user_id,
+                       app_id, post_id, source_ip, asn,
+                       PermissionDeniedError.code)
+            return "permission"
+        policy = self.policy
+        if (policy.blocked_asns_by_app
+                and policy.is_as_blocked(app_id, asn)):
+            append_row(now, ApiAction.LIKE_POST, access_token, user_id,
+                       app_id, post_id, source_ip, asn,
+                       BlockedSourceError.code)
+            return "blocked"
+        violated = self.enforcer.admit_like(access_token, source_ip, now)
+        if violated is not None:
+            if violated == "token":
+                append_row(now, ApiAction.LIKE_POST, access_token, user_id,
+                           app_id, post_id, source_ip, asn,
+                           RateLimitExceededError.code)
+                return "token_limit"
+            append_row(now, ApiAction.LIKE_POST, access_token, user_id,
+                       app_id, post_id, source_ip, asn,
+                       IpRateLimitError.code)
+            return "ip_limit"
+        try:
+            self.platform.like_post(user_id, post_id, via_app_id=app_id,
+                                    source_ip=source_ip)
+        except SocialNetworkError:
+            append_row(now, ApiAction.LIKE_POST, access_token, user_id,
+                       app_id, post_id, source_ip, asn, "platform_error")
+            return "platform_error"
+        append_row(now, ApiAction.LIKE_POST, access_token, user_id,
+                   app_id, post_id, source_ip, asn, "ok")
+        return None
 
     # ------------------------------------------------------------------
     # Convenience wrappers

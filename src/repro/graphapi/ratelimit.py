@@ -37,13 +37,37 @@ class SlidingWindowLimiter:
         self.limit = limit
         self.window_seconds = window_seconds
         self._events: Dict[str, Deque[int]] = {}
+        # Saturation memo: key -> earliest time the key can admit again.
+        # A rejected request records nothing, so while a key is saturated
+        # its deque is static and that time is exact — repeated rejects
+        # become one dict probe instead of an eviction pass.
+        self._saturated_until: Dict[str, int] = {}
 
     def _evict(self, key: str, now: int) -> Deque[int]:
-        events = self._events.setdefault(key, deque())
+        events = self._events.get(key)
+        if events is None:
+            events = self._events[key] = deque()
+            return events
         horizon = now - self.window_seconds
         while events and events[0] <= horizon:
             events.popleft()
         return events
+
+    def saturated(self, key: str, now: int) -> bool:
+        """Whether ``key`` is memoized as still at its limit."""
+        until = self._saturated_until.get(key)
+        if until is None:
+            return False
+        if now < until:
+            return True
+        del self._saturated_until[key]
+        return False
+
+    def mark_saturated(self, key: str, events: Deque[int]) -> None:
+        """Memoize a full window: admits resume once the
+        ``len(events) - limit + 1`` oldest events have expired."""
+        self._saturated_until[key] = (events[len(events) - self.limit]
+                                      + self.window_seconds)
 
     def usage(self, key: str, now: int) -> int:
         """Events currently counted against ``key``."""
@@ -57,8 +81,11 @@ class SlidingWindowLimiter:
 
     def try_acquire(self, key: str, now: int) -> bool:
         """Atomically check-and-record; True if the event was admitted."""
+        if self.saturated(key, now):
+            return False
         events = self._evict(key, now)
         if len(events) >= self.limit:
+            self.mark_saturated(key, events)
             return False
         events.append(now)
         return True
@@ -125,6 +152,172 @@ class PolicyEnforcer:
         """Check-and-record one write action for ``token``."""
         self._sync()
         return self._token_limiter.try_acquire(token, now)
+
+    def admit_like(self, token: str, source_ip: Optional[str],
+                   now: int) -> Optional[str]:
+        """Fused :meth:`admit_ip_like` + :meth:`admit_token_action`.
+
+        One policy sync and one eviction pass per limiter instead of
+        five; charges exactly as the two-call sequence does (IP windows
+        are charged even when the token budget then rejects).  Returns
+        ``None`` if admitted, else the violated limit name (``"daily"``
+        / ``"weekly"`` / ``"token"``).
+        """
+        self._sync()
+        if self._ip_day_limiter is None and self._ip_week_limiter is None:
+            # Fast path while the §6.4 IP limits are off: only the token
+            # budget is live.
+            limiter = self._token_limiter
+            until = limiter._saturated_until.get(token)
+            if until is not None:
+                if now < until:
+                    return "token"
+                del limiter._saturated_until[token]
+            events = limiter._evict(token, now)
+            if len(events) >= limiter.limit:
+                limiter.mark_saturated(token, events)
+                return "token"
+            events.append(now)
+            return None
+        if source_ip is not None:
+            day_events = week_events = None
+            day = self._ip_day_limiter
+            if day is not None:
+                if day.saturated(source_ip, now):
+                    return "daily"
+                day_events = day._evict(source_ip, now)
+                if len(day_events) >= day.limit:
+                    day.mark_saturated(source_ip, day_events)
+                    return "daily"
+            week = self._ip_week_limiter
+            if week is not None:
+                if week.saturated(source_ip, now):
+                    return "weekly"
+                week_events = week._evict(source_ip, now)
+                if len(week_events) >= week.limit:
+                    week.mark_saturated(source_ip, week_events)
+                    return "weekly"
+            if day_events is not None:
+                day_events.append(now)
+            if week_events is not None:
+                week_events.append(now)
+        limiter = self._token_limiter
+        if limiter.saturated(token, now):
+            return "token"
+        events = limiter._evict(token, now)
+        if len(events) >= limiter.limit:
+            limiter.mark_saturated(token, events)
+            return "token"
+        events.append(now)
+        return None
+
+    # ------------------------------------------------------------------
+    # Batched admission (all-or-nothing)
+    # ------------------------------------------------------------------
+    def admit_like_batch(self, entries, now: int):
+        """Admit every ``(token, source_ip)`` like, or none of them.
+
+        Counts intra-batch occurrences per key so the verdicts match a
+        sequential admission of the whole batch; each involved limiter
+        key is evicted at most once, and the hits are appended in bulk
+        only after every entry has passed.  Returns ``None`` if the
+        batch was admitted and charged, else the violated limiter name
+        (``"daily"`` / ``"weekly"`` / ``"token"``) with no state
+        recorded.
+        """
+        self._sync()
+        day = self._ip_day_limiter
+        week = self._ip_week_limiter
+        token_limiter = self._token_limiter
+        token_limit = token_limiter.limit
+        ip_counts: Dict[str, int] = {}
+        token_counts: Dict[str, int] = {}
+        day_events: Dict[str, Deque[int]] = {}
+        week_events: Dict[str, Deque[int]] = {}
+        token_events: Dict[str, Deque[int]] = {}
+        if day is None and week is None:
+            # Common case until the §6.4 IP limits land: only the token
+            # budget is live, so skip the per-entry IP bookkeeping.
+            saturated_until = token_limiter._saturated_until
+            all_events = token_limiter._events
+            horizon = now - token_limiter.window_seconds
+            mark_saturated = token_limiter.mark_saturated
+            counts_get = token_counts.get
+            events_get = token_events.get
+            for token, _source_ip in entries:
+                seen = counts_get(token, 0)
+                events = events_get(token)
+                if events is None:
+                    until = saturated_until.get(token)
+                    if until is not None:
+                        if now < until:
+                            return "token"
+                        del saturated_until[token]
+                    events = all_events.get(token)
+                    if events is None:
+                        events = all_events[token] = deque()
+                    else:
+                        while events and events[0] <= horizon:
+                            events.popleft()
+                    token_events[token] = events
+                    if len(events) >= token_limit:
+                        mark_saturated(token, events)
+                if len(events) + seen >= token_limit:
+                    return "token"
+                token_counts[token] = seen + 1
+            for token, count in token_counts.items():
+                token_events[token].extend((now,) * count)
+            return None
+        for token, source_ip in entries:
+            if source_ip is not None:
+                seen = ip_counts.get(source_ip, 0)
+                if day is not None:
+                    events = day_events.get(source_ip)
+                    if events is None:
+                        if day.saturated(source_ip, now):
+                            return "daily"
+                        events = day._evict(source_ip, now)
+                        day_events[source_ip] = events
+                        if len(events) >= day.limit:
+                            day.mark_saturated(source_ip, events)
+                    if len(events) + seen >= day.limit:
+                        return "daily"
+                if week is not None:
+                    events = week_events.get(source_ip)
+                    if events is None:
+                        if week.saturated(source_ip, now):
+                            return "weekly"
+                        events = week._evict(source_ip, now)
+                        week_events[source_ip] = events
+                        if len(events) >= week.limit:
+                            week.mark_saturated(source_ip, events)
+                    if len(events) + seen >= week.limit:
+                        return "weekly"
+                ip_counts[source_ip] = seen + 1
+            seen = token_counts.get(token, 0)
+            events = token_events.get(token)
+            if events is None:
+                if token_limiter.saturated(token, now):
+                    return "token"
+                events = token_limiter._evict(token, now)
+                token_events[token] = events
+                if len(events) >= token_limit:
+                    token_limiter.mark_saturated(token, events)
+            if len(events) + seen >= token_limit:
+                return "token"
+            token_counts[token] = seen + 1
+        # Charge: the deques were evicted at this same ``now``, so bulk
+        # appends land in the exact state sequential hits would produce.
+        if day is not None or week is not None:
+            for source_ip, count in ip_counts.items():
+                hits = (now,) * count
+                if day is not None:
+                    day_events[source_ip].extend(hits)
+                if week is not None:
+                    week_events[source_ip].extend(hits)
+        for token, count in token_counts.items():
+            token_events[token].extend((now,) * count)
+        return None
 
     def admit_ip_like(self, source_ip: Optional[str], now: int) -> Optional[str]:
         """Check-and-record one like from ``source_ip``.

@@ -28,7 +28,18 @@ class ApiAction(enum.Enum):
         return self in (ApiAction.LIKE_POST, ApiAction.LIKE_PAGE)
 
 
-@dataclass(frozen=True)
+#: Set-membership twins of the ``is_write`` / ``is_like`` properties —
+#: hot dispatch paths pay a descriptor plus a function call per property
+#: read, which adds up over millions of batched requests.
+LIKE_ACTIONS = frozenset((ApiAction.LIKE_POST, ApiAction.LIKE_PAGE))
+WRITE_ACTIONS = frozenset((ApiAction.CREATE_POST, ApiAction.LIKE_POST,
+                           ApiAction.LIKE_PAGE, ApiAction.COMMENT))
+
+
+# Not frozen (the params dict made these unhashable regardless), and
+# slotted: request/response objects are minted for every delivery-loop
+# call, so construction cost is on the measurement fast path.
+@dataclass(slots=True)
 class ApiRequest:
     """One Graph API call.
 
@@ -44,7 +55,7 @@ class ApiRequest:
     source_ip: Optional[str] = None
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class ApiResponse:
     """A successful Graph API result."""
 

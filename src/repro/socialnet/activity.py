@@ -11,7 +11,10 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 
-@dataclass(frozen=True, slots=True)
+# Not frozen: a frozen dataclass assigns every field through
+# object.__setattr__, tripling construction cost on the hottest
+# allocation in the platform write path.
+@dataclass(slots=True)
 class ActivityRecord:
     """One action performed by an account.
 

@@ -34,6 +34,9 @@ class SocialPlatform:
         self.accounts: Dict[str, Account] = {}
         self.posts: Dict[str, Post] = {}
         self.pages: Dict[str, Page] = {}
+        # Per-author creation-order index so timeline() stays O(author's
+        # posts) rather than scanning every post on the platform.
+        self._posts_by_author: Dict[str, List[Post]] = {}
         self.activity_log = ActivityLog()
 
     # ------------------------------------------------------------------
@@ -96,7 +99,7 @@ class SocialPlatform:
     def timeline(self, account_id: str) -> List[Post]:
         """Posts authored by ``account_id``, oldest first."""
         self._require_account(account_id)
-        return [p for p in self.posts.values() if p.author_id == account_id]
+        return list(self._posts_by_author.get(account_id, ()))
 
     # ------------------------------------------------------------------
     # Social graph
@@ -117,13 +120,15 @@ class SocialPlatform:
         """Publish a status update on the author's timeline."""
         self._require_active(author_id)
         post_id = self.ids.next("post")
+        now = self.clock.now()
         post = Post(post_id=post_id, author_id=author_id, text=text,
-                    created_at=self.clock.now())
+                    created_at=now)
         self.posts[post_id] = post
+        self._posts_by_author.setdefault(author_id, []).append(post)
         self.activity_log.record(ActivityRecord(
             actor_id=author_id, verb="post", target_id=post_id,
             target_kind="post", target_owner_id=author_id,
-            created_at=self.clock.now(), via_app_id=via_app_id,
+            created_at=now, via_app_id=via_app_id,
             source_ip=source_ip,
         ))
         return post
@@ -136,14 +141,15 @@ class SocialPlatform:
         post = self.get_post(post_id)
         if post.liked_by(liker_id):
             raise DuplicateLikeError(liker_id, post_id)
+        now = self.clock.now()
         like = Like(liker_id=liker_id, object_id=post_id,
-                    created_at=self.clock.now(), via_app_id=via_app_id,
+                    created_at=now, via_app_id=via_app_id,
                     source_ip=source_ip)
         post.add_like(like)
         self.activity_log.record(ActivityRecord(
             actor_id=liker_id, verb="like", target_id=post_id,
             target_kind="post", target_owner_id=post.author_id,
-            created_at=self.clock.now(), via_app_id=via_app_id,
+            created_at=now, via_app_id=via_app_id,
             source_ip=source_ip,
         ))
         return like
@@ -156,14 +162,15 @@ class SocialPlatform:
         page = self.get_page(page_id)
         if page.liked_by(liker_id):
             raise DuplicateLikeError(liker_id, page_id)
+        now = self.clock.now()
         like = Like(liker_id=liker_id, object_id=page_id,
-                    created_at=self.clock.now(), via_app_id=via_app_id,
+                    created_at=now, via_app_id=via_app_id,
                     source_ip=source_ip)
         page.add_like(like)
         self.activity_log.record(ActivityRecord(
             actor_id=liker_id, verb="like", target_id=page_id,
             target_kind="page", target_owner_id=page.owner_id,
-            created_at=self.clock.now(), via_app_id=via_app_id,
+            created_at=now, via_app_id=via_app_id,
             source_ip=source_ip,
         ))
         return like
@@ -174,16 +181,17 @@ class SocialPlatform:
         """Comment on a post on behalf of ``author_id``."""
         self._require_active(author_id)
         post = self.get_post(post_id)
+        now = self.clock.now()
         comment = Comment(
             comment_id=self.ids.next("comment"), author_id=author_id,
-            post_id=post_id, text=text, created_at=self.clock.now(),
+            post_id=post_id, text=text, created_at=now,
             via_app_id=via_app_id, source_ip=source_ip,
         )
         post.add_comment(comment)
         self.activity_log.record(ActivityRecord(
             actor_id=author_id, verb="comment", target_id=post_id,
             target_kind="post", target_owner_id=post.author_id,
-            created_at=self.clock.now(), via_app_id=via_app_id,
+            created_at=now, via_app_id=via_app_id,
             source_ip=source_ip,
         ))
         return comment

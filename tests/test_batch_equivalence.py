@@ -1,0 +1,100 @@
+"""Batched admission must be byte-identical to the scalar path.
+
+The collusion networks opportunistically deliver likes through
+``GraphApi.execute_batch`` / ``charge_like_batch``; the batch planner
+checkpoints the RNG and replays through the scalar path whenever a
+chunk cannot commit, so a study run with batching disabled must produce
+the exact same request log, rate-limit history and report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.core.config import StudyConfig
+from repro.experiments import export, runner
+
+
+def _log_digest(log) -> str:
+    h = hashlib.sha256()
+    for r in log.all():
+        h.update(repr((r.action.name, r.timestamp, r.token, r.user_id,
+                       r.app_id, r.target_id, r.source_ip, r.asn,
+                       r.outcome)).encode())
+    return h.hexdigest()
+
+
+def _run_study(batching: bool):
+    config = StudyConfig(scale=0.002, seed=13, milking_days=6,
+                         campaign_days=12)
+    artifacts = runner.build_world(config)
+    for network in artifacts.ecosystem.networks.values():
+        network.batch_requests_enabled = batching
+    api = artifacts.world.api
+    calls = {"execute_batch": 0, "charge_like_batch": 0}
+    original_execute_batch = api.execute_batch
+    original_charge_like_batch = api.charge_like_batch
+
+    def counting_execute_batch(requests):
+        calls["execute_batch"] += 1
+        return original_execute_batch(requests)
+
+    def counting_charge_like_batch(entries, appsecret_proof=None):
+        calls["charge_like_batch"] += 1
+        return original_charge_like_batch(
+            entries, appsecret_proof=appsecret_proof)
+
+    api.execute_batch = counting_execute_batch
+    api.charge_like_batch = counting_charge_like_batch
+    runner.run_milking(artifacts)
+    runner.run_campaign(artifacts)
+    artifacts.batch_calls = calls
+    return artifacts
+
+
+@pytest.fixture(scope="module")
+def batched_artifacts():
+    return _run_study(batching=True)
+
+
+@pytest.fixture(scope="module")
+def scalar_artifacts():
+    return _run_study(batching=False)
+
+
+def test_batched_study_matches_scalar_study(batched_artifacts,
+                                            scalar_artifacts):
+    batched_log = batched_artifacts.world.api.log
+    scalar_log = scalar_artifacts.world.api.log
+    assert len(batched_log.all()) == len(scalar_log.all())
+    assert _log_digest(batched_log) == _log_digest(scalar_log)
+    assert (batched_artifacts.world.api.charge_counters
+            == scalar_artifacts.world.api.charge_counters)
+
+
+def test_batched_report_matches_scalar_report(batched_artifacts,
+                                              scalar_artifacts):
+    batched = runner.run_experiments(batched_artifacts)
+    scalar = runner.run_experiments(scalar_artifacts)
+    assert batched.render() == scalar.render()
+    assert (export.report_to_json(batched)
+            == export.report_to_json(scalar))
+
+
+def test_batches_actually_ran(batched_artifacts, scalar_artifacts):
+    # Guard against the batch path silently never engaging (which would
+    # make the equivalence assertions vacuous).
+    assert batched_artifacts.batch_calls["execute_batch"] > 0
+    assert batched_artifacts.batch_calls["charge_like_batch"] > 0
+    assert scalar_artifacts.batch_calls["execute_batch"] == 0
+    assert scalar_artifacts.batch_calls["charge_like_batch"] == 0
+
+
+def test_parallel_experiments_match_serial(batched_artifacts):
+    serial = runner.run_experiments(batched_artifacts, parallel=False)
+    parallel = runner.run_experiments(batched_artifacts, parallel=True)
+    assert parallel.render() == serial.render()
+    assert (export.report_to_json(parallel)
+            == export.report_to_json(serial))

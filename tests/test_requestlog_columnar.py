@@ -1,0 +1,108 @@
+"""Tests for the columnar RequestLog (views, selectors, interning)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphapi.log import RecordsView, RequestLog, RequestRecord
+from repro.graphapi.request import ApiAction
+
+
+def _fill(log: RequestLog) -> None:
+    log.append_row(10, ApiAction.LIKE_POST, "tokA", "u1", "app1", "p1",
+                   "1.1.1.1", 64500, "ok")
+    log.append_row(20, ApiAction.LIKE_POST, "tokB", "u2", "app1", "p2",
+                   "2.2.2.2", None, "rate_limited")
+    log.append_row(20, ApiAction.CREATE_POST, "tokA", "u1", "app2", None,
+                   "1.1.1.1", 64500, "ok")
+    log.append_row(30, ApiAction.LIKE_PAGE, "tokC", "u3", "app2", "pg1",
+                   None, None, "ok")
+    log.append_row(40, ApiAction.LIKE_POST, "tokA", "u1", "app1", "p3",
+                   "1.1.1.1", 64500, "ok")
+
+
+@pytest.fixture
+def log() -> RequestLog:
+    log = RequestLog()
+    _fill(log)
+    return log
+
+
+def test_record_roundtrip(log):
+    record = log.all()[0]
+    assert record == RequestRecord(
+        timestamp=10, action=ApiAction.LIKE_POST, token="tokA",
+        user_id="u1", app_id="app1", target_id="p1",
+        source_ip="1.1.1.1", asn=64500, outcome="ok")
+
+
+def test_append_record_compatibility(log):
+    clone = RequestLog()
+    for record in log.all():
+        clone.append(record)
+    assert list(clone.all()) == list(log.all())
+
+
+def test_views_are_lazy_and_sliceable(log):
+    view = log.all()
+    assert isinstance(view, RecordsView)
+    assert len(view) == 5
+    assert [r.timestamp for r in view[1:3]] == [20, 20]
+    assert view[-1].token == "tokA"
+
+
+def test_for_ip_view_is_live_not_a_copy(log):
+    view = log.for_ip("1.1.1.1")
+    assert len(view) == 3
+    log.append_row(50, ApiAction.LIKE_POST, "tokD", "u4", "app1", "p9",
+                   "1.1.1.1", 64500, "ok")
+    # The view reads through to the log's index: no defensive copy.
+    assert len(view) == 4
+    assert view[-1].token == "tokD"
+
+
+def test_for_app_selects_rows(log):
+    assert [r.token for r in log.for_app("app2")] == ["tokA", "tokC"]
+
+
+def test_successes_exclude_failures(log):
+    assert all(r.outcome == "ok" for r in log.successes())
+    assert len(log.successes()) == 4
+
+
+def test_like_requests_successful_only_default(log):
+    likes = log.like_requests()
+    assert [r.timestamp for r in likes] == [10, 30, 40]
+    everything = log.like_requests(successful_only=False)
+    assert [r.timestamp for r in everything] == [10, 20, 30, 40]
+
+
+def test_like_requests_since_is_inclusive(log):
+    assert [r.timestamp for r in log.like_requests(since=30)] == [30, 40]
+    assert [r.timestamp for r in log.like_requests(since=31)] == [40]
+
+
+def test_like_columns_matches_records(log):
+    timestamps, tokens, actions = log.like_columns(
+        ("timestamp", "token", "action"))
+    records = list(log.like_requests())
+    assert timestamps == [r.timestamp for r in records]
+    assert tokens == [r.token for r in records]
+    assert actions == [r.action for r in records]
+    assert all(isinstance(a, ApiAction) for a in actions)
+
+
+def test_like_columns_since_and_failures(log):
+    (ips,) = log.like_columns(("source_ip",), since=20,
+                              successful_only=False)
+    assert ips == ["2.2.2.2", None, "1.1.1.1"]
+
+
+def test_like_columns_rejects_unknown_field(log):
+    with pytest.raises(KeyError):
+        log.like_columns(("timestamp", "nope"))
+
+
+def test_filter_predicate(log):
+    rate_limited = log.filter(lambda r: r.outcome == "rate_limited")
+    assert [r.token for r in rate_limited] == ["tokB"]

@@ -101,3 +101,65 @@ def test_executed_counter():
     sched.at(2, lambda: None)
     sched.run_until(5)
     assert sched.executed == 2
+
+
+def test_cancelled_event_at_queue_head_is_skipped():
+    clock, sched = make()
+    ran = []
+    head = sched.at(5, lambda: ran.append("head"))
+    sched.at(10, lambda: ran.append("tail"))
+    head.cancel()
+    # The cancelled head must not run, must not advance the clock to its
+    # timestamp, and must not count as executed.
+    assert sched.next_event_time() == 10
+    executed = sched.run_until(20)
+    assert ran == ["tail"]
+    assert executed == 1
+    assert sched.executed == 1
+
+
+def test_cancelled_events_do_not_linger_in_pending():
+    clock, sched = make()
+    events = [sched.at(5 + i, lambda: None) for i in range(3)]
+    for event in events:
+        event.cancel()
+    assert sched.next_event_time() is None
+    assert sched.run_until(50) == 0
+    assert sched.pending == 0
+
+
+def test_drain_with_events_enqueueing_more_events():
+    clock, sched = make()
+    order = []
+
+    def chain(depth):
+        order.append(depth)
+        if depth < 3:
+            # Each event spawns its successor far beyond the previous
+            # horizon, so drain must keep going until truly empty.
+            sched.at(clock.now() + 1000, lambda: chain(depth + 1))
+
+    sched.at(10, lambda: chain(0))
+    assert sched.drain() == 4
+    assert order == [0, 1, 2, 3]
+    assert sched.pending == 0
+    assert clock.now() == 10 + 3 * 1000
+
+
+def test_run_until_clock_monotonicity():
+    clock, sched = make()
+    times = []
+    sched.at(10, lambda: times.append(clock.now()))
+    sched.at(10, lambda: times.append(clock.now()))
+    sched.at(25, lambda: times.append(clock.now()))
+    sched.run_until(30)
+    # The clock moves to each event's timestamp before it fires, never
+    # backwards, and ends at the run_until boundary.
+    assert times == [10, 10, 25]
+    assert clock.now() == 30
+    # Scheduling into the past must be rejected outright.
+    with pytest.raises(ValueError):
+        sched.at(29, lambda: None)
+    # run_until with a boundary in the past leaves the clock untouched.
+    assert sched.run_until(30) == 0
+    assert clock.now() == 30

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Benchmark the measurement pipeline and write BENCH_PIPELINE.json.
+
+Runs ``run_full_study`` stage by stage (build, milking, campaign,
+detection, experiments) in a fresh interpreter with ``PYTHONHASHSEED``
+pinned, records wall-clock seconds and events/second per stage, and —
+when ``--baseline`` points at another checkout's ``src`` directory
+(e.g. a git worktree of the pre-optimisation commit) — benchmarks both
+trees with the identical workload and reports the end-to-end speedup.
+
+Examples
+--------
+Current tree only (the CI smoke configuration)::
+
+    python tools/bench_report.py --scale 0.002 --milking-days 6 \
+        --campaign-days 20 --out BENCH_PIPELINE.json
+
+Before/after against a baseline worktree::
+
+    git worktree add /tmp/baseline <ref>
+    python tools/bench_report.py --baseline /tmp/baseline/src
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+sys.path.insert(0, SRC_DIR)
+
+from repro.perf import bench  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=bench.DEFAULT_SCALE)
+    parser.add_argument("--seed", type=int, default=bench.DEFAULT_SEED)
+    parser.add_argument("--milking-days", type=int, default=None)
+    parser.add_argument("--campaign-days", type=int, default=None)
+    parser.add_argument("--hashseed", type=str, default="0",
+                        help="PYTHONHASHSEED for the benchmark "
+                             "subprocesses (default 0)")
+    parser.add_argument("--parallel-experiments", action="store_true")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="benchmark each tree this many times "
+                             "(interleaved) and report the best run")
+    parser.add_argument("--baseline", type=str, default=None,
+                        help="src dir of the baseline tree to compare "
+                             "against")
+    parser.add_argument("--out", type=str,
+                        default=os.path.join(REPO_ROOT,
+                                             "BENCH_PIPELINE.json"))
+    args = parser.parse_args(argv)
+
+    document = bench.compare_trees(
+        current_src=SRC_DIR, baseline_src=args.baseline,
+        scale=args.scale, seed=args.seed, hashseed=args.hashseed,
+        parallel_experiments=args.parallel_experiments,
+        milking_days=args.milking_days, campaign_days=args.campaign_days,
+        repeats=args.repeats)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(bench.render(document))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
