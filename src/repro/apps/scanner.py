@@ -22,9 +22,13 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
 from repro.graphapi.api import GraphApi
-from repro.graphapi.errors import AppSecretRequiredError, PermissionDeniedError
+from repro.graphapi.errors import (
+    AppSecretRequiredError,
+    GraphApiError,
+    PermissionDeniedError,
+)
 from repro.oauth.apps import Application
-from repro.oauth.errors import FlowDisabledError, OAuthError
+from repro.oauth.errors import FlowDisabledError, InvalidTokenError, OAuthError
 from repro.oauth.server import AuthorizationRequest, AuthorizationServer
 from repro.oauth.tokens import TokenLifetime
 from repro.socialnet.platform import SocialPlatform
@@ -102,23 +106,45 @@ class AppScanner:
 
         # Step 4: read the public profile with the bare token.
         try:
-            self._api.get_profile(token)
+            self._probe(self._api.get_profile, token)
         except AppSecretRequiredError:
             return self._report(app, ScanVerdict.APP_SECRET_REQUIRED,
                                 redirect_uri)
+        except (GraphApiError, InvalidTokenError):
+            # Persistent injected outage, rate-limit jitter, or a token
+            # invalidated mid-probe: inconclusive, not susceptible.
+            return self._report(app, ScanVerdict.OAUTH_ERROR, redirect_uri)
 
         # Step 5: like a fresh test post with the bare token.
         test_post = self._platform.create_post(
             self._test_account.account_id, "scanner probe post")
         try:
-            self._api.like_post(token, test_post.post_id)
+            self._probe(self._api.like_post, token, test_post.post_id)
         except AppSecretRequiredError:
             return self._report(app, ScanVerdict.APP_SECRET_REQUIRED,
                                 redirect_uri)
         except PermissionDeniedError:
             return self._report(app, ScanVerdict.NO_PUBLISH_PERMISSION,
                                 redirect_uri)
+        except (GraphApiError, InvalidTokenError):
+            return self._report(app, ScanVerdict.OAUTH_ERROR, redirect_uri)
         return self._report(app, ScanVerdict.SUSCEPTIBLE, redirect_uri)
+
+    #: API probe attempts before a transient failure is allowed through
+    #: (only reachable on fault-injection runs).
+    _PROBE_ATTEMPTS = 4
+
+    @staticmethod
+    def _probe(call, *args):
+        """Run one API probe, absorbing retryable failures (injected
+        transient errors, rate-limit jitter)."""
+        for attempt in range(AppScanner._PROBE_ATTEMPTS):
+            try:
+                return call(*args)
+            except GraphApiError as error:
+                if (not error.is_transient
+                        or attempt == AppScanner._PROBE_ATTEMPTS - 1):
+                    raise
 
     def scan_all(self, apps: Iterable[Application]) -> List[SusceptibilityReport]:
         return [self.scan(app) for app in apps]

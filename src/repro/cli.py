@@ -6,6 +6,8 @@ scan       run the §2.2 application scan and print Table 1
 milk       run the §4 milking campaign (Tables 4/6, Fig. 4)
 campaign   run the §6 countermeasure campaign (Figs. 5-8)
 full       run everything and print the complete report
+run        crash-tolerant full study (fault injection, checkpoints,
+           --resume)
 bench      benchmark the pipeline stages (BENCH_PIPELINE.json)
 """
 
@@ -58,6 +60,27 @@ def build_parser() -> argparse.ArgumentParser:
     _common_flags(full)
     full.add_argument("--milking-days", type=int, default=30)
     full.add_argument("--campaign-days", type=int, default=75)
+
+    run = sub.add_parser(
+        "run", help="crash-tolerant full study: fault injection, "
+                    "per-experiment checkpoints, --resume")
+    _common_flags(run)
+    run.add_argument("--milking-days", type=int, default=30)
+    run.add_argument("--campaign-days", type=int, default=75)
+    run.add_argument("--faults", type=str, default=None,
+                     help="JSON fault-plan file to inject "
+                          "(see examples/chaos_plan.json)")
+    run.add_argument("--checkpoint-dir", type=str, default=None,
+                     help="experiment checkpoint directory (default "
+                          ".repro-checkpoints/seed<seed>-scale<scale>)")
+    run.add_argument("--resume", action="store_true",
+                     help="reuse checkpoints from a previous (crashed) "
+                          "run instead of clearing them")
+    run.add_argument("--parallel-experiments", action="store_true",
+                     help="fan experiment jobs out over processes")
+    run.add_argument("--job-timeout", type=float, default=None,
+                     help="seconds before a hung experiment worker is "
+                          "killed and its job re-run serially")
 
     score = sub.add_parser(
         "score", help="run everything and print the paper-vs-measured "
@@ -162,6 +185,51 @@ def cmd_full(args) -> int:
     return 0
 
 
+def cmd_run(args) -> int:
+    from repro.experiments.checkpoint import CheckpointStore
+    from repro.experiments.runner import run_full_study
+    from repro.faults.plan import FaultPlan
+
+    fault_plan = None
+    if args.faults:
+        try:
+            fault_plan = FaultPlan.load(args.faults)
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            print(f"error: cannot load fault plan {args.faults}: {error}",
+                  file=sys.stderr)
+            return 2
+    config = StudyConfig(scale=args.scale, seed=args.seed,
+                         milking_days=args.milking_days,
+                         campaign_days=args.campaign_days,
+                         fault_plan=fault_plan)
+    directory = args.checkpoint_dir or os.path.join(
+        ".repro-checkpoints", f"seed{args.seed}-scale{args.scale}")
+    fingerprint = {
+        "seed": args.seed,
+        "scale": args.scale,
+        "milking_days": args.milking_days,
+        "campaign_days": args.campaign_days,
+        "faults": fault_plan.to_json(indent=None) if fault_plan else None,
+    }
+    store = CheckpointStore(directory, fingerprint=fingerprint)
+    if args.resume:
+        if not store.matches():
+            print(f"error: checkpoints in {directory} belong to a "
+                  "different configuration; re-run without --resume to "
+                  "clear them", file=sys.stderr)
+            return 2
+    else:
+        store.clear()
+    _artifacts, report = run_full_study(
+        config, parallel_experiments=args.parallel_experiments,
+        checkpoint=store, job_timeout=args.job_timeout)
+    if args.json:
+        _emit(export.report_to_json(report), args.out)
+    else:
+        _emit(report.render(), args.out)
+    return 0
+
+
 def cmd_score(args) -> int:
     from repro.experiments.comparison import score_report
 
@@ -184,13 +252,17 @@ def cmd_bench(args) -> int:
     from repro.perf import bench
 
     if args.baseline is not None:
-        document = bench.compare_trees(
-            current_src=_own_src_dir(), baseline_src=args.baseline,
-            scale=args.scale, seed=args.seed,
-            parallel_experiments=args.parallel_experiments,
-            milking_days=args.milking_days,
-            campaign_days=args.campaign_days,
-            repeats=args.repeats)
+        try:
+            document = bench.compare_trees(
+                current_src=_own_src_dir(), baseline_src=args.baseline,
+                scale=args.scale, seed=args.seed,
+                parallel_experiments=args.parallel_experiments,
+                milking_days=args.milking_days,
+                campaign_days=args.campaign_days,
+                repeats=args.repeats)
+        except bench.BaselineError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     else:
         payload = bench.run_benchmark(
             scale=args.scale, seed=args.seed,
@@ -229,6 +301,7 @@ COMMANDS = {
     "milk": cmd_milk,
     "campaign": cmd_campaign,
     "full": cmd_full,
+    "run": cmd_run,
     "score": cmd_score,
     "bench": cmd_bench,
 }

@@ -30,17 +30,22 @@ from repro.collusion.monetization import (
     default_premium_plans,
 )
 from repro.collusion.profiles import CollusionNetworkProfile, calibrate_pool_size
+from repro.faults.retry import RetryPolicy
 from repro.graphapi.errors import (
     BlockedSourceError,
     GraphApiError,
     IpRateLimitError,
     RateLimitExceededError,
+    TransientApiError,
 )
 from repro.graphapi.request import ApiAction, ApiRequest
 from repro.netsim.pools import IpPool
 from repro.oauth.errors import InvalidTokenError, OAuthError
 from repro.oauth.server import AuthorizationRequest
 from repro.socialnet.errors import SocialNetworkError
+
+#: try_* result codes that mark a retryable (injected) failure.
+_TRANSIENT_CODES = ("transient", "timeout")
 
 
 @dataclass
@@ -55,6 +60,10 @@ class DeliveryReport:
     ip_limited: int = 0
     blocked: int = 0
     other_failures: int = 0
+    #: Transient API failures that survived the retry budget.
+    transient_failures: int = 0
+    #: Retry attempts spent on transient failures during this delivery.
+    retries: int = 0
     halted: bool = False  # no usable IPs left: delivery cannot continue
 
     @property
@@ -161,6 +170,14 @@ class CollusionNetwork:
         self.batch_requests_enabled = True
         self._batch_cooldown = 0
         self._batch_backoff = self._BATCH_CHUNK
+        # Resilience: transient API failures (fault injection) are
+        # retried with deterministic backoff and a per-endpoint circuit
+        # breaker; a chunk that keeps failing degrades the network to
+        # the scalar path for the rest of the day.  All of this is inert
+        # (and free) while the world has no fault plan.
+        self.retry_policy = RetryPolicy()
+        self._batch_fail_streak = 0
+        self._batch_degraded_day = -1
 
         # IP health for today.
         self._exhausted_ips: Set[str] = set()
@@ -487,24 +504,48 @@ class CollusionNetwork:
         return self._deliver_comments(post_id, quota,
                                       exclude={requester_id})
 
+    def deliver_followup(self, requester_id: str, post_id: str,
+                         count: int) -> DeliveryReport:
+        """Finish a previously short delivery (client-side retry).
+
+        The milker schedules this when a like request came back short
+        with transient failures: the network tops the post up without
+        charging a new request against the member's daily quota.
+        """
+        if count <= 0 or not self.is_available():
+            return DeliveryReport(requested=count, delivered=0, attempts=0)
+        return self._deliver_likes(post_id, count, exclude={requester_id})
+
     #: Pairs sampled per optimistic batch chunk.
     _BATCH_CHUNK = 48
     #: Don't bother batching tails smaller than this.
     _BATCH_MIN = 8
     #: Backoff ceiling, in scalar iterations between batch probes.
     _BATCH_BACKOFF_MAX = 4096
+    #: Consecutive chunk failures before degrading to scalar delivery
+    #: for the rest of the day (fault-plan runs only).
+    _BATCH_DEGRADE_STREAK = 6
 
     def _batch_failed(self) -> None:
         self._batch_cooldown = self._batch_backoff
         self._batch_backoff = min(self._batch_backoff * 2,
                                   self._BATCH_BACKOFF_MAX)
+        if self.world.faults is not None:
+            self._batch_fail_streak += 1
+            if self._batch_fail_streak >= self._BATCH_DEGRADE_STREAK:
+                self._batch_degraded_day = self.world.clock.day()
+
+    def _batching_active(self) -> bool:
+        """Whether the all-or-nothing fast path should be probed."""
+        return (self.batch_requests_enabled
+                and self._batch_degraded_day != self.world.clock.day())
 
     def _deliver_likes(self, post_id: str, quota: int,
                        exclude: Set[str]) -> DeliveryReport:
         report = DeliveryReport(requested=quota, delivered=0, attempts=0)
         used: Set[str] = set(exclude)
         budget = max(1, int(quota * self.profile.retry_factor))
-        batch_enabled = self.batch_requests_enabled
+        batch_enabled = self._batching_active()
         while (report.delivered < quota and report.attempts < budget
                and not report.halted):
             if batch_enabled and self._batch_cooldown <= 0:
@@ -585,6 +626,7 @@ class CollusionNetwork:
             self._hot_members = hot_checkpoint
             return None
         self._batch_backoff = self._BATCH_CHUNK
+        self._batch_fail_streak = 0
         used.update(members)
         report.attempts += attempts
         report.delivered += len(requests)
@@ -603,6 +645,15 @@ class CollusionNetwork:
             report.halted = True
             return False
         code = self.world.api.try_like_post(token, post_id, source_ip=ip)
+        if code in _TRANSIENT_CODES:
+            policy = self.retry_policy
+            before = policy.counters["retries"]
+            code = policy.retry(
+                "like_post", member, self.world.clock._now,
+                lambda: self.world.api.try_like_post(
+                    token, post_id, source_ip=ip),
+                code)
+            report.retries += policy.counters["retries"] - before
         if code is not None:
             if code == "invalid_token":
                 self._drop_member(member)
@@ -620,6 +671,8 @@ class CollusionNetwork:
                     self._blocked_asns.add(asn)
                     self._invalidate_ip_cache()
                 report.blocked += 1
+            elif code in _TRANSIENT_CODES:
+                report.transient_failures += 1
             else:
                 report.other_failures += 1
             return False
@@ -644,10 +697,23 @@ class CollusionNetwork:
             ip = self._pick_ip()
             if ip is None:
                 break
+            text = dictionary.sample(self.rng)
             try:
-                self.world.api.comment(token, post_id,
-                                       dictionary.sample(self.rng),
-                                       source_ip=ip)
+                self.world.api.comment(token, post_id, text, source_ip=ip)
+            except TransientApiError:
+                # Retry the identical payload with backoff; any terminal
+                # code is folded into the usual failure accounting.
+                code = self._retry_comment(member, token, post_id, text,
+                                           ip, report)
+                if code is not None:
+                    if code == "invalid_token":
+                        self._drop_member(member)
+                        report.dead_tokens_dropped += 1
+                    elif code in _TRANSIENT_CODES:
+                        report.transient_failures += 1
+                    else:
+                        report.other_failures += 1
+                    continue
             except InvalidTokenError:
                 self._drop_member(member)
                 report.dead_tokens_dropped += 1
@@ -660,6 +726,30 @@ class CollusionNetwork:
             report.delivered += 1
         self.total_comments_delivered += report.delivered
         return report
+
+    def _retry_comment(self, member: str, token: str, post_id: str,
+                       text: str, ip: str,
+                       report: DeliveryReport) -> Optional[str]:
+        """Retry a transiently failed comment; None when it lands."""
+
+        def attempt() -> Optional[str]:
+            try:
+                self.world.api.comment(token, post_id, text, source_ip=ip)
+            except TransientApiError as error:
+                return ("timeout" if error.code == "api_timeout"
+                        else "transient")
+            except InvalidTokenError:
+                return "invalid_token"
+            except (GraphApiError, SocialNetworkError):
+                return "error"
+            return None
+
+        policy = self.retry_policy
+        before = policy.counters["retries"]
+        code = policy.retry("comment", member, self.world.clock._now,
+                            attempt, "transient")
+        report.retries += policy.counters["retries"] - before
+        return code
 
     # ------------------------------------------------------------------
     # Outgoing activity: the network spends *this member's* token serving
@@ -905,6 +995,10 @@ class CollusionNetwork:
             if ip is None:
                 break
             code = try_charge_like(token, source_ip=ip)
+            if code in _TRANSIENT_CODES:
+                code = self.retry_policy.retry(
+                    "charge_like", member, self.world.clock._now,
+                    lambda: try_charge_like(token, source_ip=ip), code)
             if code is not None:
                 if code == "invalid_token":
                     self._drop_member(member)
@@ -965,6 +1059,7 @@ class CollusionNetwork:
             self._hot_members = hot_checkpoint
             return None
         self._batch_backoff = self._BATCH_CHUNK
+        self._batch_fail_streak = 0
         used.update(members)
         return len(entries), attempts, stop
 

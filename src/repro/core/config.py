@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.faults.plan import FaultPlan
+
 
 @dataclass
 class StudyConfig:
@@ -26,6 +28,9 @@ class StudyConfig:
     campaign_days: int = 75
     #: Build only this many collusion networks (None = all 22).
     network_limit: Optional[int] = None
+    #: Deterministic fault-injection plan (None/empty = no faults and
+    #: zero extra randomness — byte-identical to a fault-free build).
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.scale <= 0:

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.config import StudyConfig
+from repro.faults.plan import FaultInjector
 from repro.graphapi.api import GraphApi
 from repro.graphapi.ratelimit import RateLimitPolicy
 from repro.netsim.asn import AsRegistry
@@ -59,6 +60,16 @@ class World:
         self.api = GraphApi(
             self.clock, self.platform, self.apps, self.tokens,
             as_registry=self.as_registry, policy=self.policy)
+
+        # Fault injection: only built (and only consuming its dedicated
+        # RNG stream) when the config carries a non-empty plan, so the
+        # default world stays byte-identical to a fault-free build.
+        self.faults: Optional[FaultInjector] = None
+        plan = self.config.fault_plan
+        if plan:
+            self.faults = FaultInjector(
+                plan, self.rng.stream("faults"), self.clock, self.tokens)
+            self.api.faults = self.faults
 
         # Third-party web services.
         self.shortener = UrlShortener(self.clock)

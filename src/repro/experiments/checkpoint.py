@@ -1,0 +1,126 @@
+"""Per-job experiment checkpoints for crash-tolerant study runs.
+
+A :class:`CheckpointStore` persists each finished experiment's result
+object to its own pickle file, written atomically (tmp file +
+``os.replace``) so a crash mid-write can never corrupt a completed
+checkpoint.  A ``manifest.json`` fingerprint (seed, scale, day counts,
+fault plan) guards ``--resume`` against mixing checkpoints from a
+different study configuration.
+
+The store deliberately keeps no in-memory cache of result objects: a
+resumed run re-reads from disk, which is exactly the crash-recovery
+path we want exercised.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+from typing import Any, Dict, List, Optional
+
+
+class _Missing:
+    """Sentinel for "no checkpoint" (distinct from a stored None)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<missing checkpoint>"
+
+
+#: Returned by :meth:`CheckpointStore.load` when no usable checkpoint
+#: exists for the job.
+MISSING = _Missing()
+
+_MANIFEST = "manifest.json"
+_SUFFIX = ".pkl"
+
+
+class CheckpointStore:
+    """Atomic per-job result checkpoints under one directory."""
+
+    def __init__(self, directory: str,
+                 fingerprint: Optional[Dict[str, Any]] = None) -> None:
+        self.directory = directory
+        self.fingerprint = fingerprint
+        os.makedirs(directory, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Manifest / fingerprint
+    # ------------------------------------------------------------------
+    def _manifest_path(self) -> str:
+        return os.path.join(self.directory, _MANIFEST)
+
+    def write_manifest(self) -> None:
+        if self.fingerprint is None:
+            return
+        payload = json.dumps(self.fingerprint, indent=2, sort_keys=True)
+        tmp = self._manifest_path() + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        os.replace(tmp, self._manifest_path())
+
+    def stored_fingerprint(self) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self._manifest_path(), "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def matches(self) -> bool:
+        """Whether on-disk checkpoints belong to this configuration."""
+        if self.fingerprint is None:
+            return True
+        stored = self.stored_fingerprint()
+        if stored is None:
+            # Empty/new directory: nothing to conflict with.
+            return not self.completed()
+        return stored == self.fingerprint
+
+    # ------------------------------------------------------------------
+    # Job checkpoints
+    # ------------------------------------------------------------------
+    def _path(self, name: str) -> str:
+        if not name or os.sep in name or name.startswith("."):
+            raise ValueError(f"bad checkpoint name: {name!r}")
+        return os.path.join(self.directory, name + _SUFFIX)
+
+    def save(self, name: str, result: Any) -> None:
+        """Atomically persist one job's result."""
+        path = self._path(name)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    def load(self, name: str) -> Any:
+        """The stored result, or :data:`MISSING` if absent/corrupt."""
+        try:
+            with open(self._path(name), "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return MISSING
+        except Exception:
+            # A torn or stale pickle is treated as "never ran": the job
+            # simply re-runs and overwrites it.
+            return MISSING
+
+    def completed(self) -> List[str]:
+        """Names of jobs with a checkpoint on disk (sorted)."""
+        try:
+            entries = os.listdir(self.directory)
+        except OSError:
+            return []
+        return sorted(entry[:-len(_SUFFIX)] for entry in entries
+                      if entry.endswith(_SUFFIX))
+
+    def clear(self) -> None:
+        """Drop every checkpoint (fresh, non-resumed run)."""
+        for entry in self.completed():
+            try:
+                os.remove(self._path(entry))
+            except OSError:  # pragma: no cover - racy fs
+                pass
+        try:
+            os.remove(self._manifest_path())
+        except OSError:
+            pass

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -30,6 +32,7 @@ from repro.experiments import (
     table5,
     table6,
 )
+from repro.experiments.checkpoint import MISSING, CheckpointStore
 from repro.honeypot.milker import MilkingCampaign, MilkingResults
 from repro.perf import StageTimer, paused_gc
 
@@ -190,6 +193,48 @@ _EXPERIMENT_RUNNERS: Dict[str, Callable[[StudyArtifacts], Any]] = {
 _PARALLEL_STATE: Dict[str, StudyArtifacts] = {}
 
 
+class ExperimentWorkerError(RuntimeError):
+    """Raised (as ``__cause__``) when an experiment worker fails.
+
+    Carries the worker's formatted traceback so the parent process can
+    show *where* in the experiment code the failure happened, not just
+    that a subprocess died.
+    """
+
+    def __init__(self, experiment: str, worker_traceback: str) -> None:
+        super().__init__(
+            f"experiment worker {experiment!r} failed; "
+            f"worker traceback:\n{worker_traceback}")
+        self.experiment = experiment
+        self.worker_traceback = worker_traceback
+
+
+class _WorkerFailure:
+    """Picklable snapshot of an exception raised inside a worker."""
+
+    def __init__(self, name: str, exc: BaseException) -> None:
+        self.name = name
+        self.formatted = "".join(traceback.format_exception(
+            type(exc), exc, exc.__traceback__))
+        # Exceptions are usually picklable; when one is not (custom
+        # __init__ signatures, unpicklable payloads) we still carry the
+        # formatted traceback home.
+        try:
+            pickle.loads(pickle.dumps(exc))
+        except Exception:
+            self.exc: Optional[BaseException] = None
+        else:
+            self.exc = exc
+
+    def reraise(self) -> None:
+        """Re-raise the original exception chained to a parent-side
+        :class:`ExperimentWorkerError` holding the worker traceback."""
+        cause = ExperimentWorkerError(self.name, self.formatted)
+        if self.exc is not None:
+            raise self.exc from cause
+        raise cause
+
+
 def _planned_experiments(artifacts: StudyArtifacts) -> List[str]:
     names = ["table1", "table2", "table3", "table5"]
     if artifacts.milking is not None:
@@ -200,76 +245,188 @@ def _planned_experiments(artifacts: StudyArtifacts) -> List[str]:
 
 
 def _run_planned(name: str) -> Tuple[str, Any]:
-    return name, _EXPERIMENT_RUNNERS[name](_PARALLEL_STATE["artifacts"])
+    try:
+        return name, _EXPERIMENT_RUNNERS[name](_PARALLEL_STATE["artifacts"])
+    except Exception as exc:
+        return name, _WorkerFailure(name, exc)
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Forcefully tear down a pool whose worker hung or died."""
+    for process in list(getattr(pool, "_processes", {}).values()):
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - racy process exit
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
 
 
 def _run_experiments_parallel(
         artifacts: StudyArtifacts, names: List[str],
-        max_workers: Optional[int]) -> Optional[List[Tuple[str, Any]]]:
-    """Fan experiments out over forked workers; None if unavailable."""
+        max_workers: Optional[int],
+        job_timeout: Optional[float] = None,
+) -> Optional[Tuple[List[Tuple[str, Any]], List[str]]]:
+    """Fan experiments out over forked workers.
+
+    Returns ``(finished, leftover)`` — results actually collected and
+    names that still need a (serial) run because a worker hung past
+    ``job_timeout`` or died — or ``None`` when fork is unavailable.
+    Worker exceptions are *collected*, not raised: they come back as
+    ``(name, _WorkerFailure)`` entries for the caller to re-raise.
+    """
     try:
         context = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         return None
     workers = max_workers or min(len(names), os.cpu_count() or 1)
     _PARALLEL_STATE["artifacts"] = artifacts
+    finished: List[Tuple[str, Any]] = []
     try:
-        with ProcessPoolExecutor(max_workers=workers,
-                                 mp_context=context) as pool:
-            return list(pool.map(_run_planned, names))
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
     except Exception:  # pragma: no cover - fall back to serial
+        _PARALLEL_STATE.clear()
         return None
+    try:
+        futures = [(name, pool.submit(_run_planned, name))
+                   for name in names]
+        for index, (name, future) in enumerate(futures):
+            try:
+                finished.append(future.result(timeout=job_timeout))
+            except Exception:
+                # A hung worker (timeout) or a dead one (BrokenProcessPool
+                # after a kill -9 / crash): tear the pool down, salvage
+                # any sibling results that did complete, and hand the
+                # rest back for a serial re-run.
+                _kill_pool(pool)
+                for _, later in futures[index + 1:]:
+                    if later.done() and not later.cancelled():
+                        try:
+                            finished.append(later.result(timeout=0))
+                        except Exception:
+                            pass
+                collected = {n for n, _ in finished}
+                return finished, [n for n in names if n not in collected]
+        pool.shutdown()
+        return finished, []
     finally:
         _PARALLEL_STATE.clear()
 
 
 def run_experiments(artifacts: StudyArtifacts, parallel: bool = False,
-                    max_workers: Optional[int] = None) -> StudyReport:
+                    max_workers: Optional[int] = None,
+                    checkpoint: Optional[CheckpointStore] = None,
+                    job_timeout: Optional[float] = None) -> StudyReport:
     """Produce every table/figure that the available artifacts allow.
 
     With ``parallel=True`` the experiment jobs run across forked worker
     processes (each job is a pure function of the artifacts, so the
     report is identical to a serial run); serial execution is the
     default and the fallback wherever fork is unavailable.
+
+    A worker that *fails* re-raises its original exception in the parent
+    with the worker traceback attached as ``__cause__``.  A worker that
+    *hangs* past ``job_timeout`` seconds (or is killed) gets its pool
+    torn down and its jobs re-run serially.  With a ``checkpoint``
+    store, each finished job's result is persisted immediately and
+    already-checkpointed jobs are loaded instead of re-run (the
+    ``--resume`` path).
     """
     names = _planned_experiments(artifacts)
-    results: Optional[List[Tuple[str, Any]]] = None
-    if parallel and len(names) > 1:
-        results = _run_experiments_parallel(artifacts, names, max_workers)
-    if results is None:
-        results = [(name, _EXPERIMENT_RUNNERS[name](artifacts))
-                   for name in names]
+    done: Dict[str, Any] = {}
+    if checkpoint is not None:
+        checkpoint.write_manifest()
+        for name in names:
+            stored = checkpoint.load(name)
+            if stored is not MISSING:
+                done[name] = stored
+    todo = [name for name in names if name not in done]
+
+    def record(name: str, result: Any) -> None:
+        if isinstance(result, _WorkerFailure):
+            result.reraise()
+        done[name] = result
+        if checkpoint is not None:
+            checkpoint.save(name, result)
+
+    if parallel and len(todo) > 1:
+        outcome = _run_experiments_parallel(artifacts, todo, max_workers,
+                                            job_timeout)
+        if outcome is not None:
+            finished, leftover = outcome
+            for name, result in finished:
+                record(name, result)
+            todo = leftover
+    for name in todo:
+        record(name, _EXPERIMENT_RUNNERS[name](artifacts))
     report = StudyReport()
-    for name, result in results:
-        setattr(report, name, result)
+    for name in names:
+        setattr(report, name, done[name])
     return report
+
+
+def _record_resilience_counters(artifacts: StudyArtifacts,
+                                timer: StageTimer) -> None:
+    """Fold fault-injection and retry tallies into the stage timer.
+
+    Recorded only on fault-plan runs so fault-free timer dumps stay
+    identical to the pre-fault pipeline's.
+    """
+    faults = artifacts.world.faults
+    if faults is None:
+        return
+    timer.count_many(faults.counters, prefix="faults.")
+    totals: Dict[str, int] = {}
+    policies = [network.retry_policy
+                for network in artifacts.ecosystem.networks.values()]
+    for policy in policies:
+        for name, value in policy.counters.items():
+            totals[name] = totals.get(name, 0) + value
+    if artifacts.milking is not None:
+        for name, value in artifacts.milking.retry_counters.items():
+            totals[name] = totals.get(name, 0) + value
+    timer.count_many(totals, prefix="retries.")
 
 
 def run_full_study(config: Optional[StudyConfig] = None,
                    campaign_config: Optional[CampaignConfig] = None,
                    timer: Optional[StageTimer] = None,
-                   parallel_experiments: bool = False):
+                   parallel_experiments: bool = False,
+                   checkpoint: Optional[CheckpointStore] = None,
+                   job_timeout: Optional[float] = None):
     """Build, milk, counter, and report.  Returns (artifacts, report).
 
     Stage timings and per-stage API-request counts accumulate into
-    ``timer`` (also stored as ``artifacts.timings``).
+    ``timer`` (also stored as ``artifacts.timings``); on fault-plan runs
+    the injected-fault and retry tallies land there too.  ``checkpoint``
+    / ``job_timeout`` flow through to :func:`run_experiments` for
+    crash-tolerant experiment execution.
     """
     timer = timer if timer is not None else StageTimer()
     with timer.stage("build"):
         artifacts = build_world(config)
     artifacts.timings = timer
     log = artifacts.world.api.log
+    faults = artifacts.world.faults
     timer.count("build.log_rows", len(log.all()))
     with timer.stage("milking"):
         run_milking(artifacts)
     milked_rows = len(log.all())
     timer.count("milking.log_rows",
                 milked_rows - timer.counters.get("build.log_rows", 0))
+    milked_faults = faults.total_injected() if faults is not None else 0
+    if faults is not None:
+        timer.count("milking.faults_injected", milked_faults)
     with timer.stage("campaign"):
         run_campaign(artifacts, campaign_config)
     timer.count("campaign.log_rows", len(log.all()) - milked_rows)
+    if faults is not None:
+        timer.count("campaign.faults_injected",
+                    faults.total_injected() - milked_faults)
     with timer.stage("experiments"):
         report = run_experiments(artifacts,
-                                 parallel=parallel_experiments)
+                                 parallel=parallel_experiments,
+                                 checkpoint=checkpoint,
+                                 job_timeout=job_timeout)
     timer.count("experiments.log_rows", len(log.all()))
+    _record_resilience_counters(artifacts, timer)
     return artifacts, report

@@ -1,0 +1,262 @@
+"""Deterministic fault plans (§6 resilience experiments).
+
+A :class:`FaultPlan` is a composable list of :class:`FaultRule`\\ s, each
+describing *one* failure mode injected into the Graph API data plane:
+
+``transient``
+    the request fails with :class:`~repro.graphapi.errors.TransientApiError`
+    (Facebook's "please retry" / error code 2 family);
+``timeout``
+    the request hangs past the client deadline and fails with
+    :class:`~repro.graphapi.errors.ApiTimeout`;
+``rate_limit``
+    a spurious ``rate_limited`` response without the budget actually
+    being charged (rate-limit jitter);
+``invalidate_token``
+    the request's access token is invalidated *mid-flight* (the request
+    then fails through the normal ``invalid_token`` path and the token
+    stays dead, as in the §6.2 invalidation countermeasure);
+``chunk``
+    an all-or-nothing ``execute_batch`` / ``charge_like_batch`` chunk
+    fails wholesale, forcing the caller to degrade to scalar replay.
+
+Rules compose: every active, matching rule gets an independent roll per
+request, in plan order, and the first hit wins.  Decisions come from a
+dedicated RNG stream (``rng.stream("faults")``) so an *empty* plan
+consumes no randomness at all — a run with no plan is byte-identical to
+a run of the pre-fault codebase — while a *fixed* plan is fully
+deterministic under a fixed master seed.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.sim.clock import DAY, SimClock
+
+#: The failure modes a rule may inject.
+FAULT_KINDS = ("transient", "timeout", "rate_limit", "invalidate_token",
+               "chunk")
+
+#: Pseudo-action key used by the charge-only admission path (there is no
+#: ApiAction for it; see GraphApi.charge_like).
+CHARGE_ACTION = "CHARGE_LIKE"
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One failure mode, its probability, window and target predicate.
+
+    ``start_day`` / ``end_day`` bound the rule to simulation days
+    (``end_day`` exclusive, ``None`` = forever).  ``actions`` restricts
+    the rule to a set of Graph API action names (e.g. ``"LIKE_POST"``,
+    ``"COMMENT"``, or :data:`CHARGE_ACTION` for the charge-only path);
+    ``None`` matches every action.  ``chunk`` rules ignore ``actions``.
+    """
+
+    kind: str
+    probability: float
+    start_day: int = 0
+    end_day: Optional[int] = None
+    actions: Optional[FrozenSet[str]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{', '.join(FAULT_KINDS)}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}")
+        if self.start_day < 0:
+            raise ValueError(f"start_day must be >= 0, got {self.start_day}")
+        if self.end_day is not None and self.end_day <= self.start_day:
+            raise ValueError("end_day must be after start_day")
+        if self.actions is not None and not isinstance(self.actions,
+                                                       frozenset):
+            object.__setattr__(self, "actions", frozenset(self.actions))
+
+    def active_on(self, day: int) -> bool:
+        if day < self.start_day:
+            return False
+        return self.end_day is None or day < self.end_day
+
+    def matches(self, action: str) -> bool:
+        return self.actions is None or action in self.actions
+
+    def to_dict(self) -> Dict:
+        payload: Dict = {"kind": self.kind,
+                         "probability": self.probability,
+                         "start_day": self.start_day}
+        if self.end_day is not None:
+            payload["end_day"] = self.end_day
+        if self.actions is not None:
+            payload["actions"] = sorted(self.actions)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "FaultRule":
+        actions = payload.get("actions")
+        return cls(kind=payload["kind"],
+                   probability=payload["probability"],
+                   start_day=payload.get("start_day", 0),
+                   end_day=payload.get("end_day"),
+                   actions=frozenset(actions) if actions else None)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, composable set of fault rules."""
+
+    rules: Tuple[FaultRule, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.rules, tuple):
+            object.__setattr__(self, "rules", tuple(self.rules))
+
+    def __bool__(self) -> bool:
+        return bool(self.rules)
+
+    def with_rule(self, rule: FaultRule) -> "FaultPlan":
+        return FaultPlan(self.rules + (rule,))
+
+    # ------------------------------------------------------------------
+    # Serialization (the CLI's --faults file format)
+    # ------------------------------------------------------------------
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(
+            {"rules": [rule.to_dict() for rule in self.rules]},
+            indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        payload = json.loads(text)
+        rules = payload.get("rules", payload if isinstance(payload, list)
+                            else [])
+        return cls(tuple(FaultRule.from_dict(r) for r in rules))
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def dump(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+
+class FaultInjector:
+    """Binds a :class:`FaultPlan` to a clock, an RNG stream and the
+    token store, and answers the Graph API's "does this request fail?"
+    questions.
+
+    The injector is consulted from single-threaded simulation code, so
+    decision order — and therefore the fault RNG stream — is exactly
+    reproducible.  Injected faults are tallied in :attr:`counters` for
+    the perf instrumentation layer.
+    """
+
+    def __init__(self, plan: FaultPlan, rng: random.Random,
+                 clock: SimClock, tokens=None) -> None:
+        self.plan = plan
+        self.rng = rng
+        self.clock = clock
+        self.tokens = tokens
+        self.counters: Dict[str, int] = {}
+        # Per-day active-rule cache: scalar rules and chunk rules split
+        # so the hot paths only scan what can match them.
+        self._cached_day = -1
+        self._scalar_rules: List[FaultRule] = []
+        self._chunk_rules: List[FaultRule] = []
+
+    def _refresh(self, day: int) -> None:
+        self._cached_day = day
+        scalar: List[FaultRule] = []
+        chunk: List[FaultRule] = []
+        for rule in self.plan.rules:
+            if not rule.active_on(day):
+                continue
+            (chunk if rule.kind == "chunk" else scalar).append(rule)
+        self._scalar_rules = scalar
+        self._chunk_rules = chunk
+
+    def _count(self, kind: str) -> None:
+        self.counters[kind] = self.counters.get(kind, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def decide(self, action: str, access_token: str) -> Optional[str]:
+        """Roll every matching scalar rule for one request.
+
+        Returns the injected fault kind or ``None``.  A winning
+        ``invalidate_token`` rule *performs* the invalidation here (the
+        caller then proceeds and fails through the normal
+        ``invalid_token`` machinery, exactly like the §6.2 ladder).
+        """
+        day = self.clock._now // DAY
+        if day != self._cached_day:
+            self._refresh(day)
+        rng_random = self.rng.random
+        for rule in self._scalar_rules:
+            if rule.actions is not None and action not in rule.actions:
+                continue
+            if rng_random() >= rule.probability:
+                continue
+            kind = rule.kind
+            self._count(kind)
+            if kind == "invalidate_token" and self.tokens is not None:
+                token = self.tokens.peek(access_token)
+                if token is not None and not token.invalidated:
+                    self.tokens.invalidate(access_token,
+                                           reason="fault_injection")
+            return kind
+        return None
+
+    def decide_chunk(self, size: int) -> bool:
+        """Whether an all-or-nothing batch of ``size`` requests fails."""
+        day = self.clock._now // DAY
+        if day != self._cached_day:
+            self._refresh(day)
+        rng_random = self.rng.random
+        for rule in self._chunk_rules:
+            if rng_random() < rule.probability:
+                self._count("chunk")
+                return True
+        return False
+
+    def total_injected(self) -> int:
+        return sum(self.counters.values())
+
+
+# ----------------------------------------------------------------------
+# Convenience plan builders
+# ----------------------------------------------------------------------
+def transient_plan(probability: float = 0.05,
+                   actions: Optional[Sequence[str]] = None) -> FaultPlan:
+    """A flat transient-error plan (the acceptance-criteria workload)."""
+    return FaultPlan((FaultRule(
+        kind="transient", probability=probability,
+        actions=frozenset(actions) if actions else None),))
+
+
+def chaos_plan(transient: float = 0.05, timeout: float = 0.01,
+               rate_limit: float = 0.01, invalidate: float = 0.001,
+               chunk: float = 0.05) -> FaultPlan:
+    """Every failure mode at once — the chaos-smoke configuration."""
+    rules = []
+    if transient > 0:
+        rules.append(FaultRule(kind="transient", probability=transient))
+    if timeout > 0:
+        rules.append(FaultRule(kind="timeout", probability=timeout))
+    if rate_limit > 0:
+        rules.append(FaultRule(kind="rate_limit", probability=rate_limit))
+    if invalidate > 0:
+        rules.append(FaultRule(kind="invalidate_token",
+                               probability=invalidate))
+    if chunk > 0:
+        rules.append(FaultRule(kind="chunk", probability=chunk))
+    return FaultPlan(tuple(rules))

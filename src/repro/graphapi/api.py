@@ -19,12 +19,14 @@ from collections import deque
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.graphapi.errors import (
+    ApiTimeout,
     AppSecretRequiredError,
     BlockedSourceError,
     GraphApiError,
     IpRateLimitError,
     PermissionDeniedError,
     RateLimitExceededError,
+    TransientApiError,
 )
 from repro.graphapi.log import RequestLog
 from repro.graphapi.ratelimit import PolicyEnforcer, RateLimitPolicy
@@ -62,6 +64,11 @@ class GraphApi:
         self.policy = policy or RateLimitPolicy()
         self.enforcer = PolicyEnforcer(self.policy)
         self.log = RequestLog()
+        #: Fault injector (:class:`repro.faults.FaultInjector`) or None.
+        #: ``None`` keeps every request path fault-free at the cost of a
+        #: single attribute check — an empty plan is byte-identical to a
+        #: build without the subsystem.
+        self.faults = None
         #: Aggregate counters for the charge-only path (see charge_like).
         self.charge_counters: Dict[str, int] = {"likes": 0}
         # Source IPs are drawn from static pools, so IP->ASN memoizes well.
@@ -83,6 +90,14 @@ class GraphApi:
         asn: Optional[int] = None
         asn_resolved = False
         try:
+            inj = self.faults
+            if inj is not None:
+                fault = inj.decide(request.action.name,
+                                   request.access_token)
+                if fault is not None:
+                    # invalidate_token already flipped the token in the
+                    # store; validation below surfaces it naturally.
+                    self._raise_fault(fault, request.access_token)
             token = self.tokens.validate(request.access_token)
             app = self.apps.get(token.app_id)
             self._check_app_secret(app, request)
@@ -122,6 +137,18 @@ class GraphApi:
                 token.app_id if token else None,
                 self._target_of(request), request.source_ip, asn, outcome)
 
+    @staticmethod
+    def _raise_fault(fault: str, access_token: str) -> None:
+        """Turn a fault-plan decision into the matching API failure."""
+        if fault == "transient":
+            raise TransientApiError()
+        if fault == "timeout":
+            raise ApiTimeout()
+        if fault == "rate_limit":
+            raise RateLimitExceededError(access_token[-6:])
+        # "invalidate_token": no direct failure here — the request
+        # proceeds and dies through the normal invalid_token machinery.
+
     # ------------------------------------------------------------------
     # Batched admission fast paths
     # ------------------------------------------------------------------
@@ -144,6 +171,9 @@ class GraphApi:
         back to per-request :meth:`execute`, which surfaces individual
         errors and partial side effects exactly as before.
         """
+        inj = self.faults
+        if inj is not None and inj.decide_chunk(len(requests)):
+            return None
         now = self.clock._now
         peek = self.tokens.peek
         apps_get = self.apps.get
@@ -247,6 +277,9 @@ class GraphApi:
         replay the batch through scalar :meth:`charge_like` calls to get
         per-entry errors and partial charges.
         """
+        inj = self.faults
+        if inj is not None and inj.decide_chunk(len(entries)):
+            return False
         now = self.clock._now
         peek = self.tokens.peek
         apps_get = self.apps.get
@@ -401,6 +434,11 @@ class GraphApi:
         :attr:`charge_counters`.
         """
         now = self.clock.now()
+        inj = self.faults
+        if inj is not None:
+            fault = inj.decide("CHARGE_LIKE", access_token)
+            if fault is not None:
+                self._raise_fault(fault, access_token)
         cached = self._charge_token_cache.get(access_token)
         if cached is None:
             token = self.tokens.validate(access_token)
@@ -450,6 +488,16 @@ class GraphApi:
         # is the single hottest call site in the simulator, so the method
         # wrappers are bypassed (the semantics are identical).
         now = self.clock._now
+        inj = self.faults
+        if inj is not None:
+            fault = inj.decide("CHARGE_LIKE", access_token)
+            if fault == "transient":
+                return "transient"
+            if fault == "timeout":
+                return "timeout"
+            if fault == "rate_limit":
+                return "token_limit"
+            # "invalidate_token" falls through to the validity checks.
         cached = self._charge_token_cache.get(access_token)
         if cached is None:
             token = self.tokens.peek(access_token)
@@ -523,6 +571,28 @@ class GraphApi:
         exceptions, sparing the bulk delivery loops millions of raises.
         """
         now = self.clock._now
+        inj = self.faults
+        if inj is not None:
+            fault = inj.decide("LIKE_POST", access_token)
+            if fault is not None and fault != "invalidate_token":
+                # The request dies before authentication, so the log row
+                # carries no user/app attribution — like a real 5xx.
+                asn = self._resolve_asn(source_ip)
+                if fault == "transient":
+                    self.log.append_row(
+                        now, ApiAction.LIKE_POST, access_token, None,
+                        None, post_id, source_ip, asn,
+                        TransientApiError.code)
+                    return "transient"
+                if fault == "timeout":
+                    self.log.append_row(
+                        now, ApiAction.LIKE_POST, access_token, None,
+                        None, post_id, source_ip, asn, ApiTimeout.code)
+                    return "timeout"
+                self.log.append_row(
+                    now, ApiAction.LIKE_POST, access_token, None, None,
+                    post_id, source_ip, asn, RateLimitExceededError.code)
+                return "token_limit"
         cached = self._charge_token_cache.get(access_token)
         if cached is None:
             token = self.tokens.peek(access_token)

@@ -1,24 +1,41 @@
-"""Graph API error hierarchy.
+"""Graph API error hierarchy and the Facebook-style error envelope.
 
 Errors carry machine-readable ``code`` attributes because the collusion
 networks' delivery engines *react* to them (dropping dead tokens on
 ``invalid_token``, backing off on ``rate_limited``) — the adaptation
 behaviour §6.1 observed in the wild.
+
+Each class additionally carries the numeric ``error_code`` /
+``error_subcode`` pair of the real Graph API wire format;
+:func:`error_envelope` renders any API-layer failure (including the
+OAuth-layer :class:`~repro.oauth.errors.InvalidTokenError`) as the
+documented ``{"error": {...}}`` JSON envelope clients actually parse.
 """
 
 from __future__ import annotations
+
+from typing import Any, Dict, Optional
 
 
 class GraphApiError(Exception):
     """Base class for Graph API request failures."""
 
     code = "graph_api_error"
+    #: Facebook wire-format numeric code / subcode / type for the
+    #: ``{"error": {...}}`` envelope (see :func:`error_envelope`).
+    error_code = 1
+    error_subcode: Optional[int] = None
+    error_type = "GraphMethodException"
+    #: Whether a client should treat the failure as retryable.
+    is_transient = False
 
 
 class PermissionDeniedError(GraphApiError):
     """Token's scope does not cover the attempted action."""
 
     code = "permission_denied"
+    error_code = 200
+    error_type = "OAuthException"
 
     def __init__(self, permission: str) -> None:
         super().__init__(f"token scope missing permission: {permission}")
@@ -29,6 +46,8 @@ class AppSecretRequiredError(GraphApiError):
     """App requires an appsecret_proof and the request lacked a valid one."""
 
     code = "app_secret_required"
+    error_code = 104
+    error_type = "OAuthException"
 
     def __init__(self, app_id: str) -> None:
         super().__init__(
@@ -41,6 +60,9 @@ class RateLimitExceededError(GraphApiError):
     """Per-access-token action rate limit hit (§6.1)."""
 
     code = "rate_limited"
+    error_code = 17
+    error_type = "OAuthException"
+    is_transient = True
 
     def __init__(self, token_suffix: str) -> None:
         super().__init__(f"rate limit exceeded for token …{token_suffix}")
@@ -50,6 +72,9 @@ class IpRateLimitError(GraphApiError):
     """Per-source-IP like-request limit hit (§6.4)."""
 
     code = "ip_rate_limited"
+    error_code = 613
+    error_type = "OAuthException"
+    is_transient = True
 
     def __init__(self, source_ip: str, window: str) -> None:
         super().__init__(f"{window} IP rate limit exceeded for {source_ip}")
@@ -61,8 +86,80 @@ class BlockedSourceError(GraphApiError):
     """Request from a blocked AS for a protected application (§6.4)."""
 
     code = "blocked_source"
+    error_code = 368
+    error_type = "OAuthException"
 
     def __init__(self, source_ip: str, asn: int) -> None:
         super().__init__(f"requests from AS{asn} ({source_ip}) are blocked")
         self.source_ip = source_ip
         self.asn = asn
+
+
+class TransientApiError(GraphApiError):
+    """A retryable server-side failure ("please retry this request").
+
+    Injected by :mod:`repro.faults`; resilient clients retry it with
+    backoff rather than dropping the token or aborting delivery.
+    """
+
+    code = "transient_error"
+    error_code = 2
+    error_type = "OAuthException"
+    is_transient = True
+
+    def __init__(self, detail: str = "service temporarily unavailable") -> None:
+        super().__init__(detail)
+
+
+class ApiTimeout(TransientApiError):
+    """The request exceeded the client deadline with no response."""
+
+    code = "api_timeout"
+    error_code = 2
+    error_subcode = 1342004
+    is_transient = True
+
+    def __init__(self) -> None:
+        super().__init__("request timed out")
+
+
+#: InvalidTokenError subcodes, keyed by the reason substring the token
+#: store embeds in its message (Graph API: 463 = expired, 466 =
+#: invalidated by the platform, 467 = unknown/invalid).
+_INVALID_TOKEN_SUBCODES = (("expired", 463), ("invalidated", 466))
+
+
+def error_envelope(error: Exception) -> Dict[str, Any]:
+    """Render an API-layer failure as the Facebook-style JSON envelope.
+
+    Handles the :class:`GraphApiError` hierarchy and the OAuth layer's
+    :class:`~repro.oauth.errors.InvalidTokenError` (which surfaces
+    through the API as the classic OAuthException 190).
+    """
+    from repro.oauth.errors import InvalidTokenError, OAuthError
+
+    message = str(error)
+    if isinstance(error, GraphApiError):
+        body: Dict[str, Any] = {
+            "message": message,
+            "type": error.error_type,
+            "code": error.error_code,
+            "is_transient": error.is_transient,
+        }
+        if error.error_subcode is not None:
+            body["error_subcode"] = error.error_subcode
+        return {"error": body}
+    if isinstance(error, InvalidTokenError):
+        subcode = 467
+        for needle, value in _INVALID_TOKEN_SUBCODES:
+            if needle in message:
+                subcode = value
+                break
+        return {"error": {"message": message, "type": "OAuthException",
+                          "code": 190, "error_subcode": subcode,
+                          "is_transient": False}}
+    if isinstance(error, OAuthError):
+        return {"error": {"message": message, "type": "OAuthException",
+                          "code": 1, "is_transient": False}}
+    raise TypeError(
+        f"not an API-layer error: {type(error).__name__}: {message}")

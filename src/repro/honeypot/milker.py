@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from repro.collusion.ecosystem import CollusionEcosystem
 from repro.collusion.network import CollusionNetwork
+from repro.faults.retry import RetryPolicy
 from repro.honeypot.account import HoneypotAccount, create_honeypot
 from repro.honeypot.captcha import CaptchaSolvingService
 from repro.honeypot.crawler import OutgoingActivitySummary, TimelineCrawler
@@ -54,6 +55,8 @@ class MilkingResults:
     ledger: MilkedTokenLedger
     captcha: CaptchaSolvingService
     days: int
+    #: Campaign retry-policy counters (all zero on fault-free runs).
+    retry_counters: Dict[str, int] = field(default_factory=dict)
 
     def total_posts(self) -> int:
         return sum(r.posts_submitted for r in self.per_network.values())
@@ -83,6 +86,10 @@ class MilkingCampaign:
         self.rng = world.rng.stream("milking")
         self.captcha = captcha or CaptchaSolvingService()
         self.ledger = MilkedTokenLedger()
+        # Client-side resilience: short deliveries with transient
+        # failures are topped up by scheduled follow-ups (inert on
+        # fault-free runs, where transient_failures is always zero).
+        self.retry_policy = RetryPolicy()
         self.crawler = TimelineCrawler(world, self.ledger)
         domains = list(networks) if networks else list(ecosystem.networks)
         self.honeypots: Dict[str, HoneypotAccount] = {}
@@ -138,7 +145,8 @@ class MilkingCampaign:
             self._run_day(day, plan)
         self._finalize()
         return MilkingResults(per_network=self.results, ledger=self.ledger,
-                              captcha=self.captcha, days=days)
+                              captcha=self.captcha, days=days,
+                              retry_counters=dict(self.retry_policy.counters))
 
     def _run_day(self, day_index: int,
                  plan: Dict[str, Dict[str, List[int]]]) -> None:
@@ -234,6 +242,59 @@ class MilkingCampaign:
         likers = self.world.platform.get_post(post.post_id).liker_ids()
         result.unique_accounts.update(likers)
         result.cumulative_unique.append(len(result.unique_accounts))
+        shortfall = report.requested - report.delivered
+        if shortfall > 0 and report.transient_failures > 0:
+            self._schedule_followup(network, honeypot, post.post_id,
+                                    result, len(result.likes_per_post) - 1,
+                                    shortfall, attempt=1)
+
+    def _schedule_followup(self, network: CollusionNetwork,
+                           honeypot: HoneypotAccount, post_id: str,
+                           result: NetworkMilkingResult, post_index: int,
+                           remaining: int, attempt: int) -> None:
+        """Place a top-up delivery on the scheduler with real backoff.
+
+        Unlike the networks' inline retry loops (which cannot advance the
+        sim clock mid-event), the milker is itself event-driven, so its
+        retries *wait*: each follow-up fires ``backoff_delay`` sim
+        seconds later, within the same campaign day.
+        """
+        policy = self.retry_policy
+        now = self.world.clock.now()
+        delay = policy.backoff_delay("delivery", post_id, attempt, now)
+        self.world.scheduler.at(
+            now + delay,
+            lambda: self._run_followup(network, honeypot, post_id, result,
+                                       post_index, remaining, attempt),
+            label=f"followup:{network.domain}")
+
+    def _run_followup(self, network: CollusionNetwork,
+                      honeypot: HoneypotAccount, post_id: str,
+                      result: NetworkMilkingResult, post_index: int,
+                      remaining: int, attempt: int) -> None:
+        policy = self.retry_policy
+        now = self.world.clock.now()
+        if not policy.allow("delivery", now):
+            return
+        policy.counters["retries"] += 1
+        report = network.deliver_followup(honeypot.account_id, post_id,
+                                          remaining)
+        if report.delivered > 0:
+            result.likes_received += report.delivered
+            result.likes_per_post[post_index] += report.delivered
+            likers = self.world.platform.get_post(post_id).liker_ids()
+            result.unique_accounts.update(likers)
+        shortfall = remaining - report.delivered
+        if shortfall <= 0:
+            policy.breaker.record_success("delivery")
+            policy.counters["recoveries"] += 1
+            return
+        if attempt < policy.max_retries and report.transient_failures > 0:
+            self._schedule_followup(network, honeypot, post_id, result,
+                                    post_index, shortfall, attempt + 1)
+            return
+        policy.counters["giveups"] += 1
+        policy.breaker.record_failure("delivery", now)
 
     def _submit_comment_request(self, network: CollusionNetwork,
                                 honeypot: HoneypotAccount) -> None:

@@ -23,6 +23,62 @@ from typing import Any, Dict, Optional
 DEFAULT_SCALE = 0.01
 DEFAULT_SEED = 2017
 
+
+class BaselineError(RuntimeError):
+    """A ``--baseline`` tree is unusable (missing, wrong dir, dirty)."""
+
+
+def _git_root(path: str) -> Optional[str]:
+    """The enclosing git work tree, or None if ``path`` is not in one."""
+    current = os.path.abspath(path)
+    while True:
+        if os.path.exists(os.path.join(current, ".git")):
+            return current
+        parent = os.path.dirname(current)
+        if parent == current:
+            return None
+        current = parent
+
+
+def validate_baseline(src_dir: str) -> None:
+    """Fail early — with an actionable message — on a bad baseline tree.
+
+    Checks that ``src_dir`` actually contains the ``repro`` package and
+    that its enclosing git worktree (if any) has no uncommitted changes;
+    a dirty baseline would silently benchmark unreviewed code.
+    """
+    if not os.path.isdir(src_dir):
+        raise BaselineError(
+            f"baseline src dir does not exist: {src_dir}\n"
+            "create one with: git worktree add /tmp/baseline <ref> "
+            "and pass /tmp/baseline/src")
+    if not os.path.isfile(os.path.join(src_dir, "repro", "__init__.py")):
+        raise BaselineError(
+            f"baseline src dir has no repro package: {src_dir}\n"
+            "pass the checkout's src directory (e.g. /tmp/baseline/src), "
+            "not the checkout root")
+    root = _git_root(src_dir)
+    if root is None:
+        return  # exported tree / tarball: nothing to check
+    try:
+        result = subprocess.run(
+            ["git", "-C", root, "status", "--porcelain",
+             "--untracked-files=no"],
+            capture_output=True, text=True, timeout=30)
+    except (OSError, subprocess.TimeoutExpired):
+        return  # no git binary: skip the dirtiness check
+    if result.returncode != 0:
+        return
+    dirty = result.stdout.strip()
+    if dirty:
+        listing = "\n".join(
+            "  " + line for line in dirty.splitlines()[:10])
+        raise BaselineError(
+            f"baseline worktree {root} has uncommitted changes:\n"
+            f"{listing}\n"
+            "commit, stash, or recreate the worktree so the benchmark "
+            "compares two well-defined trees")
+
 #: Stage order for reports.  ``detection`` is a sub-stage of the
 #: campaign (its seconds are included in the campaign's), broken out
 #: because it is a pipeline phase of its own in the paper.
@@ -236,6 +292,8 @@ def compare_trees(current_src: str, baseline_src: Optional[str],
     machine load hits both trees alike — and the best run per tree is
     reported.
     """
+    if baseline_src:
+        validate_baseline(baseline_src)
     kwargs = dict(scale=scale, seed=seed, hashseed=hashseed,
                   parallel_experiments=parallel_experiments,
                   milking_days=milking_days, campaign_days=campaign_days)

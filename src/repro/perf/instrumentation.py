@@ -58,6 +58,11 @@ class StageTimer:
     def count(self, name: str, events: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + events
 
+    def count_many(self, counts: Dict[str, int], prefix: str = "") -> None:
+        """Merge a whole counter dict (e.g. fault/retry tallies)."""
+        for name, events in counts.items():
+            self.count(prefix + name, events)
+
     def seconds(self, name: str) -> float:
         return self.stages.get(name, 0.0)
 

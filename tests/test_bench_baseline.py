@@ -1,0 +1,72 @@
+"""Baseline-tree validation for the benchmark harness.
+
+A bad ``--baseline`` (missing worktree, wrong directory, uncommitted
+changes) must fail fast with an actionable message, not a traceback
+halfway through a benchmark run.
+"""
+
+from __future__ import annotations
+
+import subprocess
+
+import pytest
+
+from repro import cli
+from repro.perf.bench import BaselineError, _git_root, validate_baseline
+
+
+def _fake_src(tmp_path):
+    src = tmp_path / "src"
+    (src / "repro").mkdir(parents=True)
+    (src / "repro" / "__init__.py").write_text("")
+    return src
+
+
+def test_missing_dir_suggests_git_worktree(tmp_path):
+    with pytest.raises(BaselineError, match="git worktree add"):
+        validate_baseline(str(tmp_path / "nope" / "src"))
+
+
+def test_checkout_root_instead_of_src_dir(tmp_path):
+    with pytest.raises(BaselineError, match="not the checkout root"):
+        validate_baseline(str(tmp_path))  # exists but has no repro pkg
+
+
+def test_clean_non_git_tree_passes(tmp_path):
+    validate_baseline(str(_fake_src(tmp_path)))  # no error
+
+
+def test_dirty_git_worktree_rejected(tmp_path):
+    src = _fake_src(tmp_path)
+    try:
+        subprocess.run(["git", "init", "-q", str(tmp_path)], check=True,
+                       timeout=30)
+        subprocess.run(["git", "-C", str(tmp_path), "add", "-A"],
+                       check=True, timeout=30)
+        subprocess.run(
+            ["git", "-C", str(tmp_path), "-c", "user.email=t@t",
+             "-c", "user.name=t", "commit", "-qm", "baseline"],
+            check=True, timeout=30)
+    except (OSError, subprocess.CalledProcessError):
+        pytest.skip("git unavailable")
+    validate_baseline(str(src))  # clean: passes
+    (src / "repro" / "__init__.py").write_text("# dirtied\n")
+    with pytest.raises(BaselineError, match="uncommitted changes"):
+        validate_baseline(str(src))
+
+
+def test_git_root_walks_up(tmp_path):
+    src = _fake_src(tmp_path)
+    assert _git_root(str(src)) is None
+    (tmp_path / ".git").mkdir()
+    assert _git_root(str(src)) == str(tmp_path)
+
+
+def test_cli_bench_reports_bad_baseline_cleanly(tmp_path, capsys):
+    rc = cli.main(["bench", "--scale", "0.002",
+                   "--baseline", str(tmp_path / "missing" / "src")])
+    assert rc == 2
+    captured = capsys.readouterr()
+    assert "error:" in captured.err
+    assert "git worktree add" in captured.err
+    assert "Traceback" not in captured.err

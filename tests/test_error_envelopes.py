@@ -1,0 +1,174 @@
+"""Facebook-style error envelope round-trips.
+
+Each error is (where practical) raised by a *real* API call and then
+rendered through :func:`error_envelope`, asserting the documented
+numeric code / subcode / type triple of the Graph API wire format.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import StudyConfig
+from repro.core.world import World
+from repro.faults.plan import transient_plan
+from repro.graphapi.errors import (
+    ApiTimeout,
+    AppSecretRequiredError,
+    BlockedSourceError,
+    GraphApiError,
+    IpRateLimitError,
+    PermissionDeniedError,
+    RateLimitExceededError,
+    TransientApiError,
+    error_envelope,
+)
+from repro.oauth.apps import AppSecuritySettings
+from repro.oauth.errors import InvalidTokenError, OAuthError
+from repro.oauth.scopes import PermissionScope
+from repro.oauth.server import AuthorizationRequest
+from repro.oauth.tokens import TokenLifetime
+from repro.sim.clock import DAY
+
+
+def _install(world, *, scope=None, settings=AppSecuritySettings(True, False),
+             lifetime=TokenLifetime.LONG_TERM):
+    scope = scope or PermissionScope.full()
+    app = world.apps.register(
+        "Envelope App", "https://envelope.example/cb",
+        security=settings, approved_permissions=scope,
+        token_lifetime=lifetime,
+    )
+    user = world.platform.register_account("User")
+    target = world.platform.register_account("Target")
+    post = world.platform.create_post(target.account_id, "content")
+    result = world.auth_server.authorize(
+        AuthorizationRequest(app.app_id, app.redirect_uri, "token", scope),
+        user.account_id)
+    return post, result.access_token.token
+
+
+def _capture(call, *args, **kwargs):
+    with pytest.raises(Exception) as info:
+        call(*args, **kwargs)
+    return info.value
+
+
+# ----------------------------------------------------------------------
+# OAuthException 190 family (token errors)
+# ----------------------------------------------------------------------
+def test_unknown_token_is_190_467(world):
+    error = _capture(world.api.get_profile, "no-such-token")
+    assert isinstance(error, InvalidTokenError)
+    body = error_envelope(error)["error"]
+    assert body["type"] == "OAuthException"
+    assert body["code"] == 190
+    assert body["error_subcode"] == 467
+    assert not body["is_transient"]
+
+
+def test_invalidated_token_is_190_466(world):
+    post, token = _install(world)
+    world.tokens.invalidate(token)
+    error = _capture(world.api.like_post, token, post.post_id)
+    body = error_envelope(error)["error"]
+    assert (body["code"], body["error_subcode"]) == (190, 466)
+
+
+def test_expired_token_is_190_463(world):
+    post, token = _install(world, lifetime=TokenLifetime.SHORT_TERM)
+    world.clock.advance(90 * DAY)
+    error = _capture(world.api.like_post, token, post.post_id)
+    assert "expired" in str(error)
+    body = error_envelope(error)["error"]
+    assert (body["code"], body["error_subcode"]) == (190, 463)
+
+
+# ----------------------------------------------------------------------
+# Remaining GraphApiError hierarchy
+# ----------------------------------------------------------------------
+def test_permission_denied_is_200(world):
+    post, token = _install(world, scope=PermissionScope.basic())
+    error = _capture(world.api.like_post, token, post.post_id)
+    assert isinstance(error, PermissionDeniedError)
+    body = error_envelope(error)["error"]
+    assert body["code"] == 200
+    assert body["type"] == "OAuthException"
+
+
+def test_app_secret_required_is_104(world):
+    post, token = _install(world,
+                           settings=AppSecuritySettings(True, True))
+    error = _capture(world.api.get_profile, token)
+    assert isinstance(error, AppSecretRequiredError)
+    assert error_envelope(error)["error"]["code"] == 104
+
+
+def test_token_rate_limit_is_17_transient(world):
+    post, token = _install(world)
+    world.policy.token_actions_per_day = 1
+    world.api.like_post(token, post.post_id)
+    error = _capture(world.api.comment, token, post.post_id, "hi")
+    assert isinstance(error, RateLimitExceededError)
+    body = error_envelope(error)["error"]
+    assert body["code"] == 17
+    assert body["is_transient"]
+
+
+def test_ip_rate_limit_is_613(world):
+    post, token = _install(world)
+    other = world.platform.create_post(
+        world.platform.register_account("Other").account_id, "p2")
+    world.policy.ip_likes_per_day = 1
+    world.api.like_post(token, post.post_id, source_ip="10.1.2.3")
+    error = _capture(world.api.like_post, token, other.post_id,
+                     source_ip="10.1.2.3")
+    assert isinstance(error, IpRateLimitError)
+    body = error_envelope(error)["error"]
+    assert body["code"] == 613
+    assert body["is_transient"]
+
+
+def test_blocked_source_is_368():
+    body = error_envelope(BlockedSourceError("1.2.3.4", 64496))["error"]
+    assert body["code"] == 368
+    assert not body["is_transient"]
+
+
+def test_injected_transient_is_code_2():
+    world = World(StudyConfig(scale=0.01, seed=42,
+                              fault_plan=transient_plan(1.0)))
+    post, token = _install(world)
+    error = _capture(world.api.like_post, token, post.post_id)
+    assert isinstance(error, TransientApiError)
+    body = error_envelope(error)["error"]
+    assert body["code"] == 2
+    assert body["is_transient"]
+    assert "error_subcode" not in body
+
+
+def test_timeout_carries_subcode_1342004():
+    body = error_envelope(ApiTimeout())["error"]
+    assert body["code"] == 2
+    assert body["error_subcode"] == 1342004
+    assert body["is_transient"]
+
+
+# ----------------------------------------------------------------------
+# Fallbacks
+# ----------------------------------------------------------------------
+def test_generic_oauth_error_is_code_1():
+    body = error_envelope(OAuthError("flow rejected"))["error"]
+    assert body["code"] == 1
+    assert body["type"] == "OAuthException"
+
+
+def test_generic_graph_error_defaults():
+    body = error_envelope(GraphApiError("unknown method"))["error"]
+    assert body["code"] == 1
+    assert body["type"] == "GraphMethodException"
+
+
+def test_non_api_error_is_rejected():
+    with pytest.raises(TypeError):
+        error_envelope(ValueError("not an API error"))

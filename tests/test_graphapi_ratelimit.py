@@ -100,3 +100,36 @@ def test_enforcer_missing_ip_never_limited():
     enforcer = PolicyEnforcer(policy)
     for i in range(10):
         assert enforcer.admit_ip_like(None, i) is None
+
+
+def test_saturation_memo_survives_lazy_eviction():
+    """Regression: the memo stays exact even after an unrelated read
+    evicts expired events from the key's deque mid-window.
+
+    ``hit()`` records unconditionally, so a deque can hold more events
+    than ``limit``; the memo expiry is pinned to the event that must
+    expire before the key can admit again, not to the deque head.
+    """
+    limiter = SlidingWindowLimiter(limit=3, window_seconds=100)
+    for t in (0, 10, 20, 30):  # one past the limit
+        limiter.hit("k", t)
+    # Saturated: admits resume when the event at t=10 leaves the window.
+    assert not limiter.try_acquire("k", 40)
+    assert limiter._saturated_until["k"] == 110
+    # An unrelated usage() probe lazily evicts the t=0 event...
+    assert limiter.usage("k", 105) == 3
+    # ...but the memo still rejects right up to its exact expiry.
+    assert not limiter.try_acquire("k", 109)
+    assert limiter.try_acquire("k", 110)
+    assert "k" not in limiter._saturated_until
+
+
+def test_saturation_memo_cleared_on_expiry_probe():
+    limiter = SlidingWindowLimiter(limit=1, window_seconds=100)
+    assert limiter.try_acquire("k", 0)
+    assert not limiter.try_acquire("k", 50)
+    assert limiter.saturated("k", 60)
+    # Probing at/after expiry deletes the memo entry (lazy eviction).
+    assert not limiter.saturated("k", 100)
+    assert "k" not in limiter._saturated_until
+    assert limiter.try_acquire("k", 100)

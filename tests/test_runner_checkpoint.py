@@ -1,0 +1,160 @@
+"""Crash-tolerant experiment execution: checkpoints, worker exception
+propagation, hung-worker recovery."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.config import StudyConfig
+from repro.experiments import runner
+from repro.experiments.checkpoint import MISSING, CheckpointStore
+
+
+# ----------------------------------------------------------------------
+# CheckpointStore
+# ----------------------------------------------------------------------
+def test_store_save_load_round_trip(tmp_path):
+    store = CheckpointStore(str(tmp_path / "ckpt"))
+    assert store.load("table1") is MISSING
+    store.save("table1", {"rows": [1, 2, 3]})
+    assert store.load("table1") == {"rows": [1, 2, 3]}
+    assert store.completed() == ["table1"]
+
+
+def test_store_distinguishes_stored_none_from_missing(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    store.save("fig4", None)
+    assert store.load("fig4") is None
+    assert store.load("fig5") is MISSING
+
+
+def test_store_survives_torn_write(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    store.save("table1", "good")
+    # A crash mid-write leaves a tmp file; the checkpoint is untouched.
+    with open(os.path.join(str(tmp_path), "table2.pkl.tmp"), "wb") as fh:
+        fh.write(b"partial")
+    assert store.load("table1") == "good"
+    assert store.completed() == ["table1"]
+    # A torn final file reads as MISSING, not a crash.
+    with open(os.path.join(str(tmp_path), "table3.pkl"), "wb") as fh:
+        fh.write(b"\x80garbage")
+    assert store.load("table3") is MISSING
+
+
+def test_store_clear_and_manifest(tmp_path):
+    store = CheckpointStore(str(tmp_path), fingerprint={"seed": 7})
+    store.write_manifest()
+    store.save("table1", 1)
+    assert store.matches()
+    other = CheckpointStore(str(tmp_path), fingerprint={"seed": 8})
+    assert not other.matches()
+    store.clear()
+    assert store.completed() == []
+    assert store.stored_fingerprint() is None
+
+
+def test_store_rejects_path_traversal(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    with pytest.raises(ValueError):
+        store.save("../evil", 1)
+    with pytest.raises(ValueError):
+        store.save(".hidden", 1)
+
+
+# ----------------------------------------------------------------------
+# run_experiments + checkpoints
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def built_artifacts():
+    """Build-only artifacts: plans table1/2/3/5 (cheap, no milking)."""
+    return runner.build_world(StudyConfig(scale=0.002, seed=13,
+                                          network_limit=2))
+
+
+def test_run_experiments_writes_checkpoints(built_artifacts, tmp_path):
+    store = CheckpointStore(str(tmp_path), fingerprint={"seed": 13})
+    report = runner.run_experiments(built_artifacts, checkpoint=store)
+    assert sorted(store.completed()) == ["table1", "table2", "table3",
+                                         "table5"]
+    assert store.stored_fingerprint() == {"seed": 13}
+    assert report.table1 is not None
+
+
+def test_resumed_run_uses_checkpoints_without_rerunning(
+        built_artifacts, tmp_path, monkeypatch):
+    store = CheckpointStore(str(tmp_path))
+    full = runner.run_experiments(built_artifacts, checkpoint=store)
+    # Drop one checkpoint to simulate a crash before that job finished.
+    os.remove(os.path.join(str(tmp_path), "table3.pkl"))
+    calls = []
+    original = dict(runner._EXPERIMENT_RUNNERS)
+
+    def tracking(name):
+        def run(artifacts):
+            calls.append(name)
+            return original[name](artifacts)
+        return run
+
+    for name in original:
+        monkeypatch.setitem(runner._EXPERIMENT_RUNNERS, name,
+                            tracking(name))
+    resumed = runner.run_experiments(built_artifacts, checkpoint=store)
+    assert calls == ["table3"]  # only the missing job re-ran
+    assert resumed.table1.render() == full.table1.render()
+    assert resumed.table3.render() == full.table3.render()
+
+
+# ----------------------------------------------------------------------
+# Worker failure propagation (satellite: original exception + traceback)
+# ----------------------------------------------------------------------
+def test_parallel_worker_exception_propagates_original(
+        built_artifacts, monkeypatch):
+    def exploding(_artifacts):
+        raise ValueError("table2 exploded in the worker")
+
+    monkeypatch.setitem(runner._EXPERIMENT_RUNNERS, "table2", exploding)
+    with pytest.raises(ValueError, match="exploded in the worker") as info:
+        runner.run_experiments(built_artifacts, parallel=True)
+    cause = info.value.__cause__
+    assert isinstance(cause, runner.ExperimentWorkerError)
+    assert cause.experiment == "table2"
+    assert "exploding" in cause.worker_traceback
+
+
+def test_serial_worker_exception_also_propagates(built_artifacts,
+                                                 monkeypatch):
+    def exploding(_artifacts):
+        raise RuntimeError("serial boom")
+
+    monkeypatch.setitem(runner._EXPERIMENT_RUNNERS, "table2", exploding)
+    with pytest.raises(RuntimeError, match="serial boom"):
+        runner.run_experiments(built_artifacts, parallel=False)
+
+
+# ----------------------------------------------------------------------
+# Hung-worker recovery
+# ----------------------------------------------------------------------
+def test_hung_worker_is_killed_and_rerun_serially(built_artifacts,
+                                                  monkeypatch, tmp_path):
+    parent_pid = os.getpid()
+
+    def hangs_in_workers(_artifacts):
+        if os.getpid() != parent_pid:
+            time.sleep(60)  # hung worker: never returns in time
+        return "serial-result"
+
+    monkeypatch.setitem(runner._EXPERIMENT_RUNNERS, "table2",
+                        hangs_in_workers)
+    store = CheckpointStore(str(tmp_path))
+    start = time.monotonic()
+    report = runner.run_experiments(built_artifacts, parallel=True,
+                                    job_timeout=3, checkpoint=store)
+    elapsed = time.monotonic() - start
+    assert elapsed < 40  # the hung worker did not stall the run
+    assert report.table2 == "serial-result"  # serial rerun result
+    assert report.table1 is not None  # sibling results survived
+    assert "table2" in store.completed()

@@ -56,12 +56,17 @@ def main(argv=None) -> int:
                                              "BENCH_PIPELINE.json"))
     args = parser.parse_args(argv)
 
-    document = bench.compare_trees(
-        current_src=SRC_DIR, baseline_src=args.baseline,
-        scale=args.scale, seed=args.seed, hashseed=args.hashseed,
-        parallel_experiments=args.parallel_experiments,
-        milking_days=args.milking_days, campaign_days=args.campaign_days,
-        repeats=args.repeats)
+    try:
+        document = bench.compare_trees(
+            current_src=SRC_DIR, baseline_src=args.baseline,
+            scale=args.scale, seed=args.seed, hashseed=args.hashseed,
+            parallel_experiments=args.parallel_experiments,
+            milking_days=args.milking_days,
+            campaign_days=args.campaign_days,
+            repeats=args.repeats)
+    except bench.BaselineError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2)
         handle.write("\n")
