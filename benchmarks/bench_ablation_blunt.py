@@ -7,6 +7,7 @@ the tradeoff on one trace: every option stops the collusion network,
 but only the targeted one leaves organic app users untouched.
 """
 
+from conftest import once
 from repro.apps.catalog import AppCatalog
 from repro.collusion.ecosystem import build_ecosystem
 from repro.collusion.profiles import HTC_SENSE
@@ -19,8 +20,6 @@ from repro.countermeasures.blunt import (
 )
 from repro.honeypot.account import create_honeypot
 from repro.workloads.organic import OrganicWorkload
-
-from conftest import once
 
 
 def _measure(option: str):

@@ -10,8 +10,7 @@ users):
   infrastructure features).
 """
 
-import numpy as np
-
+from conftest import once
 from repro.apps.catalog import AppCatalog
 from repro.collusion.ecosystem import build_ecosystem
 from repro.collusion.profiles import HTC_SENSE
@@ -32,8 +31,6 @@ from repro.detection.synchrotrap import SynchroTrap
 from repro.honeypot.account import create_honeypot
 from repro.sim.clock import DAY
 from repro.workloads.organic import OrganicWorkload
-
-from conftest import once
 
 DAYS = 10
 
@@ -85,7 +82,7 @@ def _recalls(world, colluding, organic_users):
         features, labels, test_fraction=0.3, seed=4)
     classifier = LogisticAbuseClassifier().fit(train_x, train_y)
     flagged = detect_abusive_tokens(classifier, test_x).flagged_tokens
-    positives = {s.token for s, l in zip(test_x, test_y) if l}
+    positives = {s.token for s, label in zip(test_x, test_y) if label}
     ml_recall = len(flagged & positives) / max(1, len(positives))
     return {"synchrotrap": st_recall, "pca": pca_recall,
             "ml_features": ml_recall}

@@ -9,13 +9,12 @@ membership while each individual account requests N-times less often.
 
 import pytest
 
+from conftest import once
 from repro.apps.catalog import AppCatalog
 from repro.collusion.ecosystem import build_ecosystem
 from repro.core.config import StudyConfig
 from repro.core.world import World
 from repro.honeypot.account import create_honeypot
-
-from conftest import once
 
 TOTAL_REQUESTS = 60
 HONEYPOT_COUNTS = (1, 3, 6)

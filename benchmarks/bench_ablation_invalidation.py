@@ -10,6 +10,7 @@ it never reaches zero.
 
 import pytest
 
+from conftest import once
 from repro.apps.catalog import AppCatalog
 from repro.collusion.ecosystem import build_ecosystem
 from repro.core.config import StudyConfig
@@ -18,8 +19,6 @@ from repro.countermeasures.campaign import (
     CampaignConfig,
     CountermeasureCampaign,
 )
-
-from conftest import once
 
 DAYS = 16
 POLICY_DAY = 8

@@ -7,6 +7,7 @@ keys on infrastructure (IP co-tenancy, datacenter origin) instead of
 timing — the paper's proposed next step, quantified.
 """
 
+from conftest import once
 from repro.apps.catalog import AppCatalog
 from repro.collusion.ecosystem import build_ecosystem
 from repro.collusion.profiles import HTC_SENSE
@@ -23,8 +24,6 @@ from repro.detection.synchrotrap import SynchroTrap
 from repro.honeypot.account import create_honeypot
 from repro.sim.clock import DAY
 from repro.workloads.organic import OrganicWorkload
-
-from conftest import once
 
 
 def _build_trace():
@@ -66,8 +65,8 @@ def _evaluate(world, colluding, organic_users):
         features, labels, test_fraction=0.3, seed=9)
     classifier = LogisticAbuseClassifier().fit(train_x, train_y)
     result = detect_abusive_tokens(classifier, test_x)
-    positives = {s.token for s, l in zip(test_x, test_y) if l}
-    negatives = {s.token for s, l in zip(test_x, test_y) if not l}
+    positives = {s.token for s, label in zip(test_x, test_y) if label}
+    negatives = {s.token for s, label in zip(test_x, test_y) if not label}
     ml_recall = (len(result.flagged_tokens & positives)
                  / max(1, len(positives)))
     ml_false_positive_rate = (len(result.flagged_tokens & negatives)

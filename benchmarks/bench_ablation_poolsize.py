@@ -7,20 +7,19 @@ why the paper's honeypots needed months and why temporal clustering
 failed — small pools lose on both fronts.
 """
 
+from conftest import once
 from repro.apps.catalog import AppCatalog
 from repro.collusion.ecosystem import (
     register_extra_apps,
     register_infrastructure,
 )
 from repro.collusion.network import CollusionNetwork, MemberDirectory
-from repro.collusion.profiles import CollusionNetworkProfile, HTC_SENSE
+from repro.collusion.profiles import HTC_SENSE, CollusionNetworkProfile
 from repro.core.config import StudyConfig
 from repro.core.world import World
 from repro.detection.actions import actions_from_request_log
 from repro.detection.synchrotrap import SynchroTrap
 from repro.honeypot.account import create_honeypot
-
-from conftest import once
 
 POOL_SIZES = (200, 800, 3200)
 LIKES_PER_REQUEST = 100

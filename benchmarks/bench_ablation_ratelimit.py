@@ -7,13 +7,12 @@ several per-token daily budgets for (a) a uniform-sampling network and
 only the hot-set network is hurt, and only until it adapts.
 """
 
+from conftest import once
 from repro.apps.catalog import AppCatalog
 from repro.collusion.ecosystem import build_ecosystem
 from repro.core.config import StudyConfig
 from repro.core.world import World
 from repro.honeypot.account import create_honeypot
-
-from conftest import once
 
 LIMITS = (600, 40, 10)
 REQUESTS = 25

@@ -9,11 +9,10 @@ flag-everything territory.
 
 import random
 
+from conftest import once
 from repro.detection.actions import Action
 from repro.detection.evaluation import evaluate_detection
 from repro.detection.synchrotrap import SynchroTrap
-
-from conftest import once
 
 
 def _botnet_trace(n_bots=30, n_targets=15):

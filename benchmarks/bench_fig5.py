@@ -14,6 +14,7 @@ session campaign.
 
 import pytest
 
+from conftest import once
 from repro.apps.catalog import AppCatalog
 from repro.collusion.ecosystem import build_ecosystem
 from repro.core.config import StudyConfig
@@ -23,8 +24,6 @@ from repro.countermeasures.campaign import (
     CountermeasureCampaign,
 )
 from repro.experiments import fig5
-
-from conftest import once
 
 
 def test_bench_fig5_campaign(benchmark):

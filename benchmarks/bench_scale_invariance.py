@@ -9,13 +9,12 @@ to scale, ordering unchanged, coverage ratio (observed / target) equal.
 
 import pytest
 
+from conftest import once
 from repro.apps.catalog import AppCatalog
 from repro.collusion.ecosystem import build_ecosystem
 from repro.core.config import StudyConfig
 from repro.core.world import World
 from repro.honeypot.milker import MilkingCampaign
-
-from conftest import once
 
 SCALES = (0.005, 0.01)
 NETWORKS = 6

@@ -5,7 +5,6 @@ list is headed by Spotify (50M MAU) and every entry has >=1M MAU.
 """
 
 from repro.experiments import table1
-from repro.oauth.tokens import TokenLifetime
 
 
 def test_bench_table1(benchmark, bench_artifacts):

@@ -11,6 +11,7 @@ stage) on a fresh world, then checks the table against the session run.
 
 import pytest
 
+from conftest import once
 from repro.apps.catalog import AppCatalog
 from repro.collusion.ecosystem import build_ecosystem
 from repro.collusion.profiles import MILKED_PROFILES
@@ -18,8 +19,6 @@ from repro.core.config import StudyConfig
 from repro.core.world import World
 from repro.experiments import table4
 from repro.honeypot.milker import MilkingCampaign
-
-from conftest import once
 
 
 def test_bench_table4_milking_campaign(benchmark):

@@ -62,8 +62,8 @@ def main() -> None:
         features, labels, test_fraction=0.3, seed=7)
     classifier = LogisticAbuseClassifier().fit(train_x, train_y)
     result = detect_abusive_tokens(classifier, test_x)
-    positives = {s.token for s, l in zip(test_x, test_y) if l}
-    negatives = {s.token for s, l in zip(test_x, test_y) if not l}
+    positives = {s.token for s, label in zip(test_x, test_y) if label}
+    negatives = {s.token for s, label in zip(test_x, test_y) if not label}
     recall = len(result.flagged_tokens & positives) / len(positives)
     fpr = len(result.flagged_tokens & negatives) / max(1, len(negatives))
     print(f"Feature classifier: recall {recall:.1%}, false-positive "

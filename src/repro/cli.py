@@ -8,6 +8,7 @@ campaign   run the §6 countermeasure campaign (Figs. 5-8)
 full       run everything and print the complete report
 run        crash-tolerant full study (fault injection, checkpoints,
            --resume)
+lint       reprolint: determinism & discipline static analysis
 bench      benchmark the pipeline stages (BENCH_PIPELINE.json)
 """
 
@@ -21,8 +22,17 @@ from typing import List, Optional
 
 from repro.core.config import StudyConfig
 from repro.core.study import Study
-from repro.experiments import export, fig4, fig5, fig6, fig7, fig8
-from repro.experiments import table1, table4, table6
+from repro.experiments import (
+    export,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    table1,
+    table4,
+    table6,
+)
 
 
 def _common_flags(parser: argparse.ArgumentParser) -> None:
@@ -88,6 +98,12 @@ def build_parser() -> argparse.ArgumentParser:
     _common_flags(score)
     score.add_argument("--milking-days", type=int, default=30)
     score.add_argument("--campaign-days", type=int, default=75)
+
+    lint = sub.add_parser(
+        "lint", help="reprolint: determinism & discipline static "
+                     "analysis (RL001-RL005)")
+    from repro.lint.cli import add_arguments as _add_lint_arguments
+    _add_lint_arguments(lint)
 
     bench = sub.add_parser(
         "bench", help="benchmark pipeline stage throughput")
@@ -248,6 +264,12 @@ def cmd_score(args) -> int:
     return 0 if card.failed == 0 else 1
 
 
+def cmd_lint(args) -> int:
+    from repro.lint.cli import run as run_lint
+
+    return run_lint(args)
+
+
 def cmd_bench(args) -> int:
     from repro.perf import bench
 
@@ -303,6 +325,7 @@ COMMANDS = {
     "full": cmd_full,
     "run": cmd_run,
     "score": cmd_score,
+    "lint": cmd_lint,
     "bench": cmd_bench,
 }
 

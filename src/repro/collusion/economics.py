@@ -13,7 +13,7 @@ disruption.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.collusion.network import CollusionNetwork
 from repro.webintel.adnetworks import REPUTABLE_NETWORKS

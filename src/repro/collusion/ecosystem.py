@@ -88,7 +88,6 @@ def seed_short_urls(world, rng) -> Tuple[Dict[str, str], List[Tuple[str, str]]]:
     Returns (network domain -> slug) for networks that have a listed
     short URL, and the ordered [(paper label, slug)] list for Table 5.
     """
-    geo = world.geo
     long_urls = {key: f"https://social.example/dialog/oauth?key={key}"
                  for key in LONG_URL_CLICK_TOTALS}
     slugs_by_domain: Dict[str, str] = {}

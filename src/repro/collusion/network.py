@@ -31,13 +31,7 @@ from repro.collusion.monetization import (
 )
 from repro.collusion.profiles import CollusionNetworkProfile, calibrate_pool_size
 from repro.faults.retry import RetryPolicy
-from repro.graphapi.errors import (
-    BlockedSourceError,
-    GraphApiError,
-    IpRateLimitError,
-    RateLimitExceededError,
-    TransientApiError,
-)
+from repro.graphapi.errors import GraphApiError, TransientApiError
 from repro.graphapi.request import ApiAction, ApiRequest
 from repro.netsim.pools import IpPool
 from repro.oauth.errors import InvalidTokenError, OAuthError
@@ -251,7 +245,6 @@ class CollusionNetwork:
                 or account_id in self.dead_members)
 
     def _country_mix(self):
-        listing_country = self.profile.registrant_country
         # Member countries follow the site's visitor geography; reuse the
         # default platform mix unless the network is strongly regional.
         return None

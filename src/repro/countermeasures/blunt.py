@@ -18,8 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.oauth.apps import Application
-
 
 @dataclass(frozen=True)
 class BluntImpact:

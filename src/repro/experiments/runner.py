@@ -6,6 +6,7 @@ import multiprocessing
 import os
 import pickle
 import traceback
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -218,11 +219,15 @@ class _WorkerFailure:
             type(exc), exc, exc.__traceback__))
         # Exceptions are usually picklable; when one is not (custom
         # __init__ signatures, unpicklable payloads) we still carry the
-        # formatted traceback home.
+        # formatted traceback home, annotated with *why* the original
+        # object could not travel.
         try:
             pickle.loads(pickle.dumps(exc))
-        except Exception:
+        except Exception as error:
             self.exc: Optional[BaseException] = None
+            self.formatted += (
+                f"\n(original exception object not picklable: {error!r};"
+                " re-raising ExperimentWorkerError instead)")
         else:
             self.exc = exc
 
@@ -256,7 +261,7 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
     for process in list(getattr(pool, "_processes", {}).values()):
         try:
             process.terminate()
-        except Exception:  # pragma: no cover - racy process exit
+        except (OSError, ValueError):  # pragma: no cover - racy exit
             pass
     pool.shutdown(wait=False, cancel_futures=True)
 
@@ -283,7 +288,10 @@ def _run_experiments_parallel(
     finished: List[Tuple[str, Any]] = []
     try:
         pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
-    except Exception:  # pragma: no cover - fall back to serial
+    except (OSError, ValueError, RuntimeError) as error:  # pragma: no cover
+        warnings.warn(f"experiment worker pool unavailable ({error!r}); "
+                      "running experiments serially", RuntimeWarning,
+                      stacklevel=2)
         _PARALLEL_STATE.clear()
         return None
     try:
@@ -292,18 +300,26 @@ def _run_experiments_parallel(
         for index, (name, future) in enumerate(futures):
             try:
                 finished.append(future.result(timeout=job_timeout))
-            except Exception:
+            except Exception as error:
                 # A hung worker (timeout) or a dead one (BrokenProcessPool
                 # after a kill -9 / crash): tear the pool down, salvage
                 # any sibling results that did complete, and hand the
                 # rest back for a serial re-run.
+                warnings.warn(
+                    f"experiment worker for {name!r} lost ({error!r}); "
+                    "salvaging finished jobs and re-running the rest "
+                    "serially", RuntimeWarning, stacklevel=2)
                 _kill_pool(pool)
-                for _, later in futures[index + 1:]:
+                for later_name, later in futures[index + 1:]:
                     if later.done() and not later.cancelled():
                         try:
                             finished.append(later.result(timeout=0))
-                        except Exception:
-                            pass
+                        except Exception as torn:
+                            warnings.warn(
+                                f"discarding torn result for "
+                                f"{later_name!r} ({torn!r}); it will "
+                                "re-run serially", RuntimeWarning,
+                                stacklevel=2)
                 collected = {n for n, _ in finished}
                 return finished, [n for n in names if n not in collected]
         pool.shutdown()

@@ -114,7 +114,6 @@ class MilkingCampaign:
         return [base + (1 if d < extra else 0) for d in range(days)]
 
     def _plan(self, days: int) -> Dict[str, Dict[str, List[int]]]:
-        scale = self.world.config.scale
         plan: Dict[str, Dict[str, List[int]]] = {}
         for domain in self.honeypots:
             profile = self.ecosystem.network(domain).profile

@@ -1,0 +1,43 @@
+"""reprolint — AST-based determinism & discipline analysis.
+
+The simulator's headline guarantees (byte-identical seeded runs,
+empty-fault-plan identity, batch/scalar and parallel/serial
+equivalence) rest on conventions that no runtime test can see a
+violation of until it has already perturbed an event stream: time must
+come from the sim clock, randomness from named RNG streams, iteration
+from ordered sources.  ``reprolint`` turns those conventions into a
+static gate.
+
+Rules
+-----
+RL001  no wall-clock reads (``time.time``/``monotonic``/``sleep``,
+       ``datetime.now``/``utcnow``) outside the allowlisted perf shell
+RL002  no global/unseeded randomness (module-level ``random.*`` calls,
+       ``random.Random()`` without a seed, ``SystemRandom``)
+RL003  no nondeterministic ordering feeding iteration (``set``
+       literals/calls iterated unsorted, ``id()``-keyed sorts,
+       unsorted ``os.listdir``/``glob``/``iterdir``)
+RL004  no entropy/environment leaks (``uuid1``/``uuid4``, ``secrets``,
+       ``os.urandom``, ``os.environ`` reads, salted builtin ``hash()``)
+RL005  exception discipline (no bare/broad ``except`` that swallows
+       without re-raising, using the bound exception, or logging)
+
+Inline ``# reprolint: disable=RL00x — why`` pragmas suppress a line;
+``tools/reprolint_baseline.json`` grandfathers known findings (they
+warn; anything new fails).  Run via ``repro lint`` or
+``python -m repro.lint``.
+"""
+
+from repro.lint.engine import LintEngine, LintReport, lint_source
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import DEFAULT_ALLOWLIST, default_rules
+
+__all__ = [
+    "DEFAULT_ALLOWLIST",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "Severity",
+    "default_rules",
+    "lint_source",
+]

@@ -1,0 +1,69 @@
+"""Grandfathered-findings baseline (``tools/reprolint_baseline.json``).
+
+A baseline entry is the line-number-independent fingerprint of a known
+finding — ``(path, rule, stripped source line)`` — with a count, so a
+file can grandfather two identical lines.  Findings that match a
+baseline entry are *demoted to warnings that never fail*; findings with
+no entry fail as usual, and entries that no longer match anything are
+reported as stale so the baseline only ever shrinks.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.lint.findings import Finding
+
+_VERSION = 1
+
+Key = Tuple[str, str, str]   # (path, rule, snippet)
+
+
+@dataclass
+class Baseline:
+    """Counted fingerprints of grandfathered findings."""
+
+    entries: Dict[Key, int] = field(default_factory=dict)
+
+    def budget(self) -> Dict[Key, int]:
+        """A mutable copy the engine decrements while matching."""
+        return dict(self.entries)
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        entries: Dict[Key, int] = {}
+        for finding in findings:
+            key = finding.fingerprint()
+            entries[key] = entries.get(key, 0) + 1
+        return cls(entries=entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {payload.get('version')!r} "
+                f"in {path}")
+        entries: Dict[Key, int] = {}
+        for row in payload.get("findings", []):
+            key = (row["path"], row["rule"], row["snippet"])
+            entries[key] = entries.get(key, 0) + int(row.get("count", 1))
+        return cls(entries=entries)
+
+    def dump(self, path: Path) -> None:
+        rows: List[Dict[str, object]] = [
+            {"path": key[0], "rule": key[1], "snippet": key[2],
+             "count": count}
+            for key, count in sorted(self.entries.items())]
+        payload = {"version": _VERSION, "findings": rows}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")

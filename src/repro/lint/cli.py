@@ -1,0 +1,113 @@
+"""Command-line front end: ``repro lint`` / ``python -m repro.lint``.
+
+Exit codes: 0 clean (or everything baselined), 1 failing findings at or
+above ``--fail-on``, 2 usage errors (bad baseline file, missing target).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import LintEngine
+from repro.lint.findings import Severity
+
+DEFAULT_BASELINE = os.path.join("tools", "reprolint_baseline.json")
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to lint (default: src/repro under "
+             "the current directory, else the installed repro package)")
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help=f"baseline JSON of grandfathered findings (default: "
+             f"{DEFAULT_BASELINE} when present)")
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file")
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings as the new baseline and exit 0")
+    parser.add_argument(
+        "--fail-on", choices=["error", "warning", "info", "never"],
+        default="warning",
+        help="lowest severity that makes the run fail (default: warning)")
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit machine-readable JSON instead of text")
+    parser.add_argument(
+        "--out", type=str, default=None,
+        help="also write the report to this file")
+
+
+def _default_targets() -> List[Path]:
+    local = Path("src") / "repro"
+    if local.is_dir():
+        return [local]
+    import repro
+
+    return [Path(repro.__file__).resolve().parent]
+
+
+def _resolve_baseline(args: argparse.Namespace) -> Optional[Baseline]:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return Baseline.load(args.baseline)
+    default = Path(DEFAULT_BASELINE)
+    if default.is_file():
+        return Baseline.load(default)
+    return None
+
+
+def run(args: argparse.Namespace) -> int:
+    targets = list(args.paths) or _default_targets()
+    for target in targets:
+        if not target.exists():
+            print(f"error: no such path: {target}", file=sys.stderr)
+            return 2
+    if args.write_baseline:
+        baseline = None          # never load what we are about to write
+    else:
+        try:
+            baseline = _resolve_baseline(args)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"error: cannot load baseline: {error}", file=sys.stderr)
+            return 2
+    engine = LintEngine()
+    report = engine.run(targets, baseline=baseline)
+
+    if args.write_baseline:
+        path = args.baseline or Path(DEFAULT_BASELINE)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        Baseline.from_findings(report.findings).dump(path)
+        print(f"wrote {len(report.findings)} baseline entries to {path}")
+        return 0
+
+    fail_on = (None if args.fail_on == "never"
+               else Severity.parse(args.fail_on))
+    text = (report.render_json(fail_on) if args.as_json
+            else report.render_text(fail_on))
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    return report.exit_code(fail_on)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="reprolint: determinism & discipline static analysis")
+    add_arguments(parser)
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

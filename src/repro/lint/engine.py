@@ -1,0 +1,205 @@
+"""The reprolint engine: file walking, pragmas, baseline, reporting.
+
+Paths are normalised to posix relative to the scan root's *parent*
+(``src/repro`` scans as ``repro/...``), which keeps allowlists and
+baseline fingerprints stable across checkouts and installs.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.baseline import Baseline
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import (
+    DEFAULT_ALLOWLIST,
+    ModuleContext,
+    Rule,
+    default_rules,
+)
+
+_PRAGMA = re.compile(
+    r"#\s*reprolint:\s*disable(?P<scope>-file)?\s*=\s*"
+    r"(?P<rules>all|RL\d+(?:\s*,\s*RL\d+)*)", re.IGNORECASE)
+
+
+def _parse_pragmas(lines: Sequence[str]) -> Tuple[Dict[int, Set[str]],
+                                                  Set[str]]:
+    """Return (line -> disabled rule ids, file-wide disabled ids).
+
+    ``all`` disables every rule; trailing justification text after the
+    rule list is encouraged and ignored by the parser.
+    """
+    per_line: Dict[int, Set[str]] = {}
+    per_file: Set[str] = set()
+    for index, line in enumerate(lines, start=1):
+        match = _PRAGMA.search(line)
+        if not match:
+            continue
+        rules = {part.strip().upper()
+                 for part in match.group("rules").split(",")}
+        if match.group("scope"):
+            per_file |= rules
+        else:
+            per_line.setdefault(index, set()).update(rules)
+    return per_line, per_file
+
+
+def _suppressed(rule_id: str, line: int,
+                per_line: Dict[int, Set[str]],
+                per_file: Set[str]) -> bool:
+    def hit(rules: Set[str]) -> bool:
+        return "ALL" in rules or rule_id in rules
+    if hit(per_file):
+        return True
+    rules = per_line.get(line)
+    return rules is not None and hit(rules)
+
+
+@dataclass
+class LintReport:
+    """Outcome of one engine run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    stale_baseline: List[Tuple[str, str, str]] = field(default_factory=list)
+    files_scanned: int = 0
+
+    # ------------------------------------------------------------------
+    def failing(self, fail_on: Severity) -> List[Finding]:
+        """Non-baselined findings at or above the threshold."""
+        return [finding for finding in self.findings
+                if not finding.baselined and finding.severity >= fail_on]
+
+    def exit_code(self, fail_on: Optional[Severity]) -> int:
+        if fail_on is None:
+            return 0
+        return 1 if self.failing(fail_on) else 0
+
+    def summary(self, fail_on: Optional[Severity]) -> Dict[str, int]:
+        return {
+            "files": self.files_scanned,
+            "findings": len(self.findings),
+            "baselined": sum(1 for f in self.findings if f.baselined),
+            "failing": (len(self.failing(fail_on))
+                        if fail_on is not None else 0),
+            "stale_baseline": len(self.stale_baseline),
+        }
+
+    def render_text(self, fail_on: Optional[Severity]) -> str:
+        parts = [finding.render() for finding in self.findings]
+        for path, rule, snippet in self.stale_baseline:
+            parts.append(f"stale baseline entry: {path} {rule} "
+                         f"({snippet!r} no longer found)")
+        stats = self.summary(fail_on)
+        parts.append(
+            f"reprolint: {stats['files']} files, "
+            f"{stats['findings']} findings "
+            f"({stats['baselined']} baselined, "
+            f"{stats['failing']} failing"
+            + (f", {stats['stale_baseline']} stale baseline entries"
+               if self.stale_baseline else "") + ")")
+        return "\n".join(parts)
+
+    def render_json(self, fail_on: Optional[Severity]) -> str:
+        payload = {
+            "findings": [finding.to_dict() for finding in self.findings],
+            "stale_baseline": [
+                {"path": path, "rule": rule, "snippet": snippet}
+                for path, rule, snippet in self.stale_baseline],
+            "summary": self.summary(fail_on),
+            "fail_on": str(fail_on) if fail_on is not None else "never",
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+class LintEngine:
+    """Run a rule set over files/trees, applying pragmas + baseline."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None,
+                 allowlist: Optional[Dict[str, Tuple[str, ...]]] = None
+                 ) -> None:
+        self.rules = list(rules) if rules is not None else default_rules()
+        self.allowlist = (dict(DEFAULT_ALLOWLIST) if allowlist is None
+                          else dict(allowlist))
+
+    # ------------------------------------------------------------------
+    def _allowlisted(self, rule_id: str, path: str) -> bool:
+        return any(path.startswith(prefix)
+                   for prefix in self.allowlist.get(rule_id, ()))
+
+    def lint_module(self, path: str, source: str) -> List[Finding]:
+        """All findings for one module (pragmas applied, no baseline)."""
+        try:
+            ctx = ModuleContext.build(path, source)
+        except SyntaxError as error:
+            return [Finding(path=path, line=error.lineno or 1,
+                            col=(error.offset or 0) + 1, rule="RL000",
+                            severity=Severity.ERROR,
+                            message=f"syntax error: {error.msg}")]
+        per_line, per_file = _parse_pragmas(ctx.lines)
+        findings: List[Finding] = []
+        for rule in self.rules:
+            if self._allowlisted(rule.rule_id, path):
+                continue
+            for finding in rule.run(ctx):
+                if _suppressed(finding.rule, finding.line, per_line,
+                               per_file):
+                    continue
+                findings.append(finding)
+        findings.sort(key=lambda f: (f.line, f.col, f.rule))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _collect_files(self, targets: Iterable[Path]
+                       ) -> List[Tuple[str, Path]]:
+        collected: List[Tuple[str, Path]] = []
+        for target in targets:
+            target = Path(target)
+            if target.is_dir():
+                for source in sorted(target.rglob("*.py")):
+                    if "__pycache__" in source.parts:
+                        continue
+                    rel = source.relative_to(target).as_posix()
+                    collected.append((f"{target.name}/{rel}", source))
+            else:
+                collected.append((target.name, target))
+        return collected
+
+    def run(self, targets: Iterable[Path],
+            baseline: Optional[Baseline] = None) -> LintReport:
+        report = LintReport()
+        baseline = baseline if baseline is not None else Baseline()
+        budget = baseline.budget()
+        for path, source_path in self._collect_files(targets):
+            report.files_scanned += 1
+            source = source_path.read_text(encoding="utf-8")
+            for finding in self.lint_module(path, source):
+                key = finding.fingerprint()
+                if budget.get(key, 0) > 0:
+                    budget[key] -= 1
+                    finding = finding.as_baselined()
+                report.findings.append(finding)
+        report.stale_baseline = sorted(
+            key for key, remaining in budget.items() if remaining > 0)
+        return report
+
+
+def lint_source(source: str, path: str = "repro/module.py",
+                rules: Optional[Sequence[Rule]] = None,
+                allowlist: Optional[Dict[str, Tuple[str, ...]]] = None
+                ) -> List[Finding]:
+    """Convenience for tests: lint one source string."""
+    engine = LintEngine(rules=rules,
+                        allowlist=allowlist if allowlist is not None
+                        else {})
+    return engine.lint_module(path, source)
+
+
+def parse_tree(source: str) -> ast.Module:
+    """Parse helper kept for symmetry with :func:`lint_source`."""
+    return ast.parse(source)

@@ -10,6 +10,7 @@ approved applications instead of registering their own (§3).
 from __future__ import annotations
 
 import enum
+import hashlib
 from typing import FrozenSet, Iterable
 
 
@@ -43,10 +44,11 @@ BASIC_PERMISSIONS: FrozenSet[Permission] = frozenset(
 class PermissionScope:
     """An immutable set of permissions attached to a token or request."""
 
-    __slots__ = ("_permissions",)
+    __slots__ = ("_permissions", "_hash")
 
     def __init__(self, permissions: Iterable[Permission]) -> None:
         self._permissions = frozenset(permissions)
+        self._hash = None
 
     @classmethod
     def parse(cls, scope_string: str) -> "PermissionScope":
@@ -86,7 +88,16 @@ class PermissionScope:
         return self._permissions == other._permissions
 
     def __hash__(self) -> int:
-        return hash(self._permissions)
+        # Builtin hash() of the frozenset would be identity-based (enum
+        # members) and salted per process; a blake2b digest of the
+        # canonical scope string keeps scope-keyed dict/set ordering
+        # stable across interpreter processes.
+        if self._hash is None:
+            digest = hashlib.blake2b(
+                self.to_scope_string().encode("utf-8"),
+                digest_size=8).digest()
+            self._hash = int.from_bytes(digest, "big")
+        return self._hash
 
     def __iter__(self):
         return iter(sorted(self._permissions, key=lambda p: p.value))

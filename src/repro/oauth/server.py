@@ -13,7 +13,6 @@ import urllib.parse
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.sim.clock import MINUTE, SimClock
 from repro.oauth.apps import Application, ApplicationRegistry
 from repro.oauth.errors import (
     FlowDisabledError,
@@ -25,6 +24,7 @@ from repro.oauth.errors import (
 )
 from repro.oauth.scopes import PermissionScope
 from repro.oauth.tokens import AccessToken, TokenStore
+from repro.sim.clock import MINUTE, SimClock
 
 #: Authorization codes are single-use and expire quickly (RFC 6749 §4.1.2
 #: recommends a maximum of 10 minutes).

@@ -13,9 +13,9 @@ import hashlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
-from repro.sim.clock import HOUR, DAY, SimClock
 from repro.oauth.errors import InvalidTokenError
 from repro.oauth.scopes import Permission, PermissionScope
+from repro.sim.clock import DAY, HOUR, SimClock
 
 #: Short-term token lifetime (Facebook: 1-2 hours; we use the midpoint).
 SHORT_TERM_LIFETIME = int(1.5 * HOUR)

@@ -1,0 +1,6 @@
+"""Fixture: clean counterpart of RL001 — time from the sim clock."""
+
+
+def stamp_event(event, clock):
+    event.at = clock.now()
+    return event

@@ -1,0 +1,8 @@
+"""Fixture: clean counterpart of RL002 — seeded, stream-derived RNG."""
+
+import random
+
+
+def pick(members, rng, master_seed):
+    fallback = random.Random(master_seed)
+    return (rng or fallback).choice(members)

@@ -1,0 +1,13 @@
+"""Fixture: clean counterpart of RL003 — ordered iteration only."""
+
+import os
+
+
+def emit(callback, directory, members):
+    for entry in sorted(os.listdir(directory)):
+        callback(entry)
+    for member in sorted({"c", "a", "b"}):
+        callback(member)
+    if "a" in {"a", "b"}:          # membership tests are fine
+        return len(set(members))   # size is order-free
+    return None

@@ -1,0 +1,8 @@
+"""Fixture: clean counterpart of RL004 — stable digests, no entropy."""
+
+import hashlib
+
+
+def make_token(seed, name):
+    digest = hashlib.blake2b(f"{seed}:{name}".encode(), digest_size=8)
+    return digest.hexdigest()

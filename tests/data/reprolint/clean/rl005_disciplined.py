@@ -1,0 +1,26 @@
+"""Fixture: clean counterpart of RL005 — disciplined handlers."""
+
+import warnings
+
+
+def deliver(network, batch):
+    try:
+        return network.send(batch)
+    except ValueError:                     # narrow: fine
+        return None
+
+
+def deliver_logged(network, batch):
+    try:
+        return network.send(batch)
+    except Exception as error:             # broad but used + logged
+        warnings.warn(f"delivery failed: {error!r}", stacklevel=2)
+        return None
+
+
+def deliver_reraise(network, batch):
+    try:
+        return network.send(batch)
+    except Exception:                      # broad but re-raises
+        network.rollback()
+        raise

@@ -1,0 +1,11 @@
+"""Fixture: RL001 — wall-clock reads in sim code."""
+
+import time
+from datetime import datetime
+
+
+def stamp_event(event):
+    event.at = time.time()
+    event.wall = datetime.now()
+    time.sleep(0.1)
+    return event

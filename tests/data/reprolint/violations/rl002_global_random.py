@@ -1,0 +1,8 @@
+"""Fixture: RL002 — global / unseeded randomness."""
+
+import random
+
+
+def pick(members):
+    unseeded = random.Random()
+    return unseeded.choice(members) if members else random.randint(0, 9)

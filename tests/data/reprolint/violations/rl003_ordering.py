@@ -1,0 +1,11 @@
+"""Fixture: RL003 — nondeterministic ordering feeding iteration."""
+
+import os
+
+
+def emit(callback, directory):
+    for entry in os.listdir(directory):
+        callback(entry)
+    for member in {"c", "a", "b"}:
+        callback(member)
+    return sorted([object(), object()], key=id)

@@ -1,0 +1,9 @@
+"""Fixture: RL004 — entropy / environment leaks."""
+
+import os
+import uuid
+
+
+def make_token():
+    salt = os.environ.get("TOKEN_SALT", "")
+    return f"{uuid.uuid4()}:{hash(salt)}"

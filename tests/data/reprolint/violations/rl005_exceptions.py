@@ -1,0 +1,8 @@
+"""Fixture: RL005 — broad exception handlers that swallow context."""
+
+
+def deliver(network, batch):
+    try:
+        return network.send(batch)
+    except Exception:
+        return None

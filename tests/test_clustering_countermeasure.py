@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.countermeasures.clustering import ClusteringCountermeasure
 from repro.countermeasures.invalidation import TokenInvalidator

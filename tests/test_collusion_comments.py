@@ -6,7 +6,7 @@ import pytest
 
 from repro.collusion.comments import CommentDictionary, CommentStyle
 from repro.collusion.wordbank import sample_phrase, spaced_out
-from repro.lexical.analysis import analyze_comments, tokenize
+from repro.lexical.analysis import analyze_comments
 from repro.lexical.wordlist import is_dictionary_word
 
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.collusion.network import MemberDirectory
 from repro.sim.clock import DAY
 
 

@@ -25,7 +25,6 @@ from repro.experiments import (
 )
 from repro.experiments.formats import format_table, humanize_count
 from repro.honeypot.milker import MilkingCampaign
-from repro.oauth.tokens import TokenLifetime
 
 
 @pytest.fixture(scope="module")

@@ -1,6 +1,5 @@
 """Tests for lexical analysis: tokenization, richness, ARI, dictionary."""
 
-import pytest
 
 from repro.lexical.analysis import (
     analyze_comments,

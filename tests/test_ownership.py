@@ -1,12 +1,7 @@
 """Tests for the §5.2 ownership / self-promotion subsystem."""
 
-import pytest
 
-from repro.collusion.ownership import (
-    DEFAULT_OWNER_FOLLOWERS,
-    OWNER_FOLLOWERS,
-    ownership_report,
-)
+from repro.collusion.ownership import OWNER_FOLLOWERS, ownership_report
 
 
 def test_owners_created_for_every_network(mini_study):

@@ -1,7 +1,5 @@
 """Tests for the PCA anomaly-detection baseline (§7.3)."""
 
-import random
-
 import numpy as np
 import pytest
 
@@ -10,7 +8,7 @@ from repro.detection.pca_anomaly import (
     PcaAnomalyDetector,
     account_daily_vectors,
 )
-from repro.sim.clock import DAY, HOUR
+from repro.sim.clock import DAY
 
 WINDOW = 14
 

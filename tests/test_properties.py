@@ -1,14 +1,13 @@
 """Property-based tests (hypothesis) for core invariants."""
 
 import math
-import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.collusion.profiles import calibrate_pool_size
 from repro.graphapi.ratelimit import SlidingWindowLimiter
-from repro.lexical.analysis import analyze_comments, lexical_richness, tokenize
+from repro.lexical.analysis import analyze_comments, lexical_richness
 from repro.lexical.ari import automated_readability_index
 from repro.netsim.ip import int_to_ip, ip_to_int
 from repro.oauth.scopes import Permission, PermissionScope

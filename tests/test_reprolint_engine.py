@@ -1,0 +1,173 @@
+"""Engine-level reprolint tests: pragmas, baseline, CLI, exit codes."""
+
+import json
+import shutil
+import textwrap
+from pathlib import Path
+
+from repro.cli import main as repro_main
+from repro.lint import LintEngine, lint_source
+from repro.lint.baseline import Baseline
+from repro.lint.cli import main as lint_main
+from repro.lint.findings import Severity
+
+FIXTURES = Path(__file__).parent / "data" / "reprolint"
+
+
+# ----------------------------------------------------------------------
+# Pragmas
+# ----------------------------------------------------------------------
+def test_line_pragma_suppresses_only_that_line():
+    findings = lint_source(textwrap.dedent("""
+        import time
+
+        def f():
+            a = time.time()  # reprolint: disable=RL001 — perf probe
+            b = time.time()
+            return a, b
+    """))
+    assert [(f.rule, f.line) for f in findings] == [("RL001", 6)]
+
+
+def test_file_pragma_and_disable_all():
+    clean = lint_source(textwrap.dedent("""
+        # reprolint: disable-file=RL001
+        import time
+
+        def f():
+            return time.time()
+    """))
+    assert clean == []
+    all_off = lint_source(textwrap.dedent("""
+        import random
+
+        def f():
+            return random.random()  # reprolint: disable=all
+    """))
+    assert all_off == []
+
+
+def test_pragma_for_other_rule_does_not_suppress():
+    findings = lint_source(textwrap.dedent("""
+        import time
+
+        def f():
+            return time.time()  # reprolint: disable=RL002
+    """))
+    assert [f.rule for f in findings] == ["RL001"]
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+def _violating_tree(tmp_path):
+    tree = tmp_path / "fixture"
+    shutil.copytree(FIXTURES / "violations", tree)
+    return tree
+
+
+def test_baseline_grandfathers_old_findings_fails_new(tmp_path):
+    tree = _violating_tree(tmp_path)
+    engine = LintEngine()
+    first = engine.run([tree])
+    assert first.failing(Severity.WARNING)
+
+    baseline = Baseline.from_findings(first.findings)
+    grandfathered = engine.run([tree], baseline=baseline)
+    assert grandfathered.failing(Severity.WARNING) == []
+    assert all(f.baselined for f in grandfathered.findings)
+    assert grandfathered.exit_code(Severity.WARNING) == 0
+
+    # A brand-new violation still fails against the old baseline.
+    extra = tree / "new_module.py"
+    extra.write_text("import time\n\n\ndef f():\n    return time.time()\n")
+    third = engine.run([tree], baseline=baseline)
+    failing = third.failing(Severity.WARNING)
+    assert [f.rule for f in failing] == ["RL001"]
+    assert failing[0].path == "fixture/new_module.py"
+
+
+def test_baseline_roundtrip_and_stale_entries(tmp_path):
+    tree = _violating_tree(tmp_path)
+    engine = LintEngine()
+    report = engine.run([tree])
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings(report.findings).dump(path)
+    loaded = Baseline.load(path)
+    assert len(loaded) == len(report.findings)
+
+    # Fix one file: its baseline entries become stale, nothing fails.
+    (tree / "rl005_exceptions.py").write_text("VALUE = 1\n")
+    rerun = engine.run([tree], baseline=loaded)
+    assert rerun.failing(Severity.WARNING) == []
+    assert any(rule == "RL005" for _, rule, _ in rerun.stale_baseline)
+
+
+# ----------------------------------------------------------------------
+# CLI (both entry points share one implementation)
+# ----------------------------------------------------------------------
+def test_cli_nonzero_on_fixture_tree_with_every_rule(tmp_path, capsys):
+    tree = _violating_tree(tmp_path)
+    exit_code = lint_main([str(tree), "--no-baseline", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert exit_code == 1
+    seen = {row["rule"] for row in payload["findings"]}
+    assert {"RL001", "RL002", "RL003", "RL004", "RL005"} <= seen
+    assert payload["summary"]["failing"] > 0
+
+
+def test_repro_cli_lint_subcommand(tmp_path, capsys):
+    tree = _violating_tree(tmp_path)
+    assert repro_main(["lint", str(tree), "--no-baseline"]) == 1
+    out = capsys.readouterr().out
+    assert "RL001" in out and "RL005" in out
+
+    clean = FIXTURES / "clean"
+    assert repro_main(["lint", str(clean), "--no-baseline"]) == 0
+
+
+def test_cli_fail_on_thresholds(tmp_path):
+    tree = tmp_path / "warn_only"
+    tree.mkdir()
+    (tree / "mod.py").write_text(textwrap.dedent("""
+        def f(x):
+            try:
+                return x()
+            except Exception:
+                return None
+    """))
+    # RL005 is warning severity: fails at --fail-on warning, passes
+    # at --fail-on error, passes at --fail-on never.
+    assert lint_main([str(tree), "--no-baseline"]) == 1
+    assert lint_main([str(tree), "--no-baseline",
+                      "--fail-on", "error"]) == 0
+    assert lint_main([str(tree), "--no-baseline",
+                      "--fail-on", "never"]) == 0
+
+
+def test_cli_write_baseline_then_clean(tmp_path, capsys):
+    tree = _violating_tree(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert lint_main([str(tree), "--baseline", str(baseline),
+                      "--write-baseline"]) == 0
+    assert baseline.is_file()
+    assert lint_main([str(tree), "--baseline", str(baseline)]) == 0
+    capsys.readouterr()
+
+
+def test_cli_missing_path_and_bad_baseline(tmp_path, capsys):
+    assert lint_main([str(tmp_path / "nope")]) == 2
+    bad = tmp_path / "bad.json"
+    bad.write_text("{\"version\": 99}")
+    tree = tmp_path / "empty"
+    tree.mkdir()
+    assert lint_main([str(tree), "--baseline", str(bad)]) == 2
+    capsys.readouterr()
+
+
+def test_syntax_error_is_reported_not_crashed(tmp_path, capsys):
+    tree = tmp_path / "broken"
+    tree.mkdir()
+    (tree / "mod.py").write_text("def f(:\n")
+    assert lint_main([str(tree), "--no-baseline"]) == 1
+    assert "RL000" in capsys.readouterr().out

@@ -1,0 +1,52 @@
+"""Regression: the real tree is clean under the shipped baseline.
+
+This is the live gate behind the determinism contract: any new
+wall-clock read, global-random call, unordered iteration, entropy leak
+or broad swallow in ``src/repro`` fails this test (and the CI ``lint``
+job) unless it is pragma-annotated or deliberately baselined.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.lint import LintEngine
+from repro.lint.baseline import Baseline
+from repro.lint.findings import Severity
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "tools" / "reprolint_baseline.json"
+PACKAGE = Path(repro.__file__).resolve().parent
+
+
+def test_shipped_baseline_exists_and_loads():
+    baseline = Baseline.load(BASELINE)
+    # The tree was fully fixed in the PR that introduced reprolint; the
+    # baseline should only ever shrink from empty.
+    assert len(baseline) == 0
+
+
+def test_real_tree_is_clean_under_shipped_baseline():
+    engine = LintEngine()
+    report = engine.run([PACKAGE], baseline=Baseline.load(BASELINE))
+    failing = report.failing(Severity.WARNING)
+    details = "\n".join(f.render() for f in failing)
+    assert not failing, f"reprolint regressions:\n{details}"
+    assert report.exit_code(Severity.WARNING) == 0
+    # Sanity: the walk really covered the tree.
+    assert report.files_scanned > 100
+
+
+def test_allowlisted_shells_are_the_only_wall_clock_users():
+    """The perf shell exists and would be flagged without the allowlist
+    — proving the allowlist is load-bearing, not dead config."""
+    engine = LintEngine(allowlist={})
+    report = engine.run([PACKAGE])
+    wall_clock_paths = {f.path for f in report.findings
+                        if f.rule == "RL001"}
+    # bench.py's perf_counter calls live inside its subprocess-script
+    # template string, so the only AST-level wall-clock user is the
+    # StageTimer.
+    assert wall_clock_paths == {"repro/perf/instrumentation.py"}
+    environ_paths = {f.path for f in report.findings
+                     if f.rule == "RL004"}
+    assert environ_paths == {"repro/perf/bench.py"}

@@ -1,6 +1,5 @@
 """Tests for the token-based data harvester."""
 
-import pytest
 
 from repro.collusion.scraping import DataHarvester
 from repro.graphapi.request import ApiAction
