@@ -101,7 +101,7 @@ class MemberDirectory:
     def _create_account(self, country_mix) -> str:
         self._counter += 1
         country = self._geo.sample_country(self._rng, country_mix)
-        account = self._platform.register_account(
+        account = self._platform.register_account(  # reprolint: disable=RL301 — signup is the platform's first-party web flow; no app token is involved, so there is nothing for the Graph API to meter
             f"Colluding User {self._counter}", country=country)
         self._accounts.append(account.account_id)
         return account.account_id
@@ -831,7 +831,7 @@ class CollusionNetwork:
                  if self._member_list else None)
         if owner is None:
             return None
-        page = self.world.platform.create_page(
+        page = self.world.platform.create_page(  # reprolint: disable=RL301 — members create their own fan pages through the first-party UI, not via a third-party app token
             owner, f"{self.domain} fan page {len(self._pages) + 1}")
         self._pages.append(page.page_id)
         return page.page_id
@@ -847,7 +847,7 @@ class CollusionNetwork:
         if requester is None:
             requester = self.directory.draw_member(exclude=set())
             self._requester_pool[idx] = requester
-        post = self.world.platform.create_post(
+        post = self.world.platform.create_post(  # reprolint: disable=RL301 — a requester posting on their own wall models the first-party UI; only the subsequent likes flow through the Graph API
             requester, f"please like my post ({self.domain})")
         return post.post_id
 

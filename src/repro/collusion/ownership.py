@@ -48,13 +48,13 @@ def setup_owner(world, network, scale: float = 1.0) -> NetworkOwner:
     record = world.whois.lookup(domain) if _has_whois(world, domain) else None
     country = (record.registrant_country if record
                and record.registrant_country else "IN")
-    account = world.platform.register_account(display_name,
+    account = world.platform.register_account(display_name,  # reprolint: disable=RL301 — operator signup is the first-party web flow; no app token exists yet to meter
                                               country=country)
     account.follower_count = followers
-    page = world.platform.create_page(account.account_id,
+    page = world.platform.create_page(account.account_id,  # reprolint: disable=RL301 — the operator creates their own official page through the first-party UI
                                       f"{domain} official")
     posts = [
-        world.platform.create_post(account.account_id,
+        world.platform.create_post(account.account_id,  # reprolint: disable=RL301 — operator promo posts on their own page model the first-party UI, not app-mediated writes
                                    f"{domain} promo post {i + 1}")
         for i in range(3)
     ]

@@ -157,7 +157,7 @@ class CollusionWebsiteSession:
             raise WorkflowError(
                 f"wait {self._next_request_at - now}s between requests")
         report = self.network.submit_like_request(self.user_id, post_id)
-        self._next_request_at = now + gate.delay_for(self.network.rng)
+        self._next_request_at = now + gate.delay_for(self.network.rng)  # reprolint: disable=RL202 — the website is the network's own front door, not a peer entity: pacing must consume the network stream so browser-path and direct-path runs draw identically
         if gate.captcha_required:
             self._captcha_pending = True  # next request needs a new one
         return report

@@ -35,7 +35,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.sim.clock import DAY, SimClock
+from repro.sim.clock import SimClock
 
 #: The failure modes a rule may inject.
 FAULT_KINDS = ("transient", "timeout", "rate_limit", "invalidate_token",
@@ -197,7 +197,7 @@ class FaultInjector:
         caller then proceeds and fails through the normal
         ``invalid_token`` machinery, exactly like the §6.2 ladder).
         """
-        day = self.clock._now // DAY
+        day = self.clock.day()
         if day != self._cached_day:
             self._refresh(day)
         rng_random = self.rng.random
@@ -218,7 +218,7 @@ class FaultInjector:
 
     def decide_chunk(self, size: int) -> bool:
         """Whether an all-or-nothing batch of ``size`` requests fails."""
-        day = self.clock._now // DAY
+        day = self.clock.day()
         if day != self._cached_day:
             self._refresh(day)
         rng_random = self.rng.random

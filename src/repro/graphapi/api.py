@@ -38,6 +38,7 @@ from repro.graphapi.request import (
     ApiResponse,
 )
 from repro.netsim.asn import AsRegistry
+from repro.oauth.redact import redact_token
 from repro.oauth.apps import ApplicationRegistry
 from repro.oauth.errors import InvalidTokenError
 from repro.oauth.proof import verify_appsecret_proof
@@ -110,12 +111,12 @@ class GraphApi:
                 violated = self.enforcer.admit_like(
                     token.token, request.source_ip, now)
                 if violated == "token":
-                    raise RateLimitExceededError(token.token[-6:])
+                    raise RateLimitExceededError(redact_token(token.token))
                 if violated is not None:
                     raise IpRateLimitError(request.source_ip or "?", violated)
             elif request.action in WRITE_ACTIONS:
                 if not self.enforcer.admit_token_action(token.token, now):
-                    raise RateLimitExceededError(token.token[-6:])
+                    raise RateLimitExceededError(redact_token(token.token))
             data = self._perform(token, request)
             return ApiResponse(action=request.action, data=data)
         except InvalidTokenError:
@@ -145,7 +146,7 @@ class GraphApi:
         if fault == "timeout":
             raise ApiTimeout()
         if fault == "rate_limit":
-            raise RateLimitExceededError(access_token[-6:])
+            raise RateLimitExceededError(redact_token(access_token))
         # "invalidate_token": no direct failure here — the request
         # proceeds and dies through the normal invalid_token machinery.
 
@@ -465,7 +466,7 @@ class GraphApi:
                 raise BlockedSourceError(source_ip or "?", asn)
         violated = self.enforcer.admit_like(token.token, source_ip, now)
         if violated == "token":
-            raise RateLimitExceededError(token.token[-6:])
+            raise RateLimitExceededError(redact_token(token.token))
         if violated is not None:
             raise IpRateLimitError(source_ip or "?", violated)
         self.charge_counters["likes"] += 1

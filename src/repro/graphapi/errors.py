@@ -64,8 +64,10 @@ class RateLimitExceededError(GraphApiError):
     error_type = "OAuthException"
     is_transient = True
 
-    def __init__(self, token_suffix: str) -> None:
-        super().__init__(f"rate limit exceeded for token …{token_suffix}")
+    def __init__(self, token_ref: str) -> None:
+        # token_ref is a redact_token() digest, never a raw token or a
+        # recoverable slice of one (reprolint RL102).
+        super().__init__(f"rate limit exceeded for token {token_ref}")
 
 
 class IpRateLimitError(GraphApiError):

@@ -29,7 +29,7 @@ class HoneypotAccount:
 
 def create_honeypot(world, network, name: Optional[str] = None) -> HoneypotAccount:
     """Register a fresh account and join it to ``network``."""
-    account = world.platform.register_account(
+    account = world.platform.register_account(  # reprolint: disable=RL301 — we (the measurement side) create honeypots through the first-party signup flow, exactly as §4's methodology does with real accounts
         name or f"Honeypot ({network.domain})", is_honeypot=True)
     network.join(account.account_id)
     return HoneypotAccount(

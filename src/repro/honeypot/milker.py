@@ -229,7 +229,7 @@ class MilkingCampaign:
         if not self._clear_gate(network):
             return
         result = self.results[network.domain]
-        post = self.world.platform.create_post(
+        post = self.world.platform.create_post(  # reprolint: disable=RL301 — bait posts go up via the honeypot's own first-party session (§4.1); only the collusion network's likes ride app tokens
             honeypot.account_id,
             f"status update #{result.posts_submitted + 1}")
         honeypot.like_post_ids.append(post.post_id)
@@ -300,7 +300,7 @@ class MilkingCampaign:
         if not self._clear_gate(network):
             return
         result = self.results[network.domain]
-        post = self.world.platform.create_post(
+        post = self.world.platform.create_post(  # reprolint: disable=RL301 — comment-bait posts likewise go up via the honeypot's first-party session, not an app token
             honeypot.account_id,
             f"comment bait #{result.comment_posts + 1}")
         honeypot.comment_post_ids.append(post.post_id)

@@ -1,15 +1,19 @@
-"""reprolint — AST-based determinism & discipline analysis.
+"""reprolint — project-aware determinism & discipline analysis.
 
 The simulator's headline guarantees (byte-identical seeded runs,
 empty-fault-plan identity, batch/scalar and parallel/serial
 equivalence) rest on conventions that no runtime test can see a
 violation of until it has already perturbed an event stream: time must
 come from the sim clock, randomness from named RNG streams, iteration
-from ordered sources.  ``reprolint`` turns those conventions into a
-static gate.
+from ordered sources — and, per the paper's own findings, access-token
+values must never escape into telemetry.  ``reprolint`` turns those
+conventions into a static gate built on a project graph (symbol table,
+import/call graph, one-level function summaries) and an
+intraprocedural taint engine.
 
 Rules
 -----
+RL000  parse errors (unparsable files are findings, not crashes)
 RL001  no wall-clock reads (``time.time``/``monotonic``/``sleep``,
        ``datetime.now``/``utcnow``) outside the allowlisted perf shell
 RL002  no global/unseeded randomness (module-level ``random.*`` calls,
@@ -21,15 +25,33 @@ RL004  no entropy/environment leaks (``uuid1``/``uuid4``, ``secrets``,
        ``os.urandom``, ``os.environ`` reads, salted builtin ``hash()``)
 RL005  exception discipline (no bare/broad ``except`` that swallows
        without re-raising, using the bound exception, or logging)
+RL101  token taint: token values must not reach logging sinks
+RL102  token taint: token values must not reach exception messages or
+       ``error_envelope`` renderers
+RL103  token taint: token values must not be persisted to checkpoints
+       or exported experiment artifacts
+RL201  no RNG stream construction at module scope
+RL202  no cross-entity RNG stream sharing (duplicate literal stream
+       names, handing ``self.rng`` to another entity, reaching into
+       ``other.rng``)
+RL203  no raw ``%``/``//``/``/`` arithmetic on sim-clock readings
+       outside ``repro/sim/``
+RL301  collusion/honeypot code must not mutate the platform directly
+RL302  …nor launder the mutation through a helper outside graphapi
 
-Inline ``# reprolint: disable=RL00x — why`` pragmas suppress a line;
+Token taint is cleared by the registered redactor
+``repro.oauth.redact.redact_token`` — log/raise/persist the stable
+8-char digest, never the raw token.  Inline
+``# reprolint: disable=RL00x — why`` pragmas suppress a line;
 ``tools/reprolint_baseline.json`` grandfathers known findings (they
 warn; anything new fails).  Run via ``repro lint`` or
-``python -m repro.lint``.
+``python -m repro.lint``; ``--changed [REF]`` lints only modified
+files, ``--format sarif`` emits SARIF 2.1.0.
 """
 
 from repro.lint.engine import LintEngine, LintReport, lint_source
 from repro.lint.findings import Finding, Severity
+from repro.lint.graph import ProjectGraph
 from repro.lint.rules import DEFAULT_ALLOWLIST, default_rules
 
 __all__ = [
@@ -37,6 +59,7 @@ __all__ = [
     "Finding",
     "LintEngine",
     "LintReport",
+    "ProjectGraph",
     "Severity",
     "default_rules",
     "lint_source",

@@ -1,16 +1,18 @@
 """Command-line front end: ``repro lint`` / ``python -m repro.lint``.
 
 Exit codes: 0 clean (or everything baselined), 1 failing findings at or
-above ``--fail-on``, 2 usage errors (bad baseline file, missing target).
+above ``--fail-on``, 2 usage errors (bad baseline file, missing target,
+not a git checkout with ``--changed``).
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import subprocess
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.lint.baseline import Baseline
 from repro.lint.engine import LintEngine
@@ -35,12 +37,25 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         "--write-baseline", action="store_true",
         help="write the current findings as the new baseline and exit 0")
     parser.add_argument(
+        "--prune-baseline", action="store_true",
+        help="rewrite the baseline keeping only entries that still "
+             "match a finding, then exit 0")
+    parser.add_argument(
+        "--changed", nargs="?", const="HEAD", default=None,
+        metavar="REF",
+        help="lint only files modified vs. a git ref (default ref: "
+             "HEAD); untracked .py files are included")
+    parser.add_argument(
         "--fail-on", choices=["error", "warning", "info", "never"],
         default="warning",
         help="lowest severity that makes the run fail (default: warning)")
     parser.add_argument(
+        "--format", choices=["text", "json", "sarif"], default=None,
+        dest="fmt",
+        help="report format (default: text)")
+    parser.add_argument(
         "--json", action="store_true", dest="as_json",
-        help="emit machine-readable JSON instead of text")
+        help="shorthand for --format json")
     parser.add_argument(
         "--out", type=str, default=None,
         help="also write the report to this file")
@@ -66,6 +81,40 @@ def _resolve_baseline(args: argparse.Namespace) -> Optional[Baseline]:
     return None
 
 
+def _git_lines(argv: List[str]) -> List[str]:
+    proc = subprocess.run(argv, capture_output=True, text=True,
+                          check=True)
+    return [line for line in proc.stdout.split("\0") if line]
+
+
+def _changed_pairs(ref: str, targets: List[Path],
+                   engine: LintEngine) -> List[Tuple[str, Path]]:
+    """(display path, file) pairs for files modified vs. ``ref`` that
+    fall under one of the lint targets.  Raises CalledProcessError /
+    FileNotFoundError when git is unusable."""
+    names = _git_lines(["git", "diff", "--name-only", "-z", ref, "--"])
+    names += _git_lines(["git", "ls-files", "--others",
+                         "--exclude-standard", "-z"])
+    resolved_targets = [target.resolve() for target in targets]
+    pairs: List[Tuple[str, Path]] = []
+    seen = set()
+    for name in sorted(set(names)):
+        if not name.endswith(".py"):
+            continue
+        source = Path(name)
+        if not source.is_file():
+            continue        # deleted or renamed away
+        absolute = source.resolve()
+        in_scope = any(
+            target == absolute or target in absolute.parents
+            for target in resolved_targets)
+        if not in_scope or absolute in seen:
+            continue
+        seen.add(absolute)
+        pairs.append((engine._display_path(source), source))
+    return pairs
+
+
 def run(args: argparse.Namespace) -> int:
     targets = list(args.paths) or _default_targets()
     for target in targets:
@@ -80,8 +129,29 @@ def run(args: argparse.Namespace) -> int:
         except (OSError, ValueError, KeyError) as error:
             print(f"error: cannot load baseline: {error}", file=sys.stderr)
             return 2
+    if args.prune_baseline and args.changed is not None:
+        print("error: --prune-baseline needs a full scan; drop "
+              "--changed", file=sys.stderr)
+        return 2
+    if args.prune_baseline and baseline is None:
+        print("error: --prune-baseline needs a baseline file "
+              f"(looked for {args.baseline or DEFAULT_BASELINE})",
+              file=sys.stderr)
+        return 2
+
     engine = LintEngine()
-    report = engine.run(targets, baseline=baseline)
+    if args.changed is not None:
+        try:
+            pairs = _changed_pairs(args.changed, targets, engine)
+        except (subprocess.CalledProcessError,
+                FileNotFoundError) as error:
+            detail = getattr(error, "stderr", "") or str(error)
+            print(f"error: --changed needs a git checkout: "
+                  f"{detail.strip()}", file=sys.stderr)
+            return 2
+        report = engine.run_files(pairs, baseline=baseline)
+    else:
+        report = engine.run(targets, baseline=baseline)
 
     if args.write_baseline:
         path = args.baseline or Path(DEFAULT_BASELINE)
@@ -90,10 +160,27 @@ def run(args: argparse.Namespace) -> int:
         print(f"wrote {len(report.findings)} baseline entries to {path}")
         return 0
 
+    if args.prune_baseline:
+        path = (args.baseline if args.baseline is not None
+                else Path(DEFAULT_BASELINE))
+        before = len(baseline)
+        pruned = Baseline(entries=dict(report.baseline_matched))
+        pruned.dump(path)
+        print(f"pruned baseline {path}: kept {len(pruned)} of "
+              f"{before} entries "
+              f"({len(report.stale_baseline)} stale fingerprints "
+              "dropped)")
+        return 0
+
     fail_on = (None if args.fail_on == "never"
                else Severity.parse(args.fail_on))
-    text = (report.render_json(fail_on) if args.as_json
-            else report.render_text(fail_on))
+    fmt = args.fmt or ("json" if args.as_json else "text")
+    if fmt == "sarif":
+        text = report.render_sarif()
+    elif fmt == "json":
+        text = report.render_json(fail_on)
+    else:
+        text = report.render_text(fail_on)
     print(text)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:

@@ -1,0 +1,268 @@
+"""RL2xx RNG-discipline and RL3xx API-contract rules.
+
+**RNG discipline.**  Determinism in this reproduction hangs on one
+invariant: every entity draws from its *own* named stream fanned out of
+the master seed (``world.rng.stream(name)``), received as a parameter.
+Module-scope stream construction (RL201) creates import-order-dependent
+state; two entities sharing one stream — or requesting the same literal
+stream name, which seeds two generators identically — couples their
+draw sequences so that adding a draw in one silently shifts the other
+(RL202).
+
+**API contract.**  The paper's measurement and countermeasure story
+(§5-§6) runs entirely through the Graph API choke point: scope checks,
+rate limits and the request log all live in ``graphapi/api.py``.
+Collusion/honeypot code that writes to ``socialnet/platform.py``
+directly (RL301), or launders the write through a helper defined
+elsewhere (RL302), bypasses the very instrumentation the experiments
+measure.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import ModuleContext, ProjectRule, Rule
+from repro.lint.summaries import platform_mutation_calls
+from repro.lint.taint import terminal_base
+
+#: Paths whose code simulates the abusive parties of the paper.
+ABUSE_PREFIXES = ("repro/collusion/", "repro/honeypot/")
+
+#: The sanctioned mutation route; RL302 never flags calls into it.
+_SANCTIONED_PREFIXES = ("repro/graphapi/",) + ABUSE_PREFIXES
+
+_RNG_FACTORY_METHODS = frozenset({"stream", "fresh", "child"})
+
+
+def _module_scope_statements(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Statements executed at import time: module body and class bodies,
+    never function bodies."""
+    stack: List[ast.stmt] = list(tree.body)
+    while stack:
+        stmt = stack.pop(0)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(stmt, ast.ClassDef):
+            stack.extend(stmt.body)
+            continue
+        yield stmt
+        for attr in ("body", "orelse", "finalbody"):
+            stack.extend(getattr(stmt, attr, []) or [])
+        for handler in getattr(stmt, "handlers", []) or []:
+            stack.extend(handler.body)
+
+
+def _calls_outside_defs(stmt: ast.stmt) -> Iterator[ast.Call]:
+    """Call nodes in a statement, not descending into nested defs."""
+    stack: List[ast.AST] = [stmt]
+    while stack:
+        node = stack.pop(0)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class ModuleScopeRngRule(Rule):
+    """RL201 — RNG streams constructed at module scope.
+
+    A module-level generator is shared by every importer and its state
+    depends on import order; entities must *receive* their stream.
+    """
+
+    rule_id = "RL201"
+    severity = Severity.ERROR
+    description = "RNG stream constructed at module scope"
+    hint = ("entities receive their RNG as a parameter rooted in "
+            "repro/sim/rng.py (world.rng.stream(name)); module-level "
+            "generators are shared, import-order-dependent state")
+
+    def run(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for stmt in _module_scope_statements(ctx.tree):
+            for call in _calls_outside_defs(stmt):
+                label = self._rng_construction(ctx, call)
+                if label is not None:
+                    yield ctx.finding(
+                        self, call,
+                        f"module-scope RNG construction {label} is "
+                        "shared mutable state")
+
+    @staticmethod
+    def _rng_construction(ctx: ModuleContext,
+                          call: ast.Call) -> Optional[str]:
+        dotted = ctx.resolve(call.func)
+        if dotted is not None:
+            if dotted == "random.Random":
+                return "random.Random(...)"
+            if dotted in ("numpy.random.RandomState",
+                          "numpy.random.default_rng"):
+                return f"{dotted}(...)"
+            if dotted.rsplit(".", 1)[-1] == "RngFactory":
+                return "RngFactory(...)"
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            # Any factory-method call at import time is stream
+            # construction, whatever the factory is bound to.
+            if func.attr in _RNG_FACTORY_METHODS:
+                return f".{func.attr}(...)"
+        elif isinstance(func, ast.Name) and func.id == "RngFactory":
+            return "RngFactory(...)"
+        return None
+
+
+class StreamSharingRule(ProjectRule):
+    """RL202 — cross-entity RNG stream sharing.
+
+    Three shapes, in decreasing order of subtlety:
+
+    * the same literal stream name requested by two different owners —
+      ``RngFactory.stream`` seeds by name, so both draw *identical*
+      sequences;
+    * an entity handing ``self.rng`` to another entity's constructor;
+    * code reaching into another object's stream (``other.rng`` where
+      the base is neither ``self`` nor the world).
+    """
+
+    rule_id = "RL202"
+    severity = Severity.WARNING
+    description = "RNG stream shared across entities"
+    hint = ("each entity draws from its own named stream: fan a fresh "
+            "one out of world.rng.stream(name) instead of sharing")
+
+    def run_project(self, graph) -> Iterator[Finding]:
+        by_name: Dict[str, List[Tuple[str, ModuleContext, ast.Call]]] = {}
+        for path in sorted(graph.by_path):
+            info = graph.by_path[path]
+            ctx = info.ctx
+            yield from self._local_checks(ctx)
+            for call in ast.walk(ctx.tree):
+                if not isinstance(call, ast.Call):
+                    continue
+                func = call.func
+                if (isinstance(func, ast.Attribute)
+                        and func.attr == "stream" and call.args
+                        and isinstance(call.args[0], ast.Constant)
+                        and isinstance(call.args[0].value, str)):
+                    owner = f"{path}:{self._owner_of(ctx, call)}"
+                    by_name.setdefault(call.args[0].value, []).append(
+                        (owner, ctx, call))
+        for name in sorted(by_name):
+            sites = by_name[name]
+            owners = {owner for owner, _ctx, _call in sites}
+            if len(owners) < 2:
+                continue
+            for owner, ctx, call in sites:
+                others = sorted(o for o in owners if o != owner)
+                yield ctx.finding(
+                    self, call,
+                    f"RNG stream name '{name}' is also requested by "
+                    f"{others[0]} — identical seeds, identical draws")
+
+    # ------------------------------------------------------------------
+    def _local_checks(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._handoff(ctx, node)
+            elif isinstance(node, ast.Attribute):
+                if (node.attr in ("rng", "_rng")
+                        and isinstance(node.ctx, ast.Load)):
+                    base = terminal_base(node.value)
+                    if base is not None and base not in ("self", "cls",
+                                                         "world"):
+                        yield ctx.finding(
+                            self, node,
+                            f"reaches into another entity's RNG stream "
+                            f"({base}.{node.attr})")
+
+    def _handoff(self, ctx: ModuleContext,
+                 call: ast.Call) -> Iterator[Finding]:
+        func = call.func
+        callee = (func.id if isinstance(func, ast.Name)
+                  else func.attr if isinstance(func, ast.Attribute)
+                  else None)
+        if callee is None or not callee[:1].isupper():
+            return      # constructor heuristic: CamelCase callee
+        values = list(call.args) + [kw.value for kw in call.keywords]
+        for value in values:
+            if (isinstance(value, ast.Attribute)
+                    and value.attr in ("rng", "_rng")
+                    and terminal_base(value.value) == "self"):
+                yield ctx.finding(
+                    self, value,
+                    f"hands this entity's own stream (self.{value.attr}) "
+                    f"to {callee}; two entities would share one draw "
+                    "sequence")
+
+    @staticmethod
+    def _owner_of(ctx: ModuleContext, node: ast.AST) -> str:
+        current = ctx.parents.get(id(node))
+        function: Optional[str] = None
+        while current is not None:
+            if isinstance(current, ast.ClassDef):
+                return current.name
+            if (function is None
+                    and isinstance(current, (ast.FunctionDef,
+                                             ast.AsyncFunctionDef))):
+                function = current.name
+            current = ctx.parents.get(id(current))
+        return function or "<module>"
+
+
+class ApiContractRule(Rule):
+    """RL301 — collusion/honeypot code writing to the platform directly."""
+
+    rule_id = "RL301"
+    severity = Severity.ERROR
+    description = "direct platform mutation bypassing the Graph API"
+    hint = ("platform writes from abusive-party code must go through "
+            "graphapi/api.py so scope checks, rate limits and request "
+            "logging apply (that instrumentation is what §5-§6 measure)")
+
+    def run(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.path.startswith(ABUSE_PREFIXES):
+            return
+        for call in platform_mutation_calls(ctx.tree):
+            yield ctx.finding(
+                self, call,
+                f"direct platform write .{call.func.attr}() bypasses "
+                "the Graph API choke point")
+
+
+class IndirectMutationRule(ProjectRule):
+    """RL302 — platform writes laundered through an outside helper."""
+
+    rule_id = "RL302"
+    severity = Severity.WARNING
+    description = "platform mutation reached through a helper"
+    hint = ("the called helper writes to the platform directly; route "
+            "the write through graphapi/api.py or move the helper "
+            "behind it")
+
+    def run_project(self, graph) -> Iterator[Finding]:
+        for path in sorted(graph.by_path):
+            if not path.startswith(ABUSE_PREFIXES):
+                continue
+            info = graph.by_path[path]
+            for local in sorted(info.functions):
+                fn = info.functions[local]
+                for node in ast.walk(fn.node):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    callee = graph.resolve_call(info, fn, node)
+                    if callee is None:
+                        continue
+                    if callee.path.startswith(_SANCTIONED_PREFIXES):
+                        continue
+                    summary = graph.summaries.get(callee.qname)
+                    if summary is None or not summary.mutates_platform:
+                        continue
+                    writes = ", ".join(sorted(summary.mutates_platform))
+                    yield info.ctx.finding(
+                        self, node,
+                        f"calls {callee.qname}() which writes to the "
+                        f"platform directly ({writes})")

@@ -3,6 +3,14 @@
 Paths are normalised to posix relative to the scan root's *parent*
 (``src/repro`` scans as ``repro/...``), which keeps allowlists and
 baseline fingerprints stable across checkouts and installs.
+
+Since v2 the engine is project-aware: every module that parses is
+indexed into a :class:`~repro.lint.graph.ProjectGraph` (symbol table,
+import/call graph, one-level function summaries) before any rule runs,
+so per-module rules can consult cross-module facts and
+:class:`~repro.lint.rules.ProjectRule` subclasses run once over the
+whole graph.  Files that fail to parse (or read) become ``RL000``
+findings instead of aborting the run.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ from repro.lint.findings import Finding, Severity
 from repro.lint.rules import (
     DEFAULT_ALLOWLIST,
     ModuleContext,
+    ProjectRule,
     Rule,
     default_rules,
 )
@@ -27,9 +36,11 @@ _PRAGMA = re.compile(
     r"#\s*reprolint:\s*disable(?P<scope>-file)?\s*=\s*"
     r"(?P<rules>all|RL\d+(?:\s*,\s*RL\d+)*)", re.IGNORECASE)
 
+#: (line -> disabled rule ids, file-wide disabled ids)
+Pragmas = Tuple[Dict[int, Set[str]], Set[str]]
 
-def _parse_pragmas(lines: Sequence[str]) -> Tuple[Dict[int, Set[str]],
-                                                  Set[str]]:
+
+def parse_pragmas(lines: Sequence[str]) -> Pragmas:
     """Return (line -> disabled rule ids, file-wide disabled ids).
 
     ``all`` disables every rule; trailing justification text after the
@@ -50,6 +61,10 @@ def _parse_pragmas(lines: Sequence[str]) -> Tuple[Dict[int, Set[str]],
     return per_line, per_file
 
 
+#: Backwards-compatible alias (pre-v2 private name).
+_parse_pragmas = parse_pragmas
+
+
 def _suppressed(rule_id: str, line: int,
                 per_line: Dict[int, Set[str]],
                 per_file: Set[str]) -> bool:
@@ -61,6 +76,15 @@ def _suppressed(rule_id: str, line: int,
     return rules is not None and hit(rules)
 
 
+def _parse_error_finding(path: str, error: SyntaxError) -> Finding:
+    return Finding(path=path, line=error.lineno or 1,
+                   col=(error.offset or 0) + 1, rule="RL000",
+                   severity=Severity.ERROR,
+                   message=f"syntax error: {error.msg}",
+                   hint="fix the parse error; unparsable files are "
+                        "invisible to every other rule")
+
+
 @dataclass
 class LintReport:
     """Outcome of one engine run."""
@@ -68,6 +92,10 @@ class LintReport:
     findings: List[Finding] = field(default_factory=list)
     stale_baseline: List[Tuple[str, str, str]] = field(default_factory=list)
     files_scanned: int = 0
+    #: fingerprint -> how many current findings it absorbed (the live
+    #: subset of the baseline; --prune-baseline rewrites from this)
+    baseline_matched: Dict[Tuple[str, str, str], int] = field(
+        default_factory=dict)
 
     # ------------------------------------------------------------------
     def failing(self, fail_on: Severity) -> List[Finding]:
@@ -116,6 +144,11 @@ class LintReport:
         }
         return json.dumps(payload, indent=2, sort_keys=True)
 
+    def render_sarif(self) -> str:
+        from repro.lint.sarif import render_sarif
+
+        return render_sarif(self)
+
 
 class LintEngine:
     """Run a rule set over files/trees, applying pragmas + baseline."""
@@ -132,29 +165,59 @@ class LintEngine:
         return any(path.startswith(prefix)
                    for prefix in self.allowlist.get(rule_id, ()))
 
+    # ------------------------------------------------------------------
+    # Core: contexts -> findings
+    # ------------------------------------------------------------------
+    def _run_contexts(self, contexts: Sequence[ModuleContext],
+                      pragma_map: Dict[str, Pragmas]) -> List[Finding]:
+        """Build the project graph, run every rule, filter and sort."""
+        from repro.lint.graph import ProjectGraph
+
+        graph = ProjectGraph.build(contexts)
+        raw: List[Finding] = []
+        module_rules = [rule for rule in self.rules
+                        if not isinstance(rule, ProjectRule)]
+        project_rules = [rule for rule in self.rules
+                         if isinstance(rule, ProjectRule)]
+        for ctx in contexts:
+            for rule in module_rules:
+                raw.extend(rule.run(ctx))
+        for rule in project_rules:
+            raw.extend(rule.run_project(graph))
+        kept: List[Finding] = []
+        for finding in raw:
+            if self._allowlisted(finding.rule, finding.path):
+                continue
+            pragmas = pragma_map.get(finding.path)
+            if pragmas is not None and _suppressed(
+                    finding.rule, finding.line, *pragmas):
+                continue
+            kept.append(finding)
+        kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return kept
+
     def lint_module(self, path: str, source: str) -> List[Finding]:
         """All findings for one module (pragmas applied, no baseline)."""
         try:
             ctx = ModuleContext.build(path, source)
         except SyntaxError as error:
-            return [Finding(path=path, line=error.lineno or 1,
-                            col=(error.offset or 0) + 1, rule="RL000",
-                            severity=Severity.ERROR,
-                            message=f"syntax error: {error.msg}")]
-        per_line, per_file = _parse_pragmas(ctx.lines)
-        findings: List[Finding] = []
-        for rule in self.rules:
-            if self._allowlisted(rule.rule_id, path):
-                continue
-            for finding in rule.run(ctx):
-                if _suppressed(finding.rule, finding.line, per_line,
-                               per_file):
-                    continue
-                findings.append(finding)
-        findings.sort(key=lambda f: (f.line, f.col, f.rule))
-        return findings
+            return [_parse_error_finding(path, error)]
+        pragmas = parse_pragmas(ctx.lines)
+        return self._run_contexts([ctx], {path: pragmas})
 
     # ------------------------------------------------------------------
+    # File collection
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _display_path(source: Path) -> str:
+        """Normalised path for a single-file target: anchored at the
+        last ``repro`` component when present (matches tree scans)."""
+        parts = source.as_posix().split("/")
+        if "repro" in parts:
+            index = len(parts) - 1 - parts[::-1].index("repro")
+            return "/".join(parts[index:])
+        return source.name
+
     def _collect_files(self, targets: Iterable[Path]
                        ) -> List[Tuple[str, Path]]:
         collected: List[Tuple[str, Path]] = []
@@ -167,23 +230,54 @@ class LintEngine:
                     rel = source.relative_to(target).as_posix()
                     collected.append((f"{target.name}/{rel}", source))
             else:
-                collected.append((target.name, target))
+                collected.append((self._display_path(target), target))
         return collected
 
+    # ------------------------------------------------------------------
+    # Runs
+    # ------------------------------------------------------------------
     def run(self, targets: Iterable[Path],
             baseline: Optional[Baseline] = None) -> LintReport:
+        return self.run_files(self._collect_files(targets), baseline)
+
+    def run_files(self, pairs: Sequence[Tuple[str, Path]],
+                  baseline: Optional[Baseline] = None) -> LintReport:
+        """Lint explicit (display path, file) pairs as one project."""
+        from repro.lint.graph import cached_parse
+
         report = LintReport()
         baseline = baseline if baseline is not None else Baseline()
         budget = baseline.budget()
-        for path, source_path in self._collect_files(targets):
+        contexts: List[ModuleContext] = []
+        pragma_map: Dict[str, Pragmas] = {}
+        findings: List[Finding] = []
+        for path, source_path in pairs:
             report.files_scanned += 1
-            source = source_path.read_text(encoding="utf-8")
-            for finding in self.lint_module(path, source):
-                key = finding.fingerprint()
-                if budget.get(key, 0) > 0:
-                    budget[key] -= 1
-                    finding = finding.as_baselined()
-                report.findings.append(finding)
+            try:
+                source = source_path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError) as error:
+                findings.append(Finding(
+                    path=path, line=1, col=1, rule="RL000",
+                    severity=Severity.ERROR,
+                    message=f"unreadable file: {error}"))
+                continue
+            try:
+                ctx, pragmas = cached_parse(path, source_path, source)
+            except SyntaxError as error:
+                findings.append(_parse_error_finding(path, error))
+                continue
+            contexts.append(ctx)
+            pragma_map[path] = pragmas
+        findings.extend(self._run_contexts(contexts, pragma_map))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        for finding in findings:
+            key = finding.fingerprint()
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                finding = finding.as_baselined()
+                report.baseline_matched[key] = (
+                    report.baseline_matched.get(key, 0) + 1)
+            report.findings.append(finding)
         report.stale_baseline = sorted(
             key for key, remaining in budget.items() if remaining > 0)
         return report

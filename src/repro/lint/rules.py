@@ -23,6 +23,10 @@ from repro.lint.findings import Finding, Severity
 DEFAULT_ALLOWLIST: Dict[str, Tuple[str, ...]] = {
     "RL001": ("repro/perf/", "repro/experiments/runner.py"),
     "RL004": ("repro/perf/",),
+    # The sim package owns the RNG fan-out and the clock representation:
+    # constructing streams and bucketing raw ticks is its job.
+    "RL201": ("repro/sim/",),
+    "RL203": ("repro/sim/",),
 }
 
 
@@ -36,6 +40,10 @@ class ModuleContext:
     aliases: Dict[str, str] = field(default_factory=dict)
     parents: Dict[int, ast.AST] = field(default_factory=dict)
     module_names: frozenset = frozenset()   # module-level defs/assigns
+    #: Back-reference to the ProjectGraph, set once per engine run so
+    #: per-module rules can consult cross-module facts (summaries,
+    #: exception hierarchy).  None when linting a module in isolation.
+    project: Optional[object] = None
 
     @classmethod
     def build(cls, path: str, source: str) -> "ModuleContext":
@@ -112,6 +120,21 @@ class Rule:
     hint: str = ""
 
     def run(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole project graph at once.
+
+    The engine calls :meth:`run_project` exactly once per run, after
+    every module has been parsed and the graph linked; ``run`` is never
+    invoked for these rules.
+    """
+
+    def run(self, ctx: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def run_project(self, graph) -> Iterator[Finding]:
         raise NotImplementedError
 
 
@@ -410,5 +433,18 @@ class ExceptionRule(Rule):
 
 
 def default_rules() -> List[Rule]:
+    # Imported here, not at module top: taint/contracts import this
+    # module for ModuleContext/Rule, so a top-level import would cycle.
+    from repro.lint.contracts import (
+        ApiContractRule,
+        IndirectMutationRule,
+        ModuleScopeRngRule,
+        StreamSharingRule,
+    )
+    from repro.lint.taint import SimClockArithmeticRule, TokenTaintRule
+
     return [WallClockRule(), GlobalRandomRule(), OrderingRule(),
-            EntropyRule(), ExceptionRule()]
+            EntropyRule(), ExceptionRule(),
+            TokenTaintRule(), ModuleScopeRngRule(), StreamSharingRule(),
+            SimClockArithmeticRule(), ApiContractRule(),
+            IndirectMutationRule()]

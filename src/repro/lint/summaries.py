@@ -1,0 +1,115 @@
+"""One-level function summaries for the project graph.
+
+For every function in the tree we record three facts the cross-module
+rules need:
+
+* ``param_sink_flows`` — parameters whose value reaches a token sink
+  (log / exception / persist) inside the body.  A *caller* passing a
+  tainted value into such a parameter is flagged at the call site
+  (RL10x "through a called helper").  Parameters whose very name marks
+  them as token-bearing (``access_token`` …) are excluded — those
+  bodies are flagged directly at the definition site.
+* ``taint_through`` — parameters whose taint survives into the return
+  value, so ``digest = fmt(token)`` keeps ``digest`` tainted.
+* ``mutates_platform`` — platform mutation methods the body invokes
+  directly (``*.platform.create_post(...)``), which RL302 uses to flag
+  collusion/honeypot code that launders a platform write through a
+  helper outside the Graph API.
+
+Summaries are strictly intraprocedural (one level): they are computed
+with an empty summary table, so a helper-of-a-helper does not
+propagate.  That trade keeps the analysis deterministic, order
+independent and surprise free.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Set
+
+from repro.lint.taint import (
+    TOKEN_PARAM_NAMES,
+    TaintWalker,
+    TokenTaintSpec,
+    attr_chain,
+)
+
+#: State-changing methods on the simulated platform.  Reads (feeds,
+#: friend lists, page fan-out) are free; writes must flow through the
+#: Graph API so scope checks, rate limits and request logging apply.
+PLATFORM_MUTATIONS = frozenset({
+    "register_account", "suspend_account", "reinstate_account",
+    "create_page", "create_post", "like_post", "remove_like",
+    "like_page", "comment_on_post", "befriend",
+})
+
+
+def platform_mutation_calls(node: ast.AST) -> Iterator[ast.Call]:
+    """Call sites under ``node`` that write to the platform directly.
+
+    Matches ``<anything>.platform.<mutation>(...)`` and
+    ``<anything>._platform.<mutation>(...)`` — the attribute chain must
+    actually pass through a ``platform`` segment, so ``api.create_post``
+    (the sanctioned route) never matches.
+    """
+    for child in ast.walk(node):
+        if not isinstance(child, ast.Call):
+            continue
+        func = child.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        if func.attr not in PLATFORM_MUTATIONS:
+            continue
+        chain = attr_chain(func.value)
+        if any(part in ("platform", "_platform") for part in chain):
+            yield child
+
+
+@dataclass
+class FunctionSummary:
+    """What one function does with its parameters."""
+
+    qname: str
+    params: List[str]
+    #: param name -> sink kinds ("log" | "exception" | "persist")
+    param_sink_flows: Dict[str, Set[str]] = field(default_factory=dict)
+    #: params whose taint reaches the return value
+    taint_through: Set[str] = field(default_factory=set)
+    #: platform mutation methods invoked directly in the body
+    mutates_platform: Set[str] = field(default_factory=set)
+
+
+def build_summaries(graph) -> None:
+    """Populate ``graph.summaries`` for every indexed function.
+
+    Runs with an empty summary table (see module docstring), then
+    installs the finished table atomically.
+    """
+    table: Dict[str, FunctionSummary] = {}
+    for qname, fn in graph.functions.items():
+        info = graph.by_path.get(fn.path)
+        if info is None:
+            continue
+        ctx = info.ctx
+        params = fn.params
+        summary = FunctionSummary(qname=qname, params=list(params))
+        spec = TokenTaintSpec()
+        initial = {param: {param} for param in params}
+        walker = TaintWalker(ctx, spec, initial)
+        walker._function = fn
+        walker.walk(fn.node.body)
+        for _node, kind, origins in walker.sink_hits:
+            base_kind = kind.split(":", 1)[0]
+            for origin in origins:
+                if origin in params and origin not in TOKEN_PARAM_NAMES:
+                    summary.param_sink_flows.setdefault(
+                        origin, set()).add(base_kind)
+        summary.taint_through = {
+            origin for origin in walker.return_origins if origin in params
+        }
+        summary.mutates_platform = {
+            call.func.attr for call in platform_mutation_calls(fn.node)
+        }
+        table[qname] = summary
+    graph.summaries = table

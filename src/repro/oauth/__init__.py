@@ -16,6 +16,7 @@ from repro.oauth.tokens import (
     LONG_TERM_LIFETIME,
 )
 from repro.oauth.apps import Application, ApplicationRegistry, AppSecuritySettings
+from repro.oauth.redact import redact_token
 from repro.oauth.server import (
     AuthorizationServer,
     AuthorizationRequest,
@@ -58,4 +59,5 @@ __all__ = [
     "InvalidTokenError",
     "InvalidAuthorizationCodeError",
     "InvalidAppSecretError",
+    "redact_token",
 ]

@@ -1,0 +1,11 @@
+"""Fixture: RL101 clean twin — the redactor clears the taint."""
+
+import logging
+
+from repro.oauth.redact import redact_token
+
+log = logging.getLogger("graphapi")
+
+
+def record_grant(access_token, user_id):
+    log.info("issued %s to %s", redact_token(access_token), user_id)

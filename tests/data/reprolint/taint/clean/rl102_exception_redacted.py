@@ -1,0 +1,10 @@
+"""Fixture: RL102 clean twin — redacted reference in the message."""
+
+from repro.oauth.redact import redact_token
+
+
+def validate_or_raise(token_string, live):
+    ref = redact_token(token_string)
+    if token_string not in live:
+        raise ValueError(f"unknown token {ref}")
+    return live[token_string]

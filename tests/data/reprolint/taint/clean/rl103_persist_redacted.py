@@ -1,0 +1,10 @@
+"""Fixture: RL103 clean twin — only redacted digests are persisted."""
+
+import json
+
+from repro.oauth.redact import redact_token
+
+
+def export_tokens(out_path, token_db):
+    rows = [redact_token(token_db[user]) for user in sorted(token_db)]
+    out_path.write_text(json.dumps(rows))

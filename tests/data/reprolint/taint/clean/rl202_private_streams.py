@@ -1,0 +1,11 @@
+"""Fixture: RL202 clean twin — each entity owns a distinct stream."""
+
+
+class Milker:
+    def __init__(self, world):
+        self.rng = world.rng.stream("milking")
+
+
+class Crawler:
+    def __init__(self, world):
+        self.rng = world.rng.stream("crawling")

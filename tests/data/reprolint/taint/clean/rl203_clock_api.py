@@ -1,0 +1,10 @@
+"""Fixture: RL203 clean twin — the clock API buckets; durations are
+plain arithmetic and stay legal."""
+
+
+def day_bucket(clock):
+    return clock.day()
+
+
+def elapsed(clock, started_at):
+    return clock.now() - started_at

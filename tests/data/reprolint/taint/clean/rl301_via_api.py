@@ -1,0 +1,7 @@
+"""Fixture: RL301 clean twin — reads are free; writes ride the API."""
+
+
+def deliver_like(world, request):
+    feed = world.platform.get_post(request.post_id)
+    if feed is not None:
+        world.api.execute(request)

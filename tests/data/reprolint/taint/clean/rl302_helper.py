@@ -1,0 +1,5 @@
+"""Fixture: RL302 clean support module — the helper rides the API."""
+
+
+def seed_profile(api, account_id):
+    api.create_post(account_id, "seeded wall post")

@@ -1,0 +1,7 @@
+"""Fixture: RL302 clean twin — the called helper has no direct write."""
+
+from repro.support.seeding import seed_profile
+
+
+def boost_member(world, member_id):
+    seed_profile(world.api, member_id)

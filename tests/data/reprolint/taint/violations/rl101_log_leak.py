@@ -1,0 +1,9 @@
+"""Fixture: RL101 — a token value reaches a logging sink."""
+
+import logging
+
+log = logging.getLogger("graphapi")
+
+
+def record_grant(access_token, user_id):
+    log.info("issued %s to %s", access_token, user_id)

@@ -1,0 +1,8 @@
+"""Fixture: RL102 — a token value reaches an exception message."""
+
+
+def validate_or_raise(token_string, live):
+    suffix = token_string[-6:]
+    if token_string not in live:
+        raise ValueError(f"unknown token {suffix}")
+    return live[token_string]

@@ -1,0 +1,8 @@
+"""Fixture: RL103 — token values persisted to an artifact."""
+
+import json
+
+
+def export_tokens(out_path, token_db):
+    rows = [token_db[user] for user in sorted(token_db)]
+    out_path.write_text(json.dumps(rows))

@@ -1,0 +1,11 @@
+"""Fixture: RL202 — two entities request the same stream name."""
+
+
+class Milker:
+    def __init__(self, world):
+        self.rng = world.rng.stream("pacing")
+
+
+class Crawler:
+    def __init__(self, world):
+        self.rng = world.rng.stream("pacing")

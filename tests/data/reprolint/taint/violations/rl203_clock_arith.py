@@ -1,0 +1,8 @@
+"""Fixture: RL203 — raw bucket arithmetic on a clock reading."""
+
+DAY = 86_400
+
+
+def day_bucket(clock):
+    now = clock.now()
+    return now // DAY

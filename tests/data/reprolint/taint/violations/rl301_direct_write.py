@@ -1,0 +1,5 @@
+"""Fixture: RL301 — collusion code writing to the platform directly."""
+
+
+def deliver_like(world, member_id, post_id):
+    world.platform.like_post(member_id, post_id)

@@ -1,0 +1,5 @@
+"""Fixture: RL302 support module — a helper that writes directly."""
+
+
+def seed_profile(platform, account_id):
+    platform.create_post(account_id, "seeded wall post")

@@ -1,0 +1,7 @@
+"""Fixture: RL302 — collusion code laundering a write through a helper."""
+
+from repro.support.seeding import seed_profile
+
+
+def boost_member(world, member_id):
+    seed_profile(world.platform, member_id)
