@@ -32,7 +32,6 @@ from repro.collusion.monetization import (
 from repro.collusion.profiles import CollusionNetworkProfile, calibrate_pool_size
 from repro.faults.retry import RetryPolicy
 from repro.graphapi.errors import GraphApiError, TransientApiError
-from repro.graphapi.request import ApiAction, ApiRequest
 from repro.netsim.pools import IpPool
 from repro.oauth.errors import InvalidTokenError, OAuthError
 from repro.oauth.server import AuthorizationRequest
@@ -538,21 +537,26 @@ class CollusionNetwork:
         report = DeliveryReport(requested=quota, delivered=0, attempts=0)
         used: Set[str] = set(exclude)
         budget = max(1, int(quota * self.profile.retry_factor))
-        batch_enabled = self._batching_active()
+        if self._batching_active():
+            self._deliver_likes_wave(post_id, quota, budget, used, report)
+        else:
+            self._deliver_likes_scalar(post_id, quota, budget, used, report)
+        self.total_likes_delivered += report.delivered
+        return report
+
+    def _deliver_likes_scalar(self, post_id: str, quota: int, budget: int,
+                              used: Set[str],
+                              report: DeliveryReport) -> None:
+        """The per-request delivery loop: one :meth:`GraphApi.try_like_post`
+        round-trip per sampled member.
+
+        This is the wave path's verification oracle — a wave run must
+        produce this loop's exact RNG stream, log rows and report (see
+        tests/test_batch_equivalence.py) — and the live path whenever
+        batching is disabled or degraded for the day."""
         while (report.delivered < quota and report.attempts < budget
                and not report.halted):
-            if batch_enabled and self._batch_cooldown <= 0:
-                room = min(quota - report.delivered,
-                           budget - report.attempts)
-                if room >= self._BATCH_MIN:
-                    done = self._deliver_chunk(
-                        post_id, min(room, self._BATCH_CHUNK), used, report)
-                    if done is not None:
-                        if done:
-                            break
-                        continue
-                    self._batch_failed()
-            elif self._batch_cooldown > 0:
+            if self._batch_cooldown > 0:
                 self._batch_cooldown -= 1
             report.attempts += 1
             member = self._sample_member(used)
@@ -562,70 +566,149 @@ class CollusionNetwork:
                 continue
             used.add(member)
             report.delivered += 1
-        self.total_likes_delivered += report.delivered
-        return report
 
-    def _deliver_chunk(self, post_id: str, goal: int, used: Set[str],
-                       report: DeliveryReport) -> Optional[bool]:
-        """Try to deliver ``goal`` likes as one all-or-nothing batch.
+    def _deliver_likes_wave(self, post_id: str, quota: int, budget: int,
+                            used: Set[str], report: DeliveryReport) -> None:
+        """Planned-wave delivery: the whole round in bulk admission.
 
-        Samples (member, IP) pairs consuming the exact RNG stream of the
-        scalar loop's all-success trajectory, then submits them as one
-        :meth:`GraphApi.execute_batch`.  If the batch predicts any
-        failure (a dead token, a limit, a duplicate like), the RNG and
-        hot-set state are rolled back and ``None`` is returned so the
-        scalar loop replays the identical stream with the usual
-        per-request bookkeeping.  Otherwise ``report``/``used`` are
-        updated and the return says whether delivery must stop (member
-        pool exhausted or no usable IPs).
+        Fault-free there is exactly one wave — every entry flows through
+        one :class:`~repro.graphapi.api.DeliveryWave` with memoized
+        token/limiter state, and the log rows and window hits land in
+        one flush.  Under an active fault plan the round is paced in
+        chunk-sized segments: each segment rolls the plan's chunk rules
+        (on the dedicated chunk stream) before it opens, a firing rule
+        trips the usual circuit breaker — cooldown with exponential
+        backoff, served through the scalar oracle so the per-entry
+        stream stays byte-identical — and a backoff streak degrades the
+        network to scalar delivery for the rest of the day."""
+        inj = self.world.faults
+        api = self.world.api
+        if inj is None:
+            wave = api.delivery_wave(post_id)
+            try:
+                self._wave_like_run(wave, -1, quota, budget, used, report)
+            finally:
+                wave.finish()
+            return
+        while (report.delivered < quota and report.attempts < budget
+               and not report.halted):
+            if self._batch_degraded_day == self.world.clock.day():
+                self._deliver_likes_scalar(post_id, quota, budget, used,
+                                           report)
+                return
+            if self._batch_cooldown > 0:
+                if self._cooldown_like_stretch(post_id, quota, budget,
+                                               used, report):
+                    return
+                continue
+            room = min(quota - report.delivered, budget - report.attempts)
+            if room < self._BATCH_MIN:
+                # Tails below the chunk floor always ran scalar.
+                self._deliver_likes_scalar(post_id, quota, budget, used,
+                                           report)
+                return
+            if inj.decide_chunk(min(room, self._BATCH_CHUNK)):
+                self._batch_failed()
+                continue
+            wave = api.delivery_wave(post_id)
+            try:
+                stalled = self._wave_like_run(
+                    wave, min(room, self._BATCH_CHUNK), quota, budget,
+                    used, report)
+            finally:
+                wave.finish()
+            self._batch_backoff = self._BATCH_CHUNK
+            self._batch_fail_streak = 0
+            if stalled:
+                return
+
+    def _cooldown_like_stretch(self, post_id: str, quota: int, budget: int,
+                               used: Set[str],
+                               report: DeliveryReport) -> bool:
+        """Serve the circuit-breaker backoff through the scalar oracle.
+
+        One cooldown tick per request, exactly like the scalar loop;
+        returns True when the member pool ran dry (delivery must stop).
+        The caller opens a fresh wave afterwards — the interlude mutates
+        the live limiter deques, so any prior wave's memoized capacities
+        are stale by construction (waves are finished before this runs).
         """
-        rng = self.rng
-        state = rng.getstate()
-        hot_checkpoint = self._hot_members
-        token_db = self.token_db
-        sample_member = self._sample_member
-        pick_ip = self._pick_ip
-        local_used = set(used)
-        requests: List[ApiRequest] = []
-        members: List[str] = []
-        attempts = 0
-        blocked = 0
-        exhausted = False
-        halted = False
-        while len(requests) < goal:
-            attempts += 1
-            member = sample_member(local_used)
+        while (self._batch_cooldown > 0 and report.delivered < quota
+               and report.attempts < budget and not report.halted):
+            self._batch_cooldown -= 1
+            report.attempts += 1
+            member = self._sample_member(used)
             if member is None:
-                exhausted = True
-                break
-            token = token_db.get(member)
+                return True
+            if self._perform_like(member, post_id, report):
+                used.add(member)
+                report.delivered += 1
+        return False
+
+    def _wave_like_run(self, wave, seg: int, quota: int, budget: int,
+                       used: Set[str], report: DeliveryReport) -> bool:
+        """Run up to ``seg`` delivery entries through ``wave``
+        (``seg < 0`` = unbounded).  Per-entry RNG draws, verdict
+        handling and report bookkeeping mirror
+        :meth:`_deliver_likes_scalar` + :meth:`_perform_like` exactly.
+        Returns True when the member pool ran dry."""
+        sample_member = self._sample_member
+        token_get = self.token_db.get
+        pick_ip = self._pick_ip
+        wave_like = wave.like
+        retry_policy = self.retry_policy
+        counters = retry_policy.counters
+        now = self.world.clock._now
+        while (report.delivered < quota and report.attempts < budget
+               and not report.halted):
+            if seg == 0:
+                return False
+            seg -= 1
+            report.attempts += 1
+            member = sample_member(used)
+            if member is None:
+                return True
+            token = token_get(member)
             if token is None:
-                rng.setstate(state)
-                self._hot_members = hot_checkpoint
-                return None
+                continue
             ip = pick_ip()
             if ip is None:
-                # Matches _perform_like's no-usable-IP bookkeeping.
-                blocked += 1
-                halted = True
-                break
-            local_used.add(member)
-            members.append(member)
-            requests.append(ApiRequest(
-                ApiAction.LIKE_POST, token, {"post_id": post_id},
-                source_ip=ip))
-        if requests and self.world.api.execute_batch(requests) is None:
-            rng.setstate(state)
-            self._hot_members = hot_checkpoint
-            return None
-        self._batch_backoff = self._BATCH_CHUNK
-        self._batch_fail_streak = 0
-        used.update(members)
-        report.attempts += attempts
-        report.delivered += len(requests)
-        report.blocked += blocked
-        report.halted = report.halted or halted
-        return exhausted or halted
+                report.blocked += 1
+                report.halted = True
+                return False
+            code = wave_like(token, ip)
+            if code in _TRANSIENT_CODES:
+                before = counters["retries"]
+                code = retry_policy.retry(
+                    "like_post", member, now,
+                    lambda: wave_like(token, ip), code)
+                report.retries += counters["retries"] - before
+            if code is not None:
+                if code == "invalid_token":
+                    self._drop_member(member)
+                    report.dead_tokens_dropped += 1
+                elif code == "token_limit":
+                    self._rate_errors_today += 1
+                    report.rate_limited += 1
+                elif code == "ip_limit":
+                    self._exhausted_ips.add(ip)
+                    self._invalidate_ip_cache()
+                    report.ip_limited += 1
+                elif code == "blocked":
+                    asn = self.world.as_registry.asn_of(ip)
+                    if asn is not None:
+                        self._blocked_asns.add(asn)
+                        self._invalidate_ip_cache()
+                    report.blocked += 1
+                elif code in _TRANSIENT_CODES:
+                    report.transient_failures += 1
+                else:
+                    report.other_failures += 1
+                continue
+            self._note_use(member)
+            used.add(member)
+            report.delivered += 1
+        return False
 
     def _perform_like(self, member: str, post_id: str,
                       report: DeliveryReport) -> bool:
@@ -944,117 +1027,158 @@ class CollusionNetwork:
     def serve_background_requests(self, count: int) -> int:
         """Serve ``count`` anonymous member like-requests; returns the
         number of like charges that succeeded."""
+        if count <= 0:
+            return 0
         total = 0
+        if not self._batching_active():
+            for _ in range(count):
+                total += self._serve_one_background_scalar()
+            return total
+        if self.world.faults is None:
+            # One charge wave spans the whole serving event: every
+            # request in it shares this clock instant, so token lookups
+            # and window capacities memoize across requests and the
+            # limiter hits land in a single flush.
+            wave = self.world.api.delivery_wave()
+            try:
+                for _ in range(count):
+                    total += self._serve_one_background_wave(wave)
+            finally:
+                wave.finish()
+            return total
         for _ in range(count):
-            total += self._serve_one_background_request()
+            total += self._serve_one_background_faulty()
         return total
 
-    def _serve_one_background_request(self) -> int:
+    def _background_entry(self, charge, used: Set[str]) -> Optional[int]:
+        """One sampled charge attempt: 1 charged, 0 failed, ``None``
+        when the request must stop (member pool or IP pool ran dry).
+        ``charge(token, ip)`` is either the scalar
+        :meth:`GraphApi.try_charge_like` oracle or a wave's
+        :meth:`~repro.graphapi.api.DeliveryWave.charge` — both consume
+        identical RNG/fault draws and bookkeeping."""
+        member = self._sample_member(used)
+        if member is None:
+            return None
+        token = self.token_db.get(member)
+        if token is None:
+            return 0
+        ip = self._pick_ip()
+        if ip is None:
+            return None
+        code = charge(token, ip)
+        if code in _TRANSIENT_CODES:
+            code = self.retry_policy.retry(
+                "charge_like", member, self.world.clock._now,
+                lambda: charge(token, ip), code)
+        if code is not None:
+            if code == "invalid_token":
+                self._drop_member(member)
+            elif code == "token_limit":
+                self._rate_errors_today += 1
+            elif code == "ip_limit":
+                self._exhausted_ips.add(ip)
+                self._invalidate_ip_cache()
+            elif code == "blocked":
+                asn = self.world.as_registry.asn_of(ip)
+                if asn is not None:
+                    self._blocked_asns.add(asn)
+                    self._invalidate_ip_cache()
+            return 0
+        used.add(member)
+        return 1
+
+    def _serve_one_background_scalar(self) -> int:
+        """Scalar oracle for one background request (and the live path
+        while batching is disabled or degraded)."""
         quota = self.profile.likes_per_request
         budget = max(1, int(quota * self.profile.retry_factor))
         delivered = 0
         attempts = 0
         used: Set[str] = set()
-        sample_member = self._sample_member
-        token_get = self.token_db.get
-        pick_ip = self._pick_ip
-        try_charge_like = self.world.api.try_charge_like
-        # Only interventions between ticks flip this, never mid-request.
-        batch_enabled = self.batch_requests_enabled
+        api = self.world.api
+
+        def charge(token: str, ip: str) -> Optional[str]:
+            return api.try_charge_like(token, source_ip=ip)
+
         while delivered < quota and attempts < budget:
-            if batch_enabled and self._batch_cooldown <= 0:
-                room = min(quota - delivered, budget - attempts)
-                if room >= self._BATCH_MIN:
-                    got = self._background_chunk(
-                        min(room, self._BATCH_CHUNK), used)
-                    if got is not None:
-                        charged, spent, stop = got
-                        delivered += charged
-                        attempts += spent
-                        if stop:
-                            break
-                        continue
-                    self._batch_failed()
-            elif self._batch_cooldown > 0:
+            if self._batch_cooldown > 0:
                 self._batch_cooldown -= 1
             attempts += 1
-            member = sample_member(used)
-            if member is None:
+            got = self._background_entry(charge, used)
+            if got is None:
                 break
-            token = token_get(member)
-            if token is None:
-                continue
-            ip = pick_ip()
-            if ip is None:
-                break
-            code = try_charge_like(token, source_ip=ip)
-            if code in _TRANSIENT_CODES:
-                code = self.retry_policy.retry(
-                    "charge_like", member, self.world.clock._now,
-                    lambda: try_charge_like(token, source_ip=ip), code)
-            if code is not None:
-                if code == "invalid_token":
-                    self._drop_member(member)
-                elif code == "token_limit":
-                    self._rate_errors_today += 1
-                elif code == "ip_limit":
-                    self._exhausted_ips.add(ip)
-                    self._invalidate_ip_cache()
-                elif code == "blocked":
-                    asn = self.world.as_registry.asn_of(ip)
-                    if asn is not None:
-                        self._blocked_asns.add(asn)
-                        self._invalidate_ip_cache()
-                continue
-            used.add(member)
-            delivered += 1
+            delivered += got
         return delivered
 
-    def _background_chunk(
-            self, goal: int,
-            used: Set[str]) -> Optional[Tuple[int, int, bool]]:
-        """Charge-only analogue of :meth:`_deliver_chunk`.
-
-        Returns ``None`` after rolling back (go scalar), else
-        ``(charged, attempts_spent, must_stop)`` with ``used`` updated.
-        """
-        rng = self.rng
-        state = rng.getstate()
-        hot_checkpoint = self._hot_members
-        token_db = self.token_db
-        sample_member = self._sample_member
-        pick_ip = self._pick_ip
-        local_used = set(used)
-        members: List[str] = []
-        entries: List[Tuple[str, str]] = []
+    def _serve_one_background_wave(self, wave) -> int:
+        """One background request through an open (fault-free) wave."""
+        quota = self.profile.likes_per_request
+        budget = max(1, int(quota * self.profile.retry_factor))
+        delivered = 0
         attempts = 0
-        stop = False
-        while len(entries) < goal:
+        used: Set[str] = set()
+        charge = wave.charge
+        while delivered < quota and attempts < budget:
             attempts += 1
-            member = sample_member(local_used)
-            if member is None:
-                stop = True
+            got = self._background_entry(charge, used)
+            if got is None:
                 break
-            token = token_db.get(member)
-            if token is None:
-                rng.setstate(state)
-                self._hot_members = hot_checkpoint
-                return None
-            ip = pick_ip()
-            if ip is None:
-                stop = True
+            delivered += got
+        return delivered
+
+    def _serve_one_background_faulty(self) -> int:
+        """One background request under an active fault plan: waves are
+        paced in chunk-sized segments with the same chunk-rule probes,
+        circuit breaker and scalar-oracle cooldown stretches as
+        :meth:`_deliver_likes_wave`."""
+        inj = self.world.faults
+        api = self.world.api
+        quota = self.profile.likes_per_request
+        budget = max(1, int(quota * self.profile.retry_factor))
+        delivered = 0
+        attempts = 0
+        used: Set[str] = set()
+
+        def scalar_charge(token: str, ip: str) -> Optional[str]:
+            return api.try_charge_like(token, source_ip=ip)
+
+        while delivered < quota and attempts < budget:
+            room = min(quota - delivered, budget - attempts)
+            if (self._batch_degraded_day == self.world.clock.day()
+                    or self._batch_cooldown > 0
+                    or room < self._BATCH_MIN):
+                if self._batch_cooldown > 0:
+                    self._batch_cooldown -= 1
+                attempts += 1
+                got = self._background_entry(scalar_charge, used)
+                if got is None:
+                    break
+                delivered += got
+                continue
+            seg = min(room, self._BATCH_CHUNK)
+            if inj.decide_chunk(seg):
+                self._batch_failed()
+                continue
+            wave = api.delivery_wave()
+            stop = False
+            try:
+                charge = wave.charge
+                while seg > 0 and delivered < quota and attempts < budget:
+                    seg -= 1
+                    attempts += 1
+                    got = self._background_entry(charge, used)
+                    if got is None:
+                        stop = True
+                        break
+                    delivered += got
+            finally:
+                wave.finish()
+            self._batch_backoff = self._BATCH_CHUNK
+            self._batch_fail_streak = 0
+            if stop:
                 break
-            local_used.add(member)
-            members.append(member)
-            entries.append((token, ip))
-        if entries and not self.world.api.charge_like_batch(entries):
-            rng.setstate(state)
-            self._hot_members = hot_checkpoint
-            return None
-        self._batch_backoff = self._BATCH_CHUNK
-        self._batch_fail_streak = 0
-        used.update(members)
-        return len(entries), attempts, stop
+        return delivered
 
     def _binomial(self, n: int, p: float) -> int:
         if n <= 0 or p <= 0:

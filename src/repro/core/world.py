@@ -68,7 +68,8 @@ class World:
         plan = self.config.fault_plan
         if plan:
             self.faults = FaultInjector(
-                plan, self.rng.stream("faults"), self.clock, self.tokens)
+                plan, self.rng.stream("faults"), self.clock, self.tokens,
+                chunk_rng=self.rng.stream("faults:chunk"))
             self.api.faults = self.faults
 
         # Third-party web services.

@@ -160,9 +160,15 @@ class FaultInjector:
     """
 
     def __init__(self, plan: FaultPlan, rng: random.Random,
-                 clock: SimClock, tokens=None) -> None:
+                 clock: SimClock, tokens=None,
+                 chunk_rng: Optional[random.Random] = None) -> None:
         self.plan = plan
         self.rng = rng
+        # Chunk decisions draw from their own stream so the scalar fault
+        # stream stays identical whether deliveries run as waves (which
+        # probe per segment) or through the scalar oracle (which never
+        # probes) — the wave/scalar equivalence contract depends on it.
+        self.chunk_rng = chunk_rng if chunk_rng is not None else rng
         self.clock = clock
         self.tokens = tokens
         self.counters: Dict[str, int] = {}
@@ -221,7 +227,7 @@ class FaultInjector:
         day = self.clock.day()
         if day != self._cached_day:
             self._refresh(day)
-        rng_random = self.rng.random
+        rng_random = self.chunk_rng.random
         for rule in self._chunk_rules:
             if rng_random() < rule.probability:
                 self._count("chunk")

@@ -332,6 +332,22 @@ class GraphApi:
         self.charge_counters["likes"] += len(entries)
         return True
 
+    # ------------------------------------------------------------------
+    # Wave admission (planned delivery waves; see collusion/network.py)
+    # ------------------------------------------------------------------
+    def delivery_wave(self, post_id: Optional[str] = None) -> "DeliveryWave":
+        """Open a :class:`DeliveryWave` at the current clock instant.
+
+        The wave extends :meth:`execute_batch` / :meth:`charge_like_batch`
+        from all-or-nothing chunks to whole planned delivery rounds:
+        per-entry verdicts with the exact semantics (and, fault-free,
+        the exact byte stream) of :meth:`try_like_post` /
+        :meth:`try_charge_like`, but with token validity, app/proof/
+        scope checks and rate-limit window capacities memoized per wave,
+        and rate-limit charges plus request-log rows applied in bulk
+        when the wave flushes."""
+        return DeliveryWave(self, post_id)
+
     def _resolve_asn(self, source_ip: Optional[str]) -> Optional[int]:
         if source_ip is None or self.as_registry is None:
             return None
@@ -700,3 +716,194 @@ class GraphApi:
     def get_app_stats(self, access_token: str, app_id: str) -> ApiResponse:
         return self.execute(ApiRequest(
             ApiAction.GET_APP_STATS, access_token, {"app_id": app_id}))
+
+
+class DeliveryWave:
+    """Bulk admission context for one planned delivery wave.
+
+    Every entry in a wave shares one clock instant, one application and
+    (for platform writes) one target post, so the per-request pipeline
+    of :meth:`GraphApi.try_like_post` / :meth:`GraphApi.try_charge_like`
+    collapses: token/app/scope state is memoized per wave (re-validated
+    per entry only while a fault plan is live, which is the only way a
+    token can die mid-wave), rate-limit windows become memoized
+    per-(key, wave-timestamp) capacity transitions via
+    :class:`~repro.graphapi.ratelimit.LikeWaveAdmitter`, and log rows /
+    limiter hits / charge counters land in bulk at :meth:`finish`.
+
+    The per-entry verdict codes, bookkeeping order and RNG/fault-stream
+    consumption are byte-identical to the scalar methods, which remain
+    the verification oracle (``batch_requests_enabled = False``).
+    Callers must :meth:`finish` the wave before anything else reads the
+    request log or touches the like limiters.
+    """
+
+    __slots__ = (
+        "api", "now", "post_id", "_inj", "_admitter", "_token_cache",
+        "_peek", "_apps_get", "_policy", "_resolve", "_like_post",
+        "_tokens", "_users", "_apps", "_ips", "_asns", "_outcomes",
+        "_charged", "_finished",
+    )
+
+    def __init__(self, api: GraphApi, post_id: Optional[str]) -> None:
+        self.api = api
+        self.now = api.clock._now
+        self.post_id = post_id
+        self._inj = api.faults
+        self._admitter = api.enforcer.like_wave(self.now)
+        self._token_cache = api._charge_token_cache
+        self._peek = api.tokens.peek
+        self._apps_get = api.apps.get
+        self._policy = api.policy
+        self._resolve = api._resolve_asn
+        self._like_post = api.platform.like_post
+        # Row buffers (parallel, in request order) for the like path.
+        self._tokens: List[str] = []
+        self._users: List[Optional[str]] = []
+        self._apps: List[Optional[str]] = []
+        self._ips: List[Optional[str]] = []
+        self._asns: List[Optional[int]] = []
+        self._outcomes: List[str] = []
+        self._charged = 0
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    def _lookup(self, access_token: str):
+        """Resolve (token, app, granted) via the shared charge cache;
+        ``None`` when the token is dead.  Mirrors the scalar cache
+        discipline exactly (validity bits re-checked per call)."""
+        cached = self._token_cache.get(access_token)
+        if cached is None:
+            token = self._peek(access_token)
+            if (token is None or token.invalidated
+                    or token.is_expired(self.now)):
+                return None
+            app = self._apps_get(token.app_id)
+            granted = token.grants(Permission.PUBLISH_ACTIONS)
+            self._token_cache[access_token] = (token, app, granted)
+            return token, app, granted
+        token, app, granted = cached
+        if token.invalidated or self.now >= token.expires_at:
+            return None
+        return cached
+
+    def charge(self, access_token: str,
+               source_ip: Optional[str] = None) -> Optional[str]:
+        """Wave analogue of :meth:`GraphApi.try_charge_like`: identical
+        enforcement, verdict codes and fault-stream consumption; the
+        limiter charge is pending until :meth:`finish`."""
+        inj = self._inj
+        if inj is not None:
+            fault = inj.decide("CHARGE_LIKE", access_token)
+            if fault == "transient":
+                return "transient"
+            if fault == "timeout":
+                return "timeout"
+            if fault == "rate_limit":
+                return "token_limit"
+        resolved = self._lookup(access_token)
+        if resolved is None:
+            return "invalid_token"
+        token, app, granted = resolved
+        if app.security.require_app_secret:
+            if not verify_appsecret_proof(app.secret, access_token, ""):
+                return "app_secret"
+        if not granted:
+            return "permission"
+        policy = self._policy
+        if policy.blocked_asns_by_app:
+            if policy.is_as_blocked(app.app_id, self._resolve(source_ip)):
+                return "blocked"
+        violated = self._admitter.admit(access_token, source_ip)
+        if violated is not None:
+            return "token_limit" if violated == "token" else "ip_limit"
+        self._charged += 1
+        return None
+
+    def like(self, access_token: str,
+             source_ip: Optional[str]) -> Optional[str]:
+        """Wave analogue of :meth:`GraphApi.try_like_post` against the
+        wave's target post: same pipeline, same log-row vocabulary (the
+        rows are buffered until :meth:`finish`), same platform write."""
+        inj = self._inj
+        push_token = self._tokens.append
+        push_user = self._users.append
+        push_app = self._apps.append
+        push_ip = self._ips.append
+        push_asn = self._asns.append
+        push_outcome = self._outcomes.append
+        if inj is not None:
+            fault = inj.decide("LIKE_POST", access_token)
+            if fault is not None and fault != "invalidate_token":
+                push_token(access_token)
+                push_user(None)
+                push_app(None)
+                push_ip(source_ip)
+                push_asn(self._resolve(source_ip))
+                if fault == "transient":
+                    push_outcome(TransientApiError.code)
+                    return "transient"
+                if fault == "timeout":
+                    push_outcome(ApiTimeout.code)
+                    return "timeout"
+                push_outcome(RateLimitExceededError.code)
+                return "token_limit"
+        resolved = self._lookup(access_token)
+        asn = self._resolve(source_ip)
+        push_token(access_token)
+        push_ip(source_ip)
+        push_asn(asn)
+        if resolved is None:
+            push_user(None)
+            push_app(None)
+            push_outcome("invalid_token")
+            return "invalid_token"
+        token, app, granted = resolved
+        user_id = token.user_id
+        app_id = token.app_id
+        push_user(user_id)
+        push_app(app_id)
+        if app.security.require_app_secret:
+            if not verify_appsecret_proof(app.secret, access_token, ""):
+                push_outcome(AppSecretRequiredError.code)
+                return "app_secret"
+        if not granted:
+            push_outcome(PermissionDeniedError.code)
+            return "permission"
+        policy = self._policy
+        if policy.blocked_asns_by_app and policy.is_as_blocked(app_id, asn):
+            push_outcome(BlockedSourceError.code)
+            return "blocked"
+        violated = self._admitter.admit(access_token, source_ip)
+        if violated is not None:
+            if violated == "token":
+                push_outcome(RateLimitExceededError.code)
+                return "token_limit"
+            push_outcome(IpRateLimitError.code)
+            return "ip_limit"
+        try:
+            self._like_post(user_id, self.post_id, via_app_id=app_id,
+                            source_ip=source_ip)
+        except SocialNetworkError:
+            push_outcome("platform_error")
+            return "platform_error"
+        push_outcome("ok")
+        return None
+
+    def finish(self) -> None:
+        """Flush pending limiter charges, log rows and counters.
+
+        Idempotent; the wave must not be used again afterwards (a
+        scalar interlude — e.g. a fault-plan cooldown — invalidates the
+        memoized window capacities, so callers open a fresh wave)."""
+        if self._finished:
+            return
+        self._finished = True
+        self._admitter.flush()
+        if self._tokens:
+            self.api.log.extend_like_rows(
+                self.now, ApiAction.LIKE_POST, self.post_id, self._tokens,
+                self._users, self._apps, self._ips, self._asns,
+                self._outcomes)
+        if self._charged:
+            self.api.charge_counters["likes"] += self._charged

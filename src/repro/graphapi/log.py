@@ -181,6 +181,71 @@ class RequestLog:
             if outcome == "ok":
                 self._like_ok_rows.append(row)
 
+    def extend_like_rows(self, timestamp: int, action: ApiAction,
+                         target_id: Optional[str],
+                         tokens: Sequence[str],
+                         users: Sequence[Optional[str]],
+                         apps: Sequence[Optional[str]],
+                         ips: Sequence[Optional[str]],
+                         asns: Sequence[Optional[int]],
+                         outcomes: Sequence[str]) -> None:
+        """Append one delivery wave of like-action rows in bulk.
+
+        All rows share the wave's timestamp, action and target; the
+        per-row columns are parallel sequences in row order.  Produces
+        the exact log state ``len(tokens)`` :meth:`append_row` calls
+        would — same interning, same secondary indexes — while paying
+        the column bookkeeping once per wave instead of once per row.
+        """
+        n = len(tokens)
+        if n == 0:
+            return
+        row0 = len(self._ts)
+        interned = self._interned
+        setdefault = interned.setdefault
+        tokens = [setdefault(t, t) for t in tokens]
+        ips = [ip if ip is None else setdefault(ip, ip) for ip in ips]
+        apps = [a if a is None else setdefault(a, a) for a in apps]
+        outcome_codes = self._outcome_codes
+        codes = []
+        for outcome in outcomes:
+            code = outcome_codes.get(outcome)
+            if code is None:
+                code = len(self._outcome_names)
+                outcome_codes[outcome] = code
+                self._outcome_names.append(outcome)
+            codes.append(code)
+        self._ts.extend((timestamp,) * n)
+        self._action.extend((_ACTION_CODE[action],) * n)
+        self._token.extend(tokens)
+        self._user.extend(users)
+        self._app.extend(apps)
+        self._target.extend((target_id,) * n)
+        self._ip.extend(ips)
+        self._asn.extend(asns)
+        self._outcome.extend(codes)
+        by_ip = self._by_ip
+        by_app = self._by_app
+        row = row0
+        for ip, app_id in zip(ips, apps):
+            if ip is not None:
+                rows = by_ip.get(ip)
+                if rows is None:
+                    rows = by_ip[ip] = array("q")
+                rows.append(row)
+            if app_id is not None:
+                rows = by_app.get(app_id)
+                if rows is None:
+                    rows = by_app[app_id] = array("q")
+                rows.append(row)
+            row += 1
+        if _ACTION_CODE[action] in _LIKE_CODES:
+            self._like_rows.extend(range(row0, row0 + n))
+            ok = outcome_codes.get("ok")
+            if ok is not None:
+                self._like_ok_rows.extend(
+                    row0 + i for i, code in enumerate(codes) if code == ok)
+
     def append(self, record: RequestRecord) -> None:
         """Append a pre-built record (compatibility path)."""
         self.append_row(record.timestamp, record.action, record.token,

@@ -42,15 +42,28 @@ class SlidingWindowLimiter:
         # its deque is static and that time is exact — repeated rejects
         # become one dict probe instead of an eviction pass.
         self._saturated_until: Dict[str, int] = {}
+        # Eviction memo: keys already evicted at `_evict_now`.  Events
+        # are only ever appended at the current time, and an event
+        # appended at `now` cannot fall behind the `now - window`
+        # horizon, so a second eviction pass at the same timestamp is
+        # provably a no-op.
+        self._evict_now = -1
+        self._evicted: Set[str] = set()
 
     def _evict(self, key: str, now: int) -> Deque[int]:
         events = self._events.get(key)
         if events is None:
             events = self._events[key] = deque()
             return events
+        if now != self._evict_now:
+            self._evict_now = now
+            self._evicted.clear()
+        elif key in self._evicted:
+            return events
         horizon = now - self.window_seconds
         while events and events[0] <= horizon:
             events.popleft()
+        self._evicted.add(key)
         return events
 
     def saturated(self, key: str, now: int) -> bool:
@@ -319,6 +332,23 @@ class PolicyEnforcer:
             token_events[token].extend((now,) * count)
         return None
 
+    # ------------------------------------------------------------------
+    # Wave admission (memoized per-(key, wave-timestamp) transitions)
+    # ------------------------------------------------------------------
+    def like_wave(self, now: int) -> "LikeWaveAdmitter":
+        """Open a delivery wave at timestamp ``now``.
+
+        The returned admitter answers per-entry like admissions with the
+        exact verdicts — in the exact order — that scalar
+        :meth:`admit_like` calls at the same timestamp would produce,
+        but computes each key's remaining window capacity once and then
+        decrements in O(1); the recorded hits land in bulk at
+        :meth:`LikeWaveAdmitter.flush`.  The scalar path stays as the
+        verification oracle (see tests/test_batch_equivalence.py)."""
+        self._sync()
+        return LikeWaveAdmitter(self._token_limiter, self._ip_day_limiter,
+                                self._ip_week_limiter, now)
+
     def admit_ip_like(self, source_ip: Optional[str], now: int) -> Optional[str]:
         """Check-and-record one like from ``source_ip``.
 
@@ -340,3 +370,147 @@ class PolicyEnforcer:
         if self._ip_week_limiter is not None:
             self._ip_week_limiter.hit(source_ip, now)
         return None
+
+
+class LikeWaveAdmitter:
+    """Memoized admission state for one delivery wave.
+
+    All requests in a wave share one timestamp, so a key's sliding
+    window cannot lose events mid-wave: its admission capacity ("room")
+    is a single number computed once — saturation memo, eviction, limit
+    — and every further admission for that key is a dict probe plus a
+    decrement.  Pending hits are appended to the deques in one bulk
+    :meth:`flush`, which leaves limiter state byte-identical to the
+    equivalent scalar :meth:`PolicyEnforcer.admit_like` sequence
+    (including the saturation memos the scalar path would have set).
+
+    Room encoding per key: ``n > 0`` admits remain; ``0`` the wave
+    consumed the window but no request has been rejected yet (the
+    scalar path would not have memoized saturation either); ``-1``
+    saturated and memoized.
+    """
+
+    __slots__ = (
+        "now", "token_only", "_token_limiter", "_day", "_week",
+        "_rooms", "_pending", "_events",
+        "_day_rooms", "_day_pending", "_day_events",
+        "_week_rooms", "_week_pending", "_week_events",
+    )
+
+    def __init__(self, token_limiter: SlidingWindowLimiter,
+                 day: Optional[SlidingWindowLimiter],
+                 week: Optional[SlidingWindowLimiter], now: int) -> None:
+        self.now = now
+        self._token_limiter = token_limiter
+        self._day = day
+        self._week = week
+        self.token_only = day is None and week is None
+        self._rooms: Dict[str, int] = {}
+        self._pending: Dict[str, int] = {}
+        self._events: Dict[str, Deque[int]] = {}
+        self._day_rooms: Dict[str, int] = {}
+        self._day_pending: Dict[str, int] = {}
+        self._day_events: Dict[str, Deque[int]] = {}
+        self._week_rooms: Dict[str, int] = {}
+        self._week_pending: Dict[str, int] = {}
+        self._week_events: Dict[str, Deque[int]] = {}
+
+    def _room_of(self, limiter: SlidingWindowLimiter, key: str,
+                 rooms: Dict[str, int],
+                 events_memo: Dict[str, Deque[int]]) -> int:
+        """First touch of ``key`` this wave: resolve its capacity."""
+        now = self.now
+        until = limiter._saturated_until.get(key)
+        if until is not None:
+            if now < until:
+                rooms[key] = -1
+                return -1
+            del limiter._saturated_until[key]
+        events = limiter._evict(key, now)
+        events_memo[key] = events
+        room = limiter.limit - len(events)
+        if room <= 0:
+            limiter.mark_saturated(key, events)
+            rooms[key] = -1
+            return -1
+        rooms[key] = room
+        return room
+
+    def _exhaust(self, limiter: SlidingWindowLimiter, key: str,
+                 rooms: Dict[str, int], events_memo: Dict[str, Deque[int]],
+                 pending: Dict[str, int]) -> None:
+        """First rejection after this wave consumed the key's room.
+
+        Memoizes saturation exactly as the scalar path would at this
+        point — where the deque would already contain the wave's hits,
+        which here are still pending."""
+        events = events_memo[key]
+        count = pending.get(key, 0)
+        idx = len(events) + count - limiter.limit
+        base = events[idx] if idx < len(events) else self.now
+        limiter._saturated_until[key] = base + limiter.window_seconds
+        rooms[key] = -1
+
+    def admit(self, token: str, source_ip: Optional[str]) -> Optional[str]:
+        """Per-entry verdict: ``None`` admitted, else ``"daily"`` /
+        ``"weekly"`` / ``"token"``.  IP windows are charged even when
+        the token budget then rejects, matching the scalar order."""
+        if source_ip is not None and not self.token_only:
+            day = self._day
+            if day is not None:
+                room = self._day_rooms.get(source_ip)
+                if room is None:
+                    room = self._room_of(day, source_ip, self._day_rooms,
+                                         self._day_events)
+                if room <= 0:
+                    if room == 0:
+                        self._exhaust(day, source_ip, self._day_rooms,
+                                      self._day_events, self._day_pending)
+                    return "daily"
+            week = self._week
+            if week is not None:
+                room = self._week_rooms.get(source_ip)
+                if room is None:
+                    room = self._room_of(week, source_ip, self._week_rooms,
+                                         self._week_events)
+                if room <= 0:
+                    if room == 0:
+                        self._exhaust(week, source_ip, self._week_rooms,
+                                      self._week_events, self._week_pending)
+                    return "weekly"
+            if day is not None:
+                self._day_rooms[source_ip] -= 1
+                self._day_pending[source_ip] = (
+                    self._day_pending.get(source_ip, 0) + 1)
+            if week is not None:
+                self._week_rooms[source_ip] -= 1
+                self._week_pending[source_ip] = (
+                    self._week_pending.get(source_ip, 0) + 1)
+        rooms = self._rooms
+        room = rooms.get(token)
+        if room is None:
+            room = self._room_of(self._token_limiter, token, rooms,
+                                 self._events)
+        if room <= 0:
+            if room == 0:
+                self._exhaust(self._token_limiter, token, rooms,
+                              self._events, self._pending)
+            return "token"
+        rooms[token] = room - 1
+        pending = self._pending
+        pending[token] = pending.get(token, 0) + 1
+        return None
+
+    def flush(self) -> None:
+        """Bulk-append the wave's admitted hits to the live deques."""
+        now = self.now
+        events = self._events
+        for key, count in self._pending.items():
+            events[key].extend((now,) * count)
+        if not self.token_only:
+            day_events = self._day_events
+            for key, count in self._day_pending.items():
+                day_events[key].extend((now,) * count)
+            week_events = self._week_events
+            for key, count in self._week_pending.items():
+                week_events[key].extend((now,) * count)

@@ -1,10 +1,10 @@
-"""Batched admission must be byte-identical to the scalar path.
+"""Wave delivery must be byte-identical to the scalar path.
 
-The collusion networks opportunistically deliver likes through
-``GraphApi.execute_batch`` / ``charge_like_batch``; the batch planner
-checkpoints the RNG and replays through the scalar path whenever a
-chunk cannot commit, so a study run with batching disabled must produce
-the exact same request log, rate-limit history and report.
+The collusion networks deliver likes through planned delivery waves
+(``GraphApi.delivery_wave``) with memoized per-(key, wave-timestamp)
+rate-limit transitions; a study run with batching disabled walks the
+scalar per-request path instead, so both runs must produce the exact
+same request log, rate-limit history and report.
 """
 
 from __future__ import annotations
@@ -33,24 +33,17 @@ def _run_study(batching: bool):
     for network in artifacts.ecosystem.networks.values():
         network.batch_requests_enabled = batching
     api = artifacts.world.api
-    calls = {"execute_batch": 0, "charge_like_batch": 0}
-    original_execute_batch = api.execute_batch
-    original_charge_like_batch = api.charge_like_batch
+    calls = {"delivery_wave": 0}
+    original_delivery_wave = api.delivery_wave
 
-    def counting_execute_batch(requests):
-        calls["execute_batch"] += 1
-        return original_execute_batch(requests)
+    def counting_delivery_wave(post_id=None):
+        calls["delivery_wave"] += 1
+        return original_delivery_wave(post_id)
 
-    def counting_charge_like_batch(entries, appsecret_proof=None):
-        calls["charge_like_batch"] += 1
-        return original_charge_like_batch(
-            entries, appsecret_proof=appsecret_proof)
-
-    api.execute_batch = counting_execute_batch
-    api.charge_like_batch = counting_charge_like_batch
+    api.delivery_wave = counting_delivery_wave
     runner.run_milking(artifacts)
     runner.run_campaign(artifacts)
-    artifacts.batch_calls = calls
+    artifacts.wave_calls = calls
     return artifacts
 
 
@@ -83,13 +76,11 @@ def test_batched_report_matches_scalar_report(batched_artifacts,
             == export.report_to_json(scalar))
 
 
-def test_batches_actually_ran(batched_artifacts, scalar_artifacts):
-    # Guard against the batch path silently never engaging (which would
+def test_waves_actually_ran(batched_artifacts, scalar_artifacts):
+    # Guard against the wave path silently never engaging (which would
     # make the equivalence assertions vacuous).
-    assert batched_artifacts.batch_calls["execute_batch"] > 0
-    assert batched_artifacts.batch_calls["charge_like_batch"] > 0
-    assert scalar_artifacts.batch_calls["execute_batch"] == 0
-    assert scalar_artifacts.batch_calls["charge_like_batch"] == 0
+    assert batched_artifacts.wave_calls["delivery_wave"] > 0
+    assert scalar_artifacts.wave_calls["delivery_wave"] == 0
 
 
 def test_parallel_experiments_match_serial(batched_artifacts):
