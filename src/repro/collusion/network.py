@@ -1112,19 +1112,50 @@ class CollusionNetwork:
         return delivered
 
     def _serve_one_background_wave(self, wave) -> int:
-        """One background request through an open (fault-free) wave."""
+        """One background request through an open (fault-free) wave.
+
+        The entry bookkeeping mirrors :meth:`_background_entry` exactly;
+        it is inlined — and the impossible-here transient-retry check
+        dropped (:meth:`DeliveryWave.charge` only returns transient
+        codes from a live fault injector) — because this loop processes
+        millions of entries per campaign."""
         quota = self.profile.likes_per_request
         budget = max(1, int(quota * self.profile.retry_factor))
         delivered = 0
         attempts = 0
         used: Set[str] = set()
         charge = wave.charge
+        sample_member = self._sample_member
+        token_get = self.token_db.get
+        pick_ip = self._pick_ip
         while delivered < quota and attempts < budget:
             attempts += 1
-            got = self._background_entry(charge, used)
-            if got is None:
+            member = sample_member(used)
+            if member is None:
                 break
-            delivered += got
+            token = token_get(member)
+            if token is None:
+                continue
+            ip = pick_ip()
+            if ip is None:
+                break
+            code = charge(token, ip)
+            if code is not None:
+                if code == "token_limit":
+                    self._rate_errors_today += 1
+                elif code == "invalid_token":
+                    self._drop_member(member)
+                elif code == "ip_limit":
+                    self._exhausted_ips.add(ip)
+                    self._invalidate_ip_cache()
+                elif code == "blocked":
+                    asn = self.world.as_registry.asn_of(ip)
+                    if asn is not None:
+                        self._blocked_asns.add(asn)
+                        self._invalidate_ip_cache()
+                continue
+            used.add(member)
+            delivered += 1
         return delivered
 
     def _serve_one_background_faulty(self) -> int:

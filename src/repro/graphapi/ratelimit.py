@@ -418,7 +418,13 @@ class LikeWaveAdmitter:
     def _room_of(self, limiter: SlidingWindowLimiter, key: str,
                  rooms: Dict[str, int],
                  events_memo: Dict[str, Deque[int]]) -> int:
-        """First touch of ``key`` this wave: resolve its capacity."""
+        """First touch of ``key`` this wave: resolve its capacity.
+
+        Eviction is inlined rather than routed through
+        :meth:`SlidingWindowLimiter._evict`: a wave touches each key's
+        deque exactly once, so the limiter's same-timestamp eviction
+        memo could never hit here and the pops land in the identical
+        deque state."""
         now = self.now
         until = limiter._saturated_until.get(key)
         if until is not None:
@@ -426,7 +432,13 @@ class LikeWaveAdmitter:
                 rooms[key] = -1
                 return -1
             del limiter._saturated_until[key]
-        events = limiter._evict(key, now)
+        events = limiter._events.get(key)
+        if events is None:
+            events = limiter._events[key] = deque()
+        else:
+            horizon = now - limiter.window_seconds
+            while events and events[0] <= horizon:
+                events.popleft()
         events_memo[key] = events
         room = limiter.limit - len(events)
         if room <= 0:
