@@ -171,6 +171,9 @@ class CollusionNetwork:
         self.retry_policy = RetryPolicy()
         self._batch_fail_streak = 0
         self._batch_degraded_day = -1
+        # Drop journal for shard children (see export_state); None means
+        # not recording.
+        self._shard_drop_journal: Optional[List[str]] = None
 
         # IP health for today.
         self._exhausted_ips: Set[str] = set()
@@ -306,6 +309,8 @@ class CollusionNetwork:
             self._member_list[idx] = last
             self._member_index[last] = idx
         self.dead_members.add(account_id)
+        if self._shard_drop_journal is not None:
+            self._shard_drop_journal.append(account_id)
 
     def refresh_all_tokens(self) -> int:
         """Re-harvest tokens from every member whose token is no longer
@@ -331,6 +336,42 @@ class CollusionNetwork:
         for _ in range(count):
             self.join()
         return self.member_count()
+
+    # ------------------------------------------------------------------
+    # Shard transfer (see repro.countermeasures.sharding)
+    # ------------------------------------------------------------------
+    #: Fields never shipped across the shard process boundary: shared
+    #: subsystems owned by the parent world, immutable wiring, the
+    #: bound-method RNG shortcuts (rebuilt on adoption), and
+    #: ``dead_members`` — a set whose *iteration order* feeds the
+    #: replenishment join order, and which a pickle round-trip would
+    #: silently reorder (the rebuilt set lacks the original's internal
+    #: layout history).  Shard children journal their drops instead and
+    #: the parent replays the adds on its own set object, whose layout
+    #: matches the child's pre-fork.
+    _SHARD_SKIP_FIELDS = frozenset((
+        "world", "directory", "ip_pool", "app", "profile",
+        "comment_dictionary", "_rng_random", "_getrandbits",
+        "dead_members", "_shard_drop_journal",
+    ))
+
+    def export_state(self) -> dict:
+        """Every mutable, network-owned field, as a picklable dict."""
+        skip = self._SHARD_SKIP_FIELDS
+        return {key: value for key, value in self.__dict__.items()
+                if key not in skip}
+
+    def adopt_state(self, state: dict,
+                    dropped: Sequence[str] = ()) -> None:
+        """Install :meth:`export_state` output (including the RNG, so
+        the adopted stream continues exactly where the shard left it).
+        ``dropped`` replays the shard's member drops, in order, onto
+        this process's own ``dead_members`` set."""
+        self.__dict__.update(state)
+        self._rng_random = self.rng.random
+        self._getrandbits = self.rng.getrandbits
+        for account_id in dropped:
+            self.dead_members.add(account_id)
 
     # ------------------------------------------------------------------
     # Sampling

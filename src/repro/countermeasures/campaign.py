@@ -41,6 +41,12 @@ from repro.countermeasures.clustering import (
 from repro.countermeasures.invalidation import TokenInvalidator
 from repro.countermeasures.iplimits import apply_ip_like_limits
 from repro.countermeasures.ratelimits import apply_reduced_token_limit
+from repro.countermeasures.sharding import (
+    DayEvent,
+    ShardPlan,
+    plan_shards,
+    run_sharded_day,
+)
 from repro.detection.synchrotrap import SynchroTrap
 from repro.honeypot.account import HoneypotAccount, create_honeypot
 from repro.honeypot.crawler import TimelineCrawler
@@ -78,6 +84,13 @@ class CampaignConfig:
     #: workload (charge-only path).  Ablations may disable it to study
     #: a single mechanism in isolation.
     background_serving: bool = True
+    #: Process-shard the in-day workload by collusion network.  Values
+    #: above 1 request sharding; it only engages when
+    #: :func:`repro.countermeasures.sharding.plan_shards` certifies the
+    #: network set as state-disjoint (the result's ``shard_plan`` says
+    #: whether it did, and why not otherwise).  Ineligible plans run the
+    #: ordinary serial path, byte-identical to ``shards = 1``.
+    shards: int = 1
     # Per-countermeasure switches (for ablations).
     enable_rate_limit: bool = True
     enable_invalidation: bool = True
@@ -162,6 +175,9 @@ class CampaignResults:
     interventions: List[Tuple[int, str]]
     clustering_outcomes: List[Tuple[int, ClusteringOutcome]]
     tokens_invalidated: int
+    #: The certified shard partition, when ``config.shards > 1`` asked
+    #: for one (None otherwise).
+    shard_plan: Optional[ShardPlan] = None
 
 
 class CountermeasureCampaign:
@@ -194,6 +210,13 @@ class CountermeasureCampaign:
             self.series[domain] = NetworkDailySeries(domain=domain)
         self.interventions: List[Tuple[int, str]] = []
         self.clustering_outcomes: List[Tuple[int, ClusteringOutcome]] = []
+        self.shard_plan: Optional[ShardPlan] = None
+        if self.config.shards > 1:
+            self.shard_plan = plan_shards(
+                self.networks,
+                faults_active=world.faults is not None,
+                outgoing_per_hour=self.config.outgoing_per_hour,
+                requested_shards=self.config.shards)
         self._start_day = world.clock.day()
         self._campaign_start_ts = world.clock.now()
 
@@ -212,6 +235,7 @@ class CountermeasureCampaign:
             interventions=self.interventions,
             clustering_outcomes=self.clustering_outcomes,
             tokens_invalidated=self.invalidator.total_invalidated,
+            shard_plan=self.shard_plan,
         )
 
     # ------------------------------------------------------------------
@@ -229,19 +253,13 @@ class CountermeasureCampaign:
         likes_today = {domain: 0 for domain in self.networks}
         posts_today = {domain: 0 for domain in self.networks}
 
-        for domain, network in self.networks.items():
-            honeypot = self.honeypots[domain]
-            for when in self._request_times(day_start):
-                world.scheduler.at(
-                    when,
-                    lambda n=network, h=honeypot, d=domain:
-                        self._submit_request(n, h, d, likes_today,
-                                             posts_today),
-                    label=f"cm-request:{domain}")
-            self._schedule_outgoing(network, honeypot, day_start)
-            self._schedule_background_serving(network, day_start)
-
-        world.scheduler.run_until(day_start + DAY - 1)
+        events = self._plan_day_events(day_start)
+        if self.shard_plan is not None and self.shard_plan.eligible:
+            run_sharded_day(self, self.shard_plan, events, day_start,
+                            likes_today, posts_today)
+        else:
+            self._schedule_day_events(events, likes_today, posts_today)
+            world.scheduler.run_until(day_start + DAY - 1)
 
         for honeypot in self.honeypots.values():
             self.crawler.crawl_incoming(honeypot)
@@ -254,6 +272,73 @@ class CountermeasureCampaign:
             self.series[domain].likes_per_day.append(likes_today[domain])
         world.clock.advance_to(day_start + DAY)
 
+    def _plan_day_events(self, day_start: int) -> List[DayEvent]:
+        """Array-plan one day's workload before any of it executes.
+
+        Produces the day's request / outgoing / serving events — with
+        their timestamps already drawn — in the exact per-network order
+        (and therefore the exact campaign-RNG draw order) the scheduling
+        loop used to produce while enqueueing thunks.  ``seq`` mirrors
+        the scheduler's submission tie-break, so executing the plan in
+        ``(when, seq)`` order is the serial trajectory.
+        """
+        events: List[DayEvent] = []
+        seq = 0
+        per_hour = self.config.outgoing_per_hour
+        for domain, network in self.networks.items():
+            for when in self._request_times(day_start):
+                events.append(DayEvent(seq, when, "request", domain))
+                seq += 1
+            if per_hour > 0:
+                for hour in range(24):
+                    actions = self._poisson(per_hour)
+                    for _ in range(actions):
+                        when = (day_start + hour * HOUR
+                                + self.rng.randrange(HOUR))
+                        events.append(
+                            DayEvent(seq, when, "outgoing", domain))
+                        seq += 1
+            if network.background_serving_enabled:
+                total = network.profile.background_requests_per_day
+                if total > 0:
+                    hourly, remainder = divmod(total, 24)
+                    for hour in range(24):
+                        count = hourly + (1 if hour < remainder else 0)
+                        if count <= 0:
+                            continue
+                        when = (day_start + hour * HOUR
+                                + self.rng.randrange(HOUR))
+                        events.append(
+                            DayEvent(seq, when, "serving", domain, count))
+                        seq += 1
+        return events
+
+    def _schedule_day_events(self, events: List[DayEvent],
+                             likes_today: Dict[str, int],
+                             posts_today: Dict[str, int]) -> None:
+        """Enqueue a planned day on the world scheduler (serial path)."""
+        at = self.world.scheduler.at
+        for event in events:
+            domain = event.domain
+            network = self.networks[domain]
+            honeypot = self.honeypots[domain]
+            if event.kind == "request":
+                at(event.when,
+                   lambda n=network, h=honeypot, d=domain:
+                       self._submit_request(n, h, d, likes_today,
+                                            posts_today),
+                   label=f"cm-request:{domain}")
+            elif event.kind == "outgoing":
+                at(event.when,
+                   lambda n=network, h=honeypot:
+                       n.use_member_token_for_background(h.account_id, 1),
+                   label=f"cm-outgoing:{domain}")
+            else:
+                at(event.when,
+                   lambda n=network, c=event.count:
+                       n.serve_background_requests(c),
+                   label=f"cm-serving:{domain}")
+
     def _request_times(self, day_start: int) -> List[int]:
         """Spread the day's requests across a working window."""
         count = self.config.posts_per_day
@@ -263,56 +348,27 @@ class CountermeasureCampaign:
         return [window_start + i * step + self.rng.randrange(max(1, step // 2))
                 for i in range(count)]
 
-    def _submit_request(self, network: CollusionNetwork,
-                        honeypot: HoneypotAccount, domain: str,
-                        likes_today: Dict[str, int],
-                        posts_today: Dict[str, int]) -> None:
+    def _create_request_post(self, honeypot: HoneypotAccount) -> str:
+        """Create the honeypot status post one like request targets.
+
+        Split from :meth:`_submit_request` so the sharded day can hoist
+        every post creation into the parent's pre-pass (pinning the
+        global id-allocator sequence) before the forked shards deliver.
+        """
         post = self.world.platform.create_post(
             honeypot.account_id,
             f"campaign status #{len(honeypot.like_post_ids) + 1}")
         honeypot.like_post_ids.append(post.post_id)
-        report = network.submit_like_request(honeypot.account_id,
-                                             post.post_id)
+        return post.post_id
+
+    def _submit_request(self, network: CollusionNetwork,
+                        honeypot: HoneypotAccount, domain: str,
+                        likes_today: Dict[str, int],
+                        posts_today: Dict[str, int]) -> None:
+        post_id = self._create_request_post(honeypot)
+        report = network.submit_like_request(honeypot.account_id, post_id)
         posts_today[domain] += 1
         likes_today[domain] += report.delivered
-
-    def _schedule_outgoing(self, network: CollusionNetwork,
-                           honeypot: HoneypotAccount,
-                           day_start: int) -> None:
-        """Background usage of the honeypot token, spread hour by hour
-        (the Fig. 7 signal)."""
-        per_hour = self.config.outgoing_per_hour
-        if per_hour <= 0:
-            return
-        for hour in range(24):
-            actions = self._poisson(per_hour)
-            for _ in range(actions):
-                when = day_start + hour * HOUR + self.rng.randrange(HOUR)
-                self.world.scheduler.at(
-                    when,
-                    lambda n=network, h=honeypot:
-                        n.use_member_token_for_background(h.account_id, 1),
-                    label=f"cm-outgoing:{network.domain}")
-
-    def _schedule_background_serving(self, network: CollusionNetwork,
-                                     day_start: int) -> None:
-        """Spread the network's bulk request-serving workload over the
-        day (charge-only path; see CollusionNetwork.serve_background_requests)."""
-        if not network.background_serving_enabled:
-            return
-        total = network.profile.background_requests_per_day
-        if total <= 0:
-            return
-        per_hour, remainder = divmod(total, 24)
-        for hour in range(24):
-            count = per_hour + (1 if hour < remainder else 0)
-            if count <= 0:
-                continue
-            when = day_start + hour * HOUR + self.rng.randrange(HOUR)
-            self.world.scheduler.at(
-                when,
-                lambda n=network, c=count: n.serve_background_requests(c),
-                label=f"cm-serving:{network.domain}")
 
     def _poisson(self, mean: float) -> int:
         limit = math.exp(-mean)

@@ -1,0 +1,396 @@
+"""Per-network sharding of the countermeasure campaign's day execution.
+
+The campaign's in-day workload — honeypot like deliveries and the bulk
+background-serving charge waves — is partitioned *by collusion network*
+and executed in forked worker processes, one per shard, with the
+children's state merged back deterministically at the day boundary.
+Day-end work (timeline crawls, interventions, clustering, replenishment)
+stays in the parent, where it sees exactly the merged state a serial run
+would have produced.
+
+Sharding is only sound when the shards cannot observe each other's
+mid-day mutations, so a :func:`plan_shards` pass first partitions the
+networks into *components* by shared mutable state and certifies the
+plan:
+
+* networks that share an OAuth application are merged into one
+  component — shared app means shared (or shareable) access tokens,
+  hence shared per-token rate-limit windows.  The paper's measured
+  ecosystem reproduces exactly this coupling: cross-network membership
+  overlap (§4, Table 3) puts the two focal Fig. 5 networks on the same
+  app with hundreds of shared tokens, so the default campaign plans to
+  a *single* component and runs serially.  Sharding only engages for
+  app-disjoint network sets;
+* networks that share live token strings or server IPs are merged (the
+  token/IP sliding windows are keyed by those strings);
+* outgoing background activity (``outgoing_per_hour > 0``) disables
+  sharding entirely: that path allocates post ids from the global
+  :class:`~repro.sim.ids.IdAllocator` and draws members from the shared
+  :class:`~repro.collusion.network.MemberDirectory` stream mid-day, and
+  both sequences are defined by the global event interleaving;
+* an active fault plan disables sharding: scalar fault decisions come
+  from one sequential RNG stream whose draw order is likewise defined
+  by the global interleaving.
+
+An ineligible plan is not an error — the campaign simply runs the
+serial path and reports why, so ``shards > 1`` is always byte-identical
+to ``shards = 1`` (see tests/test_sharded_campaign.py).
+
+Merge protocol, per day: the parent first creates the day's honeypot
+posts in global event order (pinning the id-allocator sequence), then
+forks one child per component.  Each child executes its component's
+events in (timestamp, seq) order against its copy-on-write world and
+ships home a :class:`ShardDayDelta`: request-log rows and platform
+activity records tagged by event, the component's limiter windows,
+per-network object state (including the network RNG), honeypot post
+likes and charge-counter deltas.  The parent interleaves all children's
+log/activity segments by global event order — restoring exactly the
+rows a serial run appends — and installs the disjoint state deltas.
+
+On this container the executor is about parallel *safety*, not speed:
+with one CPU core the forked children run sequentially, so a sharded
+day costs slightly more than a serial one (fork + pickle).  The value
+is the certified determinism contract and the measured conflict report.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.clock import DAY
+
+
+@dataclass(frozen=True)
+class DayEvent:
+    """One planned in-day campaign action.
+
+    ``seq`` mirrors the scheduler's submission tie-break: executing a
+    day's events in ``(when, seq)`` order reproduces the serial
+    trajectory exactly.  ``kind`` is ``"request"`` (honeypot like
+    request), ``"outgoing"`` (background use of the honeypot token) or
+    ``"serving"`` (bulk background charge waves); ``count`` only
+    matters for serving events.
+    """
+
+    seq: int
+    when: int
+    kind: str
+    domain: str
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class ShardConflict:
+    """Why two networks were merged into one component."""
+
+    a: str
+    b: str
+    shared_app: Optional[str] = None
+    shared_tokens: int = 0
+    shared_ips: int = 0
+
+    def describe(self) -> str:
+        parts = []
+        if self.shared_app is not None:
+            parts.append(f"app {self.shared_app}")
+        if self.shared_tokens:
+            parts.append(f"{self.shared_tokens} tokens")
+        if self.shared_ips:
+            parts.append(f"{self.shared_ips} IPs")
+        return f"{self.a} <-> {self.b}: shared {', '.join(parts)}"
+
+
+@dataclass
+class ShardPlan:
+    """The certified partition of campaign networks into shards."""
+
+    components: List[Tuple[str, ...]]
+    conflicts: List[ShardConflict] = field(default_factory=list)
+    #: Reasons the plan cannot execute sharded (empty when eligible).
+    blockers: List[str] = field(default_factory=list)
+
+    @property
+    def eligible(self) -> bool:
+        return not self.blockers and len(self.components) > 1
+
+    @property
+    def effective_shards(self) -> int:
+        return len(self.components) if self.eligible else 1
+
+    def describe(self) -> str:
+        lines = [f"shard plan: {len(self.components)} component(s), "
+                 f"{'eligible' if self.eligible else 'serial fallback'}"]
+        for component in self.components:
+            lines.append("  - " + ", ".join(component))
+        for conflict in self.conflicts:
+            lines.append("  conflict: " + conflict.describe())
+        for blocker in self.blockers:
+            lines.append("  blocked: " + blocker)
+        return "\n".join(lines)
+
+
+def plan_shards(networks: Dict[str, object], *, faults_active: bool,
+                outgoing_per_hour: float,
+                requested_shards: int = 2) -> ShardPlan:
+    """Partition ``networks`` into independently executable components.
+
+    Networks sharing an app, a live token string, or a server IP are
+    placed in one component (their rate-limit windows alias).  The
+    returned plan carries the conflict evidence and any blockers that
+    force the serial path regardless of the partition.
+    """
+    domains = list(networks)
+    parent: Dict[str, str] = {d: d for d in domains}
+
+    def find(d: str) -> str:
+        while parent[d] != d:
+            parent[d] = parent[parent[d]]
+            d = parent[d]
+        return d
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    tokens = {d: frozenset(networks[d].token_db.values()) for d in domains}
+    ips = {d: frozenset(networks[d].ip_pool.addresses) for d in domains}
+    apps = {d: networks[d].profile.app_id for d in domains}
+    conflicts: List[ShardConflict] = []
+    for i, a in enumerate(domains):
+        for b in domains[i + 1:]:
+            shared_app = apps[a] if apps[a] == apps[b] else None
+            shared_tokens = len(tokens[a] & tokens[b])
+            shared_ips = len(ips[a] & ips[b])
+            if shared_app or shared_tokens or shared_ips:
+                conflicts.append(ShardConflict(
+                    a=a, b=b, shared_app=shared_app,
+                    shared_tokens=shared_tokens, shared_ips=shared_ips))
+                union(a, b)
+
+    grouped: Dict[str, List[str]] = {}
+    for d in domains:
+        grouped.setdefault(find(d), []).append(d)
+    components = [tuple(members) for members in grouped.values()]
+    components.sort(key=lambda c: c[0])
+
+    blockers: List[str] = []
+    if requested_shards <= 1:
+        blockers.append("sharding not requested (shards <= 1)")
+    if len(components) <= 1:
+        blockers.append(
+            "all networks fall in one component (shared app/token/IP "
+            "state; the paper's cross-network overlap makes this the "
+            "default ecosystem's shape)")
+    if faults_active:
+        blockers.append("fault plan active: scalar fault decisions are "
+                        "a single sequential stream ordered by the "
+                        "global event interleaving")
+    if outgoing_per_hour > 0:
+        blockers.append("outgoing background activity allocates global "
+                        "post ids and draws from the shared member "
+                        "directory mid-day")
+    if not hasattr(os, "fork"):  # pragma: no cover - non-POSIX
+        blockers.append("fork unavailable on this platform")
+    return ShardPlan(components=components, conflicts=conflicts,
+                     blockers=blockers)
+
+
+@dataclass
+class ShardDayDelta:
+    """Everything one shard child mutated during one campaign day.
+
+    ``rows`` / ``activity`` hold the child's appended request-log rows
+    (as exported tuples) and platform activity records; ``segments``
+    maps them back to the originating events as
+    ``(seq, when, row_lo, row_hi, act_lo, act_hi)`` slices so the
+    parent can interleave multiple children in global event order.
+    """
+
+    domains: Tuple[str, ...]
+    rows: list
+    activity: list
+    segments: List[Tuple[int, int, int, int, int, int]]
+    windows: dict
+    network_states: Dict[str, dict]
+    #: Per-domain member drops in execution order; replayed onto the
+    #: parent's own ``dead_members`` sets (see
+    #: CollusionNetwork._SHARD_SKIP_FIELDS for why the set itself does
+    #: not cross the process boundary).
+    drop_journals: Dict[str, List[str]]
+    post_likes: Dict[str, list]
+    charge_delta: Dict[str, int]
+    likes_delivered: Dict[str, int]
+
+
+def _execute_component(campaign, component: Sequence[str], events,
+                       request_posts: Dict[int, str]) -> ShardDayDelta:
+    """Run one component's day inside the forked child."""
+    world = campaign.world
+    api = world.api
+    log = api.log
+    platform = world.platform
+    row0 = len(log)
+    charge_before = dict(api.charge_counters)
+    journal = platform.activity_log.start_journal()
+    likes_delivered = {domain: 0 for domain in component}
+    # Limiter keys this component owns: its networks' token strings
+    # (snapshotted both before and after the day, so windows of tokens
+    # dropped mid-day still ship home) and their server IPs.
+    owned_tokens = set()
+    owned_ips = set()
+    for domain in component:
+        network = campaign.networks[domain]
+        owned_tokens.update(network.token_db.values())
+        owned_ips.update(network.ip_pool.addresses)
+        network._shard_drop_journal = []
+    segments: List[Tuple[int, int, int, int, int, int]] = []
+    clock = world.clock
+    for event in events:
+        # Children replay their slice of the day from its start, which
+        # may sit before the parent's post-creation pre-pass clock;
+        # within the slice timestamps are non-decreasing.
+        clock._now = event.when
+        row_lo = len(log) - row0
+        act_lo = len(journal)
+        network = campaign.networks[event.domain]
+        if event.kind == "request":
+            report = network.submit_like_request(
+                campaign.honeypots[event.domain].account_id,
+                request_posts[event.seq])
+            likes_delivered[event.domain] += report.delivered
+        elif event.kind == "serving":
+            network.serve_background_requests(event.count)
+        else:  # pragma: no cover - excluded by plan eligibility
+            raise RuntimeError(f"unshardable event kind {event.kind!r}")
+        segments.append((event.seq, event.when, row_lo, len(log) - row0,
+                         act_lo, len(journal)))
+    platform.activity_log.stop_journal()
+    for domain in component:
+        owned_tokens.update(campaign.networks[domain].token_db.values())
+    charge_delta = {
+        key: value - charge_before.get(key, 0)
+        for key, value in api.charge_counters.items()
+        if value != charge_before.get(key, 0)}
+    post_likes = {}
+    for seq, post_id in request_posts.items():
+        likes = platform.posts[post_id].likes
+        if likes:
+            post_likes[post_id] = list(likes)
+    return ShardDayDelta(
+        domains=tuple(component),
+        rows=log.export_rows(row0),
+        activity=journal,
+        segments=segments,
+        windows=api.enforcer.export_shard_windows(owned_tokens, owned_ips),
+        network_states={domain: campaign.networks[domain].export_state()
+                        for domain in component},
+        drop_journals={domain: campaign.networks[domain]._shard_drop_journal
+                       for domain in component},
+        post_likes=post_likes,
+        charge_delta=charge_delta,
+        likes_delivered=likes_delivered,
+    )
+
+
+def _run_child(campaign, component, events, request_posts) -> ShardDayDelta:
+    """Fork, execute the component's day, ship the delta home."""
+    read_fd, write_fd = os.pipe()
+    pid = os.fork()
+    if pid == 0:
+        status = 1
+        try:
+            os.close(read_fd)
+            delta = _execute_component(campaign, component, events,
+                                       request_posts)
+            with os.fdopen(write_fd, "wb") as sink:
+                pickle.dump(delta, sink, protocol=pickle.HIGHEST_PROTOCOL)
+            status = 0
+        finally:
+            os._exit(status)
+    os.close(write_fd)
+    with os.fdopen(read_fd, "rb") as source:
+        payload = source.read()
+    _, exit_status = os.waitpid(pid, 0)
+    if exit_status != 0 or not payload:
+        raise RuntimeError(
+            f"shard child for {component} failed (status {exit_status})")
+    return pickle.loads(payload)
+
+
+def run_sharded_day(campaign, plan: ShardPlan, events, day_start: int,
+                    likes_today: Dict[str, int],
+                    posts_today: Dict[str, int]) -> None:
+    """Execute one campaign day under ``plan`` and merge the results.
+
+    Equivalent, state-for-state, to scheduling ``events`` on the world
+    scheduler and running them serially (the ``shards = 1`` path).
+    """
+    world = campaign.world
+    api = world.api
+    platform = world.platform
+
+    # Pre-pass: create the day's honeypot posts in global event order so
+    # the id-allocator sequence matches the serial run exactly.  Request
+    # posts are the only in-day allocations (plan eligibility excludes
+    # the outgoing path).
+    request_posts: Dict[int, str] = {}
+    for event in sorted((e for e in events if e.kind == "request"),
+                        key=lambda e: (e.when, e.seq)):
+        world.clock.advance_to(event.when)
+        request_posts[event.seq] = campaign._create_request_post(
+            campaign.honeypots[event.domain])
+        posts_today[event.domain] += 1
+
+    component_of = {domain: index
+                    for index, component in enumerate(plan.components)
+                    for domain in component}
+    by_component: Dict[int, list] = {}
+    for event in events:
+        by_component.setdefault(component_of[event.domain], []).append(event)
+
+    deltas: List[ShardDayDelta] = []
+    for index, component in enumerate(plan.components):
+        component_events = sorted(by_component.get(index, ()),
+                                  key=lambda e: (e.when, e.seq))
+        if not component_events:
+            continue
+        component_posts = {e.seq: request_posts[e.seq]
+                           for e in component_events
+                           if e.kind == "request"}
+        deltas.append(_run_child(campaign, component, component_events,
+                                 component_posts))
+
+    # Merge: interleave every child's log/activity segments by global
+    # event order, then install the disjoint state deltas.
+    stream = []
+    for delta in deltas:
+        for seq, when, row_lo, row_hi, act_lo, act_hi in delta.segments:
+            stream.append((when, seq, delta, row_lo, row_hi, act_lo,
+                           act_hi))
+    stream.sort(key=lambda item: (item[0], item[1]))
+    log = api.log
+    record_activity = platform.activity_log.record
+    for when, seq, delta, row_lo, row_hi, act_lo, act_hi in stream:
+        if row_hi > row_lo:
+            log.append_exported(delta.rows[row_lo:row_hi])
+        for record in delta.activity[act_lo:act_hi]:
+            record_activity(record)
+    for delta in deltas:
+        api.enforcer.install_shard_windows(delta.windows)
+        for domain, state in delta.network_states.items():
+            campaign.networks[domain].adopt_state(
+                state, dropped=delta.drop_journals[domain])
+        for post_id, likes in delta.post_likes.items():
+            post = platform.posts[post_id]
+            for like in likes:
+                post.add_like(like)
+        for key, value in delta.charge_delta.items():
+            api.charge_counters[key] = (
+                api.charge_counters.get(key, 0) + value)
+        for domain, delivered in delta.likes_delivered.items():
+            likes_today[domain] += delivered
+    world.clock.advance_to(day_start + DAY - 1)

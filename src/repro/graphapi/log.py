@@ -253,6 +253,34 @@ class RequestLog:
                         record.source_ip, record.asn, record.outcome)
 
     # ------------------------------------------------------------------
+    # Shard transfer (see repro.countermeasures.sharding)
+    # ------------------------------------------------------------------
+    def export_rows(self, start: int) -> List[tuple]:
+        """Rows ``[start:]`` as plain picklable tuples.
+
+        The action is exported as its stable enum-order code and the
+        outcome as its name, so a delta survives a process boundary
+        without carrying this log's intern/code tables along.
+        """
+        names = self._outcome_names
+        return [
+            (self._ts[row], self._action[row], self._token[row],
+             self._user[row], self._app[row], self._target[row],
+             self._ip[row], self._asn[row], names[self._outcome[row]])
+            for row in range(start, len(self._ts))
+        ]
+
+    def append_exported(self, rows: Sequence[tuple]) -> None:
+        """Replay :meth:`export_rows` output through :meth:`append_row`,
+        rebuilding interning and every secondary index locally."""
+        append_row = self.append_row
+        actions = _ACTIONS
+        for (ts, code, token, user, app, target, ip, asn,
+             outcome) in rows:
+            append_row(ts, actions[code], token, user, app, target, ip,
+                       asn, outcome)
+
+    # ------------------------------------------------------------------
     # Row access
     # ------------------------------------------------------------------
     def __len__(self) -> int:

@@ -28,6 +28,10 @@ class BaselineError(RuntimeError):
     """A ``--baseline`` tree is unusable (missing, wrong dir, dirty)."""
 
 
+class GuardError(RuntimeError):
+    """A throughput regression guard failed (or could not be checked)."""
+
+
 def _git_root(path: str) -> Optional[str]:
     """The enclosing git work tree, or None if ``path`` is not in one."""
     current = os.path.abspath(path)
@@ -326,6 +330,101 @@ def compare_trees(current_src: str, baseline_src: Optional[str],
     return document
 
 
+def sweep_tree(src_dir: str, scales, seed: int = DEFAULT_SEED,
+               hashseed: str = "0",
+               milking_days: Optional[int] = None,
+               campaign_days: Optional[int] = None,
+               repeats: int = 1) -> list:
+    """Benchmark ``src_dir`` at each scale in ``scales`` (best of
+    ``repeats`` runs per scale) and return the payload list for the
+    document's ``sweep`` section.
+
+    Each entry additionally records the study-day overrides so a guard
+    run can match a reference entry to its exact workload, not just its
+    scale.
+    """
+    entries = []
+    for scale in scales:
+        runs = [bench_tree(src_dir, scale=scale, seed=seed,
+                           hashseed=hashseed,
+                           milking_days=milking_days,
+                           campaign_days=campaign_days)
+                for _ in range(max(1, repeats))]
+        payload = _best_of(runs)
+        payload["milking_days"] = milking_days
+        payload["campaign_days"] = campaign_days
+        entries.append(payload)
+    return entries
+
+
+def _matching_reference(reference: Dict[str, Any], scale: float,
+                        milking_days: Optional[int],
+                        campaign_days: Optional[int]):
+    """The reference payload benchmarked with this exact workload."""
+    meta = reference.get("meta", {})
+    current = reference.get("current")
+    if (current is not None
+            and current.get("scale") == scale
+            and meta.get("milking_days") == milking_days
+            and meta.get("campaign_days") == campaign_days):
+        return current
+    for entry in reference.get("sweep", ()):
+        if (entry.get("scale") == scale
+                and entry.get("milking_days") == milking_days
+                and entry.get("campaign_days") == campaign_days):
+            return entry
+    return None
+
+
+def check_campaign_regression(document: Dict[str, Any],
+                              reference: Dict[str, Any],
+                              tolerance: float = 0.2) -> str:
+    """Guard the campaign stage's throughput against a reference run.
+
+    Compares the freshly benchmarked campaign events/second in
+    ``document["current"]`` with the reference entry (main payload or
+    sweep entry) that used the identical workload — same scale and day
+    overrides.  Raises :class:`GuardError` when throughput dropped by
+    more than ``tolerance`` (a fraction, default 0.2 = 20%) or when no
+    comparable reference entry exists; returns a human-readable verdict
+    otherwise.
+
+    The guard compares wall-clock throughput, so it is only meaningful
+    when reference and current run on comparable hardware; widen
+    ``tolerance`` on noisy shared runners rather than deleting the
+    check.
+    """
+    current = document["current"]
+    meta = document.get("meta", {})
+    scale = current.get("scale")
+    entry = _matching_reference(reference, scale,
+                                meta.get("milking_days"),
+                                meta.get("campaign_days"))
+    if entry is None:
+        raise GuardError(
+            f"reference document has no entry for scale={scale} "
+            f"milking_days={meta.get('milking_days')} "
+            f"campaign_days={meta.get('campaign_days')}; regenerate the "
+            "reference with --sweep covering this workload")
+    try:
+        reference_eps = entry["stages"]["campaign"]["events_per_second"]
+        current_eps = current["stages"]["campaign"]["events_per_second"]
+    except KeyError as error:
+        raise GuardError(
+            f"campaign stage missing from payload: {error}") from error
+    if reference_eps <= 0:
+        raise GuardError(
+            f"reference campaign throughput is {reference_eps}; cannot guard")
+    floor = reference_eps * (1.0 - tolerance)
+    verdict = (f"campaign throughput {current_eps:,.0f} events/s vs "
+               f"reference {reference_eps:,.0f} (floor {floor:,.0f} at "
+               f"{tolerance:.0%} tolerance)")
+    if current_eps < floor:
+        raise GuardError(
+            f"campaign throughput regression: {verdict}")
+    return f"guard ok: {verdict}"
+
+
 def render(document: Dict[str, Any]) -> str:
     """Human-readable rendering of a benchmark document."""
     lines = []
@@ -342,4 +441,14 @@ def render(document: Dict[str, Any]) -> str:
                 f"({stage['events_per_second']:,.0f}/s)")
     if "speedup" in document:
         lines.append(f"speedup: {document['speedup']:.2f}x")
+    sweep = document.get("sweep")
+    if sweep:
+        lines.append("scale sweep (current tree):")
+        for payload in sweep:
+            campaign = payload["stages"].get("campaign", {})
+            lines.append(
+                f"  scale {payload['scale']:<6}  "
+                f"{payload['total_seconds']:>8.2f}s total  "
+                f"{payload['total_log_rows']:>9,} rows  "
+                f"campaign {campaign.get('events_per_second', 0.0):,.0f}/s")
     return "\n".join(lines)

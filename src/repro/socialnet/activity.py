@@ -38,10 +38,21 @@ class ActivityLog:
     def __init__(self) -> None:
         self._by_actor: Dict[str, List[ActivityRecord]] = {}
         self._total = 0
+        self._journal: Optional[List[ActivityRecord]] = None
 
     def record(self, record: ActivityRecord) -> None:
         self._by_actor.setdefault(record.actor_id, []).append(record)
         self._total += 1
+        if self._journal is not None:
+            self._journal.append(record)
+
+    def start_journal(self) -> List[ActivityRecord]:
+        """Start mirroring appends into a side list (shard export)."""
+        self._journal = []
+        return self._journal
+
+    def stop_journal(self) -> None:
+        self._journal = None
 
     def for_actor(self, actor_id: str) -> List[ActivityRecord]:
         """All activity by ``actor_id``, oldest first."""

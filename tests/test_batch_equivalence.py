@@ -15,6 +15,18 @@ import pytest
 
 from repro.core.config import StudyConfig
 from repro.experiments import export, runner
+from repro.faults.plan import FaultPlan, FaultRule
+
+#: An actively hostile plan for the fault-equivalence tests: transient
+#: errors on the delivery and charge paths, occasional mid-flight token
+#: invalidation, and chunk failures that trip the wave circuit breaker.
+FAULT_PLAN = FaultPlan((
+    FaultRule(kind="transient", probability=0.01,
+              actions=frozenset({"LIKE_POST", "CHARGE_LIKE"})),
+    FaultRule(kind="invalidate_token", probability=0.0005,
+              actions=frozenset({"LIKE_POST"})),
+    FaultRule(kind="chunk", probability=0.02),
+))
 
 
 def _log_digest(log) -> str:
@@ -26,9 +38,9 @@ def _log_digest(log) -> str:
     return h.hexdigest()
 
 
-def _run_study(batching: bool):
+def _run_study(batching: bool, fault_plan: FaultPlan = FaultPlan()):
     config = StudyConfig(scale=0.002, seed=13, milking_days=6,
-                         campaign_days=12)
+                         campaign_days=12, fault_plan=fault_plan)
     artifacts = runner.build_world(config)
     for network in artifacts.ecosystem.networks.values():
         network.batch_requests_enabled = batching
@@ -89,3 +101,82 @@ def test_parallel_experiments_match_serial(batched_artifacts):
     assert parallel.render() == serial.render()
     assert (export.report_to_json(parallel)
             == export.report_to_json(serial))
+
+
+# ----------------------------------------------------------------------
+# Equivalence under an active fault plan
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def faulted_batched():
+    return _run_study(batching=True, fault_plan=FAULT_PLAN)
+
+
+@pytest.fixture(scope="module")
+def faulted_scalar():
+    return _run_study(batching=False, fault_plan=FAULT_PLAN)
+
+
+def test_faulted_wave_matches_scalar(faulted_batched, faulted_scalar):
+    """Chunk faults pace the wave into segments, transients trip retries
+    and mid-flight invalidations kill tokens — and the wave path must
+    still replay the scalar trajectory byte for byte: same fault
+    decisions (the scalar stream is shared; chunk rolls live on their
+    own dedicated stream), same log rows, same charges."""
+    batched_world = faulted_batched.world
+    scalar_world = faulted_scalar.world
+    assert len(batched_world.api.log) == len(scalar_world.api.log)
+    assert (_log_digest(batched_world.api.log)
+            == _log_digest(scalar_world.api.log))
+    assert (batched_world.api.charge_counters
+            == scalar_world.api.charge_counters)
+    # Identical per-kind scalar fault decisions; chunk decisions are
+    # wave-only by design (the scalar path never opens a chunk).
+    batched_counts = dict(batched_world.faults.counters)
+    scalar_counts = dict(scalar_world.faults.counters)
+    batched_counts.pop("chunk", None)
+    scalar_counts.pop("chunk", None)
+    assert batched_counts == scalar_counts
+    # Per-network RNG streams ended in the same state.
+    for domain, network in faulted_batched.ecosystem.networks.items():
+        scalar_network = faulted_scalar.ecosystem.networks[domain]
+        assert network.rng.getstate() == scalar_network.rng.getstate(), domain
+
+
+def test_faulted_report_matches_scalar(faulted_batched, faulted_scalar):
+    batched = runner.run_experiments(faulted_batched)
+    scalar = runner.run_experiments(faulted_scalar)
+    assert batched.render() == scalar.render()
+    assert (export.report_to_json(batched)
+            == export.report_to_json(scalar))
+
+
+def test_faults_actually_fired(faulted_batched, faulted_scalar):
+    # Non-vacuous: the plan injected faults in both runs, and the wave
+    # run rolled its chunk rules.
+    assert faulted_scalar.world.faults.total_injected() > 0
+    assert faulted_batched.world.faults.counters.get("transient", 0) > 0
+    assert faulted_batched.world.faults.counters.get("chunk", 0) > 0
+
+
+def test_delivery_attempts_stay_within_budget(faulted_batched,
+                                              faulted_scalar):
+    """Attempt accounting regression: a delivery round's ``attempts``
+    is bounded by its retry budget and never below ``delivered`` — a
+    chunk fallback must not double-count the entries it re-walks
+    through the scalar loop.  Both studies left identical state, so one
+    further request must also produce field-identical reports."""
+    probes = {}
+    for name, artifacts in (("wave", faulted_batched),
+                            ("scalar", faulted_scalar)):
+        domain, network = next(iter(
+            artifacts.ecosystem.networks.items()))
+        member = network._member_list[0]
+        post = artifacts.world.platform.create_post(
+            member, "attempt accounting probe")
+        report = network.submit_like_request(member, post.post_id)
+        budget = max(1, int(report.requested * network.profile.retry_factor))
+        assert report.attempts <= budget
+        assert report.delivered <= report.attempts
+        probes[name] = (domain, report.requested, report.delivered,
+                        report.attempts, report.halted)
+    assert probes["wave"] == probes["scalar"]

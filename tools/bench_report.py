@@ -19,6 +19,12 @@ Before/after against a baseline worktree::
 
     git worktree add /tmp/baseline <ref>
     python tools/bench_report.py --baseline /tmp/baseline/src
+
+Scale sweep plus regression guard (the committed reference document)::
+
+    python tools/bench_report.py --sweep --out BENCH_PIPELINE.json
+    python tools/bench_report.py --scale 0.001 --out /tmp/guard.json \
+        --guard BENCH_PIPELINE.json
 """
 
 from __future__ import annotations
@@ -51,6 +57,23 @@ def main(argv=None) -> int:
     parser.add_argument("--baseline", type=str, default=None,
                         help="src dir of the baseline tree to compare "
                              "against")
+    parser.add_argument("--sweep", type=str, nargs="?",
+                        const="0.001,0.01,0.1", default=None,
+                        metavar="SCALES",
+                        help="also benchmark the current tree at these "
+                             "comma-separated scales (default "
+                             "0.001,0.01,0.1) and record a 'sweep' "
+                             "section in the document")
+    parser.add_argument("--guard", type=str, default=None,
+                        metavar="REFERENCE_JSON",
+                        help="compare campaign events/s against the "
+                             "matching entry (same scale and day "
+                             "overrides) of this reference document; "
+                             "exit 3 if throughput dropped by more than "
+                             "--guard-tolerance")
+    parser.add_argument("--guard-tolerance", type=float, default=0.2,
+                        help="allowed fractional campaign throughput "
+                             "drop before --guard fails (default 0.2)")
     parser.add_argument("--out", type=str,
                         default=os.path.join(REPO_ROOT,
                                              "BENCH_PIPELINE.json"))
@@ -67,11 +90,29 @@ def main(argv=None) -> int:
     except bench.BaselineError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+
+    if args.sweep:
+        scales = [float(token) for token in args.sweep.split(",") if token]
+        document["sweep"] = bench.sweep_tree(
+            SRC_DIR, scales, seed=args.seed, hashseed=args.hashseed,
+            milking_days=args.milking_days,
+            campaign_days=args.campaign_days, repeats=args.repeats)
+
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2)
         handle.write("\n")
     print(bench.render(document))
     print(f"wrote {args.out}")
+
+    if args.guard:
+        with open(args.guard, "r", encoding="utf-8") as handle:
+            reference = json.load(handle)
+        try:
+            print(bench.check_campaign_regression(
+                document, reference, tolerance=args.guard_tolerance))
+        except bench.GuardError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 3
     return 0
 
 
