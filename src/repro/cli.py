@@ -86,6 +86,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--resume", action="store_true",
                      help="reuse checkpoints from a previous (crashed) "
                           "run instead of clearing them")
+    run.add_argument("--journal", type=str, default=None,
+                     help="campaign WAL + day-checkpoint directory; "
+                          "with --resume, a killed run restarts from "
+                          "its last completed campaign day instead of "
+                          "day 1")
     run.add_argument("--parallel-experiments", action="store_true",
                      help="fan experiment jobs out over processes")
     run.add_argument("--job-timeout", type=float, default=None,
@@ -201,10 +206,35 @@ def cmd_full(args) -> int:
     return 0
 
 
+def _run_summary(artifacts, store, recovery) -> str:
+    """Durability report for ``repro run``: what was reused, what
+    fell back, what the log hashes to."""
+    lines = ["run summary:"]
+    lines.append(f"  experiment checkpoints: {store.hits} hit(s), "
+                 f"{store.misses} miss(es)")
+    campaign = artifacts.campaign
+    if campaign is not None:
+        if campaign.shard_plan is not None:
+            lines.extend("  " + line for line
+                         in campaign.shard_plan.describe().splitlines())
+        for failure in campaign.shard_failures:
+            lines.append("  shard worker quarantined: " + failure)
+    if recovery is not None:
+        described = recovery.describe()
+        if described:
+            lines.extend("  " + line for line in described.splitlines())
+    log = artifacts.world.api.log
+    lines.append(f"  request log: {len(log)} row(s), "
+                 f"digest {log.digest()}")
+    return "\n".join(lines)
+
+
 def cmd_run(args) -> int:
     from repro.experiments.checkpoint import CheckpointStore
     from repro.experiments.runner import run_full_study
     from repro.faults.plan import FaultPlan
+    from repro.countermeasures.recovery import CampaignRecovery
+    from repro.journal.wal import SimulatedCrash
 
     fault_plan = None
     if args.faults:
@@ -236,13 +266,43 @@ def cmd_run(args) -> int:
             return 2
     else:
         store.clear()
-    _artifacts, report = run_full_study(
-        config, parallel_experiments=args.parallel_experiments,
-        checkpoint=store, job_timeout=args.job_timeout)
+    recovery = None
+    if args.journal:
+        recovery = CampaignRecovery(args.journal, resume=args.resume)
+    try:
+        artifacts, report = run_full_study(
+            config, parallel_experiments=args.parallel_experiments,
+            checkpoint=store, job_timeout=args.job_timeout,
+            campaign_recovery=recovery)
+    except SimulatedCrash as crash:
+        # A fault-plan crash (torn_tail etc.) ended the process the way
+        # kill -9 would; the journal survives, so the same invocation
+        # with --resume picks the campaign back up.  EX_SOFTWARE keeps
+        # chaos harnesses able to tell "injected crash" from success.
+        print(f"simulated crash: {crash}", file=sys.stderr)
+        return 70
+    summary = _run_summary(artifacts, store, recovery)
     if args.json:
-        _emit(export.report_to_json(report), args.out)
+        campaign = artifacts.campaign
+        log = artifacts.world.api.log
+        payload = json.loads(export.report_to_json(report))
+        payload["run"] = {
+            "checkpoint_hits": store.hits,
+            "checkpoint_misses": store.misses,
+            "resumed_from_day": (campaign.resumed_from_day
+                                 if campaign is not None else None),
+            "shard_blockers": (list(campaign.shard_plan.blockers)
+                               if campaign is not None
+                               and campaign.shard_plan is not None
+                               else []),
+            "shard_failures": (list(campaign.shard_failures)
+                               if campaign is not None else []),
+            "log_rows": len(log),
+            "log_digest": log.digest(),
+        }
+        _emit(json.dumps(payload, indent=2), args.out)
     else:
-        _emit(report.render(), args.out)
+        _emit(report.render() + "\n\n" + summary, args.out)
     return 0
 
 

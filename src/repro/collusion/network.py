@@ -57,6 +57,11 @@ class DeliveryReport:
     transient_failures: int = 0
     #: Retry attempts spent on transient failures during this delivery.
     retries: int = 0
+    #: Retry loops that gave up with attempts left to burn but the
+    #: elapsed-time budget (``RetryPolicy.max_elapsed``) exhausted...
+    giveups_deadline: int = 0
+    #: ...vs loops that burned the full attempt budget.
+    giveups_attempts: int = 0
     halted: bool = False  # no usable IPs left: delivery cannot continue
 
     @property
@@ -174,6 +179,13 @@ class CollusionNetwork:
         # Drop journal for shard children (see export_state); None means
         # not recording.
         self._shard_drop_journal: Optional[List[str]] = None
+        # Membership-op journal for campaign checkpoints: an ordered
+        # record of every ("store", id) / ("drop", id) mutation of
+        # ``dead_members`` since recording began.  A crash-recovery
+        # resume replays it onto the rebuilt base set, reproducing both
+        # the set's *contents* and its *iteration order* (which feeds
+        # the replenishment shuffle) without ever pickling the set.
+        self._member_op_journal: Optional[List[Tuple[str, str]]] = None
 
         # IP health for today.
         self._exhausted_ips: Set[str] = set()
@@ -292,6 +304,8 @@ class CollusionNetwork:
     def _store_member(self, account_id: str, token_string: str,
                       country: str) -> None:
         self.dead_members.discard(account_id)
+        if self._member_op_journal is not None:
+            self._member_op_journal.append(("store", account_id))
         if account_id not in self.token_db:
             self._member_index[account_id] = len(self._member_list)
             self._member_list.append(account_id)
@@ -309,6 +323,8 @@ class CollusionNetwork:
             self._member_list[idx] = last
             self._member_index[last] = idx
         self.dead_members.add(account_id)
+        if self._member_op_journal is not None:
+            self._member_op_journal.append(("drop", account_id))
         if self._shard_drop_journal is not None:
             self._shard_drop_journal.append(account_id)
 
@@ -352,7 +368,7 @@ class CollusionNetwork:
     _SHARD_SKIP_FIELDS = frozenset((
         "world", "directory", "ip_pool", "app", "profile",
         "comment_dictionary", "_rng_random", "_getrandbits",
-        "dead_members", "_shard_drop_journal",
+        "dead_members", "_shard_drop_journal", "_member_op_journal",
     ))
 
     def export_state(self) -> dict:
@@ -372,6 +388,8 @@ class CollusionNetwork:
         self._getrandbits = self.rng.getrandbits
         for account_id in dropped:
             self.dead_members.add(account_id)
+            if self._member_op_journal is not None:
+                self._member_op_journal.append(("drop", account_id))
 
     # ------------------------------------------------------------------
     # Sampling
@@ -648,7 +666,8 @@ class CollusionNetwork:
                 self._deliver_likes_scalar(post_id, quota, budget, used,
                                            report)
                 return
-            if inj.decide_chunk(min(room, self._BATCH_CHUNK)):
+            if inj.decide_chunk(min(room, self._BATCH_CHUNK),
+                                key=self.domain):
                 self._batch_failed()
                 continue
             wave = api.delivery_wave(post_id)
@@ -720,10 +739,16 @@ class CollusionNetwork:
             code = wave_like(token, ip)
             if code in _TRANSIENT_CODES:
                 before = counters["retries"]
+                attempts0 = counters["giveups_attempts"]
+                deadline0 = counters["giveups_deadline"]
                 code = retry_policy.retry(
                     "like_post", member, now,
                     lambda: wave_like(token, ip), code)
                 report.retries += counters["retries"] - before
+                report.giveups_attempts += (
+                    counters["giveups_attempts"] - attempts0)
+                report.giveups_deadline += (
+                    counters["giveups_deadline"] - deadline0)
             if code is not None:
                 if code == "invalid_token":
                     self._drop_member(member)
@@ -764,13 +789,20 @@ class CollusionNetwork:
         code = self.world.api.try_like_post(token, post_id, source_ip=ip)
         if code in _TRANSIENT_CODES:
             policy = self.retry_policy
-            before = policy.counters["retries"]
+            counters = policy.counters
+            before = counters["retries"]
+            attempts0 = counters["giveups_attempts"]
+            deadline0 = counters["giveups_deadline"]
             code = policy.retry(
                 "like_post", member, self.world.clock._now,
                 lambda: self.world.api.try_like_post(
                     token, post_id, source_ip=ip),
                 code)
-            report.retries += policy.counters["retries"] - before
+            report.retries += counters["retries"] - before
+            report.giveups_attempts += (
+                counters["giveups_attempts"] - attempts0)
+            report.giveups_deadline += (
+                counters["giveups_deadline"] - deadline0)
         if code is not None:
             if code == "invalid_token":
                 self._drop_member(member)
@@ -862,10 +894,17 @@ class CollusionNetwork:
             return None
 
         policy = self.retry_policy
-        before = policy.counters["retries"]
+        counters = policy.counters
+        before = counters["retries"]
+        attempts0 = counters["giveups_attempts"]
+        deadline0 = counters["giveups_deadline"]
         code = policy.retry("comment", member, self.world.clock._now,
                             attempt, "transient")
-        report.retries += policy.counters["retries"] - before
+        report.retries += counters["retries"] - before
+        report.giveups_attempts += (
+            counters["giveups_attempts"] - attempts0)
+        report.giveups_deadline += (
+            counters["giveups_deadline"] - deadline0)
         return code
 
     # ------------------------------------------------------------------
@@ -1229,7 +1268,7 @@ class CollusionNetwork:
                 delivered += got
                 continue
             seg = min(room, self._BATCH_CHUNK)
-            if inj.decide_chunk(seg):
+            if inj.decide_chunk(seg, key=self.domain):
                 self._batch_failed()
                 continue
             wave = api.delivery_wave()

@@ -44,6 +44,7 @@ from repro.countermeasures.ratelimits import apply_reduced_token_limit
 from repro.countermeasures.sharding import (
     DayEvent,
     ShardPlan,
+    ShardSupervisor,
     plan_shards,
     run_sharded_day,
 )
@@ -178,6 +179,12 @@ class CampaignResults:
     #: The certified shard partition, when ``config.shards > 1`` asked
     #: for one (None otherwise).
     shard_plan: Optional[ShardPlan] = None
+    #: Human-readable records of quarantined shard children that were
+    #: re-executed serially by the supervisor.
+    shard_failures: List[str] = field(default_factory=list)
+    #: Campaign day a crash-recovery resume restarted from (None for an
+    #: uninterrupted run).
+    resumed_from_day: Optional[int] = None
 
 
 class CountermeasureCampaign:
@@ -211,21 +218,34 @@ class CountermeasureCampaign:
         self.interventions: List[Tuple[int, str]] = []
         self.clustering_outcomes: List[Tuple[int, ClusteringOutcome]] = []
         self.shard_plan: Optional[ShardPlan] = None
+        self.shard_supervisor = ShardSupervisor()
         if self.config.shards > 1:
             self.shard_plan = plan_shards(
                 self.networks,
-                faults_active=world.faults is not None,
                 outgoing_per_hour=self.config.outgoing_per_hour,
                 requested_shards=self.config.shards)
         self._start_day = world.clock.day()
         self._campaign_start_ts = world.clock.now()
 
     # ------------------------------------------------------------------
-    def run(self) -> CampaignResults:
+    def run(self, recovery=None) -> CampaignResults:
+        """Run the campaign, optionally under a
+        :class:`~repro.countermeasures.recovery.CampaignRecovery` that
+        journals rows, checkpoints day boundaries and — on resume —
+        fast-forwards past the days already on disk."""
         config = self.config
         self._schedule_outages()
-        for campaign_day in range(1, config.days + 1):
+        first_day = 1
+        if recovery is not None:
+            first_day = recovery.prepare(self)
+        for campaign_day in range(first_day, config.days + 1):
+            if recovery is not None:
+                recovery.begin_day(self, campaign_day)
             self._run_day(campaign_day)
+            if recovery is not None:
+                recovery.on_day_complete(self, campaign_day)
+        if recovery is not None:
+            recovery.finish(self)
         return CampaignResults(
             config=config,
             start_day=self._start_day,
@@ -236,6 +256,10 @@ class CountermeasureCampaign:
             clustering_outcomes=self.clustering_outcomes,
             tokens_invalidated=self.invalidator.total_invalidated,
             shard_plan=self.shard_plan,
+            shard_failures=[failure.describe() for failure
+                            in self.shard_supervisor.failures],
+            resumed_from_day=(recovery.resumed_from_day
+                              if recovery is not None else None),
         )
 
     # ------------------------------------------------------------------

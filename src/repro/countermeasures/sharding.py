@@ -27,14 +27,26 @@ plan:
   sharding entirely: that path allocates post ids from the global
   :class:`~repro.sim.ids.IdAllocator` and draws members from the shared
   :class:`~repro.collusion.network.MemberDirectory` stream mid-day, and
-  both sequences are defined by the global event interleaving;
-* an active fault plan disables sharding: scalar fault decisions come
-  from one sequential RNG stream whose draw order is likewise defined
-  by the global interleaving.
+  both sequences are defined by the global event interleaving.
+
+An active fault plan is *not* a blocker: fault decisions are keyed
+per-subject hashes (see :mod:`repro.faults.plan`), so each child
+reproduces exactly the draws its own tokens and networks would have
+seen serially, and ships its draw-counter/tally deltas (plus any token
+invalidations it performed) home in the day delta.
 
 An ineligible plan is not an error — the campaign simply runs the
 serial path and reports why, so ``shards > 1`` is always byte-identical
 to ``shards = 1`` (see tests/test_sharded_campaign.py).
+
+Worker supervision: children are run under a :class:`ShardSupervisor`
+that watches each fork with a wall-clock deadline.  A child that dies
+(crash-fault SIGKILL, OOM-kill), hangs past the deadline, or ships a
+truncated/unreadable delta is *quarantined*: its failure is recorded,
+and the parent deterministically re-executes the component's
+pre-planned :class:`DayEvent` slice inline — mutating its own state
+directly, exactly as the serial path would — so the merged day remains
+byte-identical to the serial oracle no matter how the child died.
 
 Merge protocol, per day: the parent first creates the day's honeypot
 posts in global event order (pinning the id-allocator sequence), then
@@ -57,6 +69,9 @@ from __future__ import annotations
 
 import os
 import pickle
+import select
+import signal
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -132,7 +147,7 @@ class ShardPlan:
         return "\n".join(lines)
 
 
-def plan_shards(networks: Dict[str, object], *, faults_active: bool,
+def plan_shards(networks: Dict[str, object], *,
                 outgoing_per_hour: float,
                 requested_shards: int = 2) -> ShardPlan:
     """Partition ``networks`` into independently executable components.
@@ -185,10 +200,6 @@ def plan_shards(networks: Dict[str, object], *, faults_active: bool,
             "all networks fall in one component (shared app/token/IP "
             "state; the paper's cross-network overlap makes this the "
             "default ecosystem's shape)")
-    if faults_active:
-        blockers.append("fault plan active: scalar fault decisions are "
-                        "a single sequential stream ordered by the "
-                        "global event interleaving")
     if outgoing_per_hour > 0:
         blockers.append("outgoing background activity allocates global "
                         "post ids and draws from the shared member "
@@ -224,17 +235,28 @@ class ShardDayDelta:
     post_likes: Dict[str, list]
     charge_delta: Dict[str, int]
     likes_delivered: Dict[str, int]
+    #: FaultInjector.export_delta output (draw counters, fault tallies,
+    #: token invalidations to replay) — ``None`` when no plan is active.
+    fault_state: Optional[dict] = None
 
 
 def _execute_component(campaign, component: Sequence[str], events,
-                       request_posts: Dict[int, str]) -> ShardDayDelta:
-    """Run one component's day inside the forked child."""
+                       request_posts: Dict[int, str],
+                       crash_after: Optional[int] = None) -> ShardDayDelta:
+    """Run one component's day inside the forked child.
+
+    ``crash_after`` is the child-crash fault decision shipped in from
+    the parent: after executing that many events the child SIGKILLs
+    itself, leaving the supervisor to recover the component.
+    """
     world = campaign.world
     api = world.api
     log = api.log
     platform = world.platform
     row0 = len(log)
     charge_before = dict(api.charge_counters)
+    injector = api.faults
+    fault_snapshot = injector.snapshot() if injector is not None else None
     journal = platform.activity_log.start_journal()
     likes_delivered = {domain: 0 for domain in component}
     # Limiter keys this component owns: its networks' token strings
@@ -249,7 +271,10 @@ def _execute_component(campaign, component: Sequence[str], events,
         network._shard_drop_journal = []
     segments: List[Tuple[int, int, int, int, int, int]] = []
     clock = world.clock
+    executed = 0
     for event in events:
+        if crash_after is not None and executed >= crash_after:
+            os.kill(os.getpid(), signal.SIGKILL)
         # Children replay their slice of the day from its start, which
         # may sit before the parent's post-creation pre-pass clock;
         # within the slice timestamps are non-decreasing.
@@ -268,6 +293,7 @@ def _execute_component(campaign, component: Sequence[str], events,
             raise RuntimeError(f"unshardable event kind {event.kind!r}")
         segments.append((event.seq, event.when, row_lo, len(log) - row0,
                          act_lo, len(journal)))
+        executed += 1
     platform.activity_log.stop_journal()
     for domain in component:
         owned_tokens.update(campaign.networks[domain].token_db.values())
@@ -293,32 +319,164 @@ def _execute_component(campaign, component: Sequence[str], events,
         post_likes=post_likes,
         charge_delta=charge_delta,
         likes_delivered=likes_delivered,
+        fault_state=(injector.export_delta(fault_snapshot)
+                     if injector is not None else None),
     )
 
 
-def _run_child(campaign, component, events, request_posts) -> ShardDayDelta:
-    """Fork, execute the component's day, ship the delta home."""
-    read_fd, write_fd = os.pipe()
-    pid = os.fork()
-    if pid == 0:
-        status = 1
+@dataclass(frozen=True)
+class ShardWorkerFailure:
+    """One quarantined shard child and why it was quarantined."""
+
+    day: int
+    component: Tuple[str, ...]
+    reason: str
+
+    def describe(self) -> str:
+        return (f"day {self.day}: shard child for "
+                f"{'+'.join(self.component)} {self.reason}; "
+                f"re-executed serially")
+
+
+class ShardSupervisor:
+    """Runs shard children under a crash/hang watch.
+
+    A child that exits abnormally (e.g. the ``child_crash`` fault's
+    SIGKILL), hangs past ``child_timeout`` wall-clock seconds, or ships
+    an unreadable delta is quarantined: the failure is recorded in
+    :attr:`failures` and ``run_component`` returns ``None``, telling
+    the caller to re-execute the component's pre-planned events
+    serially in the parent.  The timeout is real wall-clock time — it
+    bounds a wedged *process*, not simulated time.
+    """
+
+    def __init__(self, child_timeout: float = 600.0) -> None:
+        self.child_timeout = child_timeout
+        self.failures: List[ShardWorkerFailure] = []
+
+    def run_component(self, campaign, component, events, request_posts,
+                      day: int,
+                      crash_after: Optional[int] = None,
+                      ) -> Optional[ShardDayDelta]:
+        """Fork, execute the component's day, ship the delta home."""
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:
+            status = 1
+            try:
+                os.close(read_fd)
+                # Only the parent may write the shared WAL: the child
+                # exports its rows in the delta instead.
+                campaign.world.api.log.detach_journal()
+                delta = _execute_component(campaign, component, events,
+                                           request_posts,
+                                           crash_after=crash_after)
+                with os.fdopen(write_fd, "wb") as sink:
+                    pickle.dump(delta, sink,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                status = 0
+            finally:
+                os._exit(status)
+        os.close(write_fd)
+        payload, timed_out = self._drain(read_fd, pid)
+        _, exit_status = os.waitpid(pid, 0)
+        reason = None
+        if timed_out:
+            reason = (f"hung past the {self.child_timeout:.0f}s deadline "
+                      f"and was killed")
+        elif exit_status != 0:
+            code = os.waitstatus_to_exitcode(exit_status)
+            reason = (f"died on signal {-code}" if code < 0
+                      else f"exited with status {code}")
+        elif not payload:
+            reason = "exited cleanly but shipped no delta"
+        if reason is None:
+            try:
+                return pickle.loads(payload)
+            except Exception as exc:  # noqa: BLE001 - quarantine any bad payload
+                reason = f"shipped an unreadable delta ({exc!r})"
+        self.failures.append(ShardWorkerFailure(
+            day=day, component=tuple(component), reason=reason))
+        return None
+
+    def _drain(self, read_fd: int, pid: int) -> Tuple[bytes, bool]:
+        """Read the child's pipe to EOF under the wall-clock deadline.
+
+        Supervising a real forked process: the hang deadline must be
+        wall-clock, not sim time, hence the RL001 pragmas.
+        """
+        deadline = time.monotonic() + self.child_timeout  # reprolint: disable=RL001 — real child supervision
+        chunks: List[bytes] = []
         try:
-            os.close(read_fd)
-            delta = _execute_component(campaign, component, events,
-                                       request_posts)
-            with os.fdopen(write_fd, "wb") as sink:
-                pickle.dump(delta, sink, protocol=pickle.HIGHEST_PROTOCOL)
-            status = 0
+            while True:
+                remaining = deadline - time.monotonic()  # reprolint: disable=RL001 — real child supervision
+                if remaining <= 0:
+                    os.kill(pid, signal.SIGKILL)
+                    return b"", True
+                ready, _, _ = select.select([read_fd], [], [], remaining)
+                if not ready:
+                    continue
+                data = os.read(read_fd, 1 << 20)
+                if not data:
+                    return b"".join(chunks), False
+                chunks.append(data)
         finally:
-            os._exit(status)
-    os.close(write_fd)
-    with os.fdopen(read_fd, "rb") as source:
-        payload = source.read()
-    _, exit_status = os.waitpid(pid, 0)
-    if exit_status != 0 or not payload:
-        raise RuntimeError(
-            f"shard child for {component} failed (status {exit_status})")
-    return pickle.loads(payload)
+            os.close(read_fd)
+
+
+def _reexecute_inline(campaign, component, events,
+                      request_posts: Dict[int, str]) -> ShardDayDelta:
+    """Serially re-execute a quarantined component in the parent.
+
+    The events mutate the parent's own limiter windows, network
+    objects, token store, posts and charge counters directly — exactly
+    like the serial path — so the returned delta is *reduced*: it
+    carries only the log rows and activity records (rolled back here,
+    re-applied by the merge in global event order) plus the delivered
+    counts.  Everything else is already in place.
+    """
+    world = campaign.world
+    api = world.api
+    log = api.log
+    platform = world.platform
+    row0 = len(log)
+    journal = platform.activity_log.start_journal()
+    likes_delivered = {domain: 0 for domain in component}
+    segments: List[Tuple[int, int, int, int, int, int]] = []
+    clock = world.clock
+    for event in events:
+        clock._now = event.when
+        row_lo = len(log) - row0
+        act_lo = len(journal)
+        network = campaign.networks[event.domain]
+        if event.kind == "request":
+            report = network.submit_like_request(
+                campaign.honeypots[event.domain].account_id,
+                request_posts[event.seq])
+            likes_delivered[event.domain] += report.delivered
+        elif event.kind == "serving":
+            network.serve_background_requests(event.count)
+        else:  # pragma: no cover - excluded by plan eligibility
+            raise RuntimeError(f"unshardable event kind {event.kind!r}")
+        segments.append((event.seq, event.when, row_lo, len(log) - row0,
+                         act_lo, len(journal)))
+    platform.activity_log.stop_journal()
+    rows = log.export_rows(row0)
+    log.truncate(row0)
+    platform.activity_log.rollback(journal)
+    return ShardDayDelta(
+        domains=tuple(component),
+        rows=rows,
+        activity=journal,
+        segments=segments,
+        windows={},
+        network_states={},
+        drop_journals={domain: [] for domain in component},
+        post_likes={},
+        charge_delta={},
+        likes_delivered=likes_delivered,
+        fault_state=None,
+    )
 
 
 def run_sharded_day(campaign, plan: ShardPlan, events, day_start: int,
@@ -328,10 +486,17 @@ def run_sharded_day(campaign, plan: ShardPlan, events, day_start: int,
 
     Equivalent, state-for-state, to scheduling ``events`` on the world
     scheduler and running them serially (the ``shards = 1`` path).
+    Children run under the campaign's :class:`ShardSupervisor`; a
+    quarantined component is re-executed inline before the merge.
     """
     world = campaign.world
     api = world.api
     platform = world.platform
+    day = day_start // DAY
+    # The WAL is suspended for the whole sharded day: rows are journaled
+    # once, at the merge below, in exactly the interleaved order the
+    # serial path would have appended them.
+    wal = api.log.detach_journal()
 
     # Pre-pass: create the day's honeypot posts in global event order so
     # the id-allocator sequence matches the serial run exactly.  Request
@@ -352,6 +517,8 @@ def run_sharded_day(campaign, plan: ShardPlan, events, day_start: int,
     for event in events:
         by_component.setdefault(component_of[event.domain], []).append(event)
 
+    supervisor = campaign.shard_supervisor
+    injector = api.faults
     deltas: List[ShardDayDelta] = []
     for index, component in enumerate(plan.components):
         component_events = sorted(by_component.get(index, ()),
@@ -361,11 +528,24 @@ def run_sharded_day(campaign, plan: ShardPlan, events, day_start: int,
         component_posts = {e.seq: request_posts[e.seq]
                            for e in component_events
                            if e.kind == "request"}
-        deltas.append(_run_child(campaign, component, component_events,
-                                 component_posts))
+        # The crash fault is decided in the parent (so the tally and
+        # draws survive the child's death) and shipped into the child.
+        crash_after = None
+        if injector is not None:
+            crash_after = injector.decide_child_crash(
+                day, component[0], len(component_events))
+        delta = supervisor.run_component(
+            campaign, component, component_events, component_posts, day,
+            crash_after=crash_after)
+        if delta is None:
+            delta = _reexecute_inline(campaign, component,
+                                      component_events, component_posts)
+        deltas.append(delta)
 
     # Merge: interleave every child's log/activity segments by global
     # event order, then install the disjoint state deltas.
+    if wal is not None:
+        api.log.attach_journal(wal)
     stream = []
     for delta in deltas:
         for seq, when, row_lo, row_hi, act_lo, act_hi in delta.segments:
@@ -380,7 +560,11 @@ def run_sharded_day(campaign, plan: ShardPlan, events, day_start: int,
         for record in delta.activity[act_lo:act_hi]:
             record_activity(record)
     for delta in deltas:
-        api.enforcer.install_shard_windows(delta.windows)
+        # An inline re-execution ships a reduced delta: its window /
+        # network / charge state already landed on the parent's own
+        # objects, so only the non-empty pieces are installed.
+        if delta.windows:
+            api.enforcer.install_shard_windows(delta.windows)
         for domain, state in delta.network_states.items():
             campaign.networks[domain].adopt_state(
                 state, dropped=delta.drop_journals[domain])
@@ -393,4 +577,6 @@ def run_sharded_day(campaign, plan: ShardPlan, events, day_start: int,
                 api.charge_counters.get(key, 0) + value)
         for domain, delivered in delta.likes_delivered.items():
             likes_today[domain] += delivered
+        if delta.fault_state is not None and injector is not None:
+            injector.apply_delta(delta.fault_state)
     world.clock.advance_to(day_start + DAY - 1)

@@ -42,6 +42,10 @@ class CheckpointStore:
                  fingerprint: Optional[Dict[str, Any]] = None) -> None:
         self.directory = directory
         self.fingerprint = fingerprint
+        #: ``load`` outcomes, for the run summary: checkpoints reused
+        #: vs jobs that had to (re)run.
+        self.hits = 0
+        self.misses = 0
         os.makedirs(directory, exist_ok=True)
 
     # ------------------------------------------------------------------
@@ -57,6 +61,8 @@ class CheckpointStore:
         tmp = self._manifest_path() + ".tmp"
         with open(tmp, "w", encoding="utf-8") as handle:
             handle.write(payload + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, self._manifest_path())
 
     def stored_fingerprint(self) -> Optional[Dict[str, Any]]:
@@ -85,25 +91,38 @@ class CheckpointStore:
         return os.path.join(self.directory, name + _SUFFIX)
 
     def save(self, name: str, result: Any) -> None:
-        """Atomically persist one job's result."""
+        """Atomically persist one job's result.
+
+        The temp file is fsynced *before* the rename: ``os.replace`` is
+        atomic for the directory entry but says nothing about the data
+        blocks, and a crash between rename and writeback would leave a
+        correctly-named, partially-empty checkpoint — exactly the
+        corruption the atomic dance exists to rule out.
+        """
         path = self._path(name)
         tmp = path + ".tmp"
         with open(tmp, "wb") as handle:
             pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
 
     def load(self, name: str) -> Any:
         """The stored result, or :data:`MISSING` if absent/corrupt."""
         try:
             with open(self._path(name), "rb") as handle:
-                return pickle.load(handle)
+                result = pickle.load(handle)
         except FileNotFoundError:
+            self.misses += 1
             return MISSING
         # Annotated salvage path: unpickling a torn/stale checkpoint can
         # raise nearly anything, and "treat as never ran, re-run the
         # job" is the crash-recovery contract this store exists for.
         except Exception:  # reprolint: disable=RL005 — torn pickle ⇒ MISSING
+            self.misses += 1
             return MISSING
+        self.hits += 1
+        return result
 
     def completed(self) -> List[str]:
         """Names of jobs with a checkpoint on disk (sorted)."""

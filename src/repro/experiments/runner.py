@@ -102,8 +102,16 @@ def run_milking(artifacts: StudyArtifacts,
 
 
 def run_campaign(artifacts: StudyArtifacts,
-                 campaign_config: Optional[CampaignConfig] = None) -> CampaignResults:
-    """Run the §6 countermeasure campaign (Fig. 5)."""
+                 campaign_config: Optional[CampaignConfig] = None,
+                 recovery=None) -> CampaignResults:
+    """Run the §6 countermeasure campaign (Fig. 5).
+
+    ``recovery`` is an optional
+    :class:`~repro.countermeasures.recovery.CampaignRecovery`: the
+    campaign's request log is then journaled day by day and, when the
+    journal directory already holds a compatible run, execution resumes
+    from the last checkpointed day instead of day 1.
+    """
     if campaign_config is None:
         days = artifacts.config.campaign_days
         campaign_config = (CampaignConfig() if days == 75
@@ -118,7 +126,7 @@ def run_campaign(artifacts: StudyArtifacts,
     runner = CountermeasureCampaign(artifacts.world, artifacts.ecosystem,
                                     config)
     with paused_gc():
-        artifacts.campaign = runner.run()
+        artifacts.campaign = runner.run(recovery=recovery)
     return artifacts.campaign
 
 
@@ -408,14 +416,16 @@ def run_full_study(config: Optional[StudyConfig] = None,
                    timer: Optional[StageTimer] = None,
                    parallel_experiments: bool = False,
                    checkpoint: Optional[CheckpointStore] = None,
-                   job_timeout: Optional[float] = None):
+                   job_timeout: Optional[float] = None,
+                   campaign_recovery=None):
     """Build, milk, counter, and report.  Returns (artifacts, report).
 
     Stage timings and per-stage API-request counts accumulate into
     ``timer`` (also stored as ``artifacts.timings``); on fault-plan runs
     the injected-fault and retry tallies land there too.  ``checkpoint``
     / ``job_timeout`` flow through to :func:`run_experiments` for
-    crash-tolerant experiment execution.
+    crash-tolerant experiment execution, ``campaign_recovery`` to
+    :func:`run_campaign` for WAL journaling + day-granularity resume.
     """
     timer = timer if timer is not None else StageTimer()
     with timer.stage("build"):
@@ -433,7 +443,8 @@ def run_full_study(config: Optional[StudyConfig] = None,
     if faults is not None:
         timer.count("milking.faults_injected", milked_faults)
     with timer.stage("campaign"):
-        run_campaign(artifacts, campaign_config)
+        run_campaign(artifacts, campaign_config,
+                     recovery=campaign_recovery)
     timer.count("campaign.log_rows", len(log.all()) - milked_rows)
     if faults is not None:
         timer.count("campaign.faults_injected",

@@ -173,7 +173,8 @@ class GraphApi:
         errors and partial side effects exactly as before.
         """
         inj = self.faults
-        if inj is not None and inj.decide_chunk(len(requests)):
+        if inj is not None and requests and inj.decide_chunk(
+                len(requests), key=requests[0].access_token):
             return None
         now = self.clock._now
         peek = self.tokens.peek
@@ -279,7 +280,8 @@ class GraphApi:
         per-entry errors and partial charges.
         """
         inj = self.faults
-        if inj is not None and inj.decide_chunk(len(entries)):
+        if inj is not None and entries and inj.decide_chunk(
+                len(entries), key=entries[0][0]):
             return False
         now = self.clock._now
         peek = self.tokens.peek

@@ -29,6 +29,7 @@ paid a ~9-slot object per request and a full list copy per query.  Here:
 
 from __future__ import annotations
 
+import hashlib
 from array import array
 from bisect import bisect_left
 from dataclasses import dataclass
@@ -104,7 +105,7 @@ class RequestLog:
         "_ts", "_action", "_token", "_user", "_app", "_target", "_ip",
         "_asn", "_outcome", "_outcome_names", "_outcome_codes",
         "_by_ip", "_by_app", "_like_rows", "_like_ok_rows", "_interned",
-        "_pushes",
+        "_pushes", "_journal",
     )
 
     def __init__(self) -> None:
@@ -133,6 +134,27 @@ class RequestLog:
             self._user.append, self._app.append, self._target.append,
             self._ip.append, self._asn.append, self._outcome.append,
         )
+        #: Optional durable WAL mirror (repro.journal); every appended
+        #: row is forwarded in export_rows tuple format.
+        self._journal = None
+
+    # ------------------------------------------------------------------
+    # Durable journal (see repro.journal)
+    # ------------------------------------------------------------------
+    def attach_journal(self, journal) -> None:
+        """Mirror every future append into ``journal`` (WAL)."""
+        self._journal = journal
+
+    def detach_journal(self):
+        """Stop journaling; returns the detached journal (or ``None``).
+
+        Used to suspend the WAL while rows are *replayed from* it on
+        resume, and in forked shard children (only the parent may write
+        the shared journal — children export deltas instead).
+        """
+        journal = self._journal
+        self._journal = None
+        return journal
 
     # ------------------------------------------------------------------
     # Appending
@@ -180,6 +202,10 @@ class RequestLog:
             self._like_rows.append(row)
             if outcome == "ok":
                 self._like_ok_rows.append(row)
+        if self._journal is not None:
+            self._journal.append_row(
+                (timestamp, code, token, user_id, app_id, target_id,
+                 source_ip, asn, outcome))
 
     def extend_like_rows(self, timestamp: int, action: ApiAction,
                          target_id: Optional[str],
@@ -245,6 +271,13 @@ class RequestLog:
             if ok is not None:
                 self._like_ok_rows.extend(
                     row0 + i for i, code in enumerate(codes) if code == ok)
+        if self._journal is not None:
+            journal_append = self._journal.append_row
+            action_code = _ACTION_CODE[action]
+            for i in range(n):
+                journal_append(
+                    (timestamp, action_code, tokens[i], users[i], apps[i],
+                     target_id, ips[i], asns[i], outcomes[i]))
 
     def append(self, record: RequestRecord) -> None:
         """Append a pre-built record (compatibility path)."""
@@ -279,6 +312,55 @@ class RequestLog:
              outcome) in rows:
             append_row(ts, actions[code], token, user, app, target, ip,
                        asn, outcome)
+
+    def truncate(self, n: int) -> None:
+        """Discard rows ``[n:]``, restoring the state after row ``n-1``.
+
+        Used by shard-worker supervision: a quarantined component's
+        partial rows are rolled back before the day is deterministically
+        re-executed.  All columns and secondary indexes are trimmed *in
+        place* (the bound appenders in ``_pushes`` reference the live
+        containers, which must never be replaced).
+        """
+        if n >= len(self._ts):
+            return
+        touched_ips = {ip for ip in self._ip[n:] if ip is not None}
+        touched_apps = {app for app in self._app[n:] if app is not None}
+        for column in (self._ts, self._action, self._token, self._user,
+                       self._app, self._target, self._ip, self._asn,
+                       self._outcome):
+            del column[n:]
+        for key in touched_ips:
+            rows = self._by_ip[key]
+            while rows and rows[-1] >= n:
+                rows.pop()
+            if not rows:
+                del self._by_ip[key]
+        for key in touched_apps:
+            rows = self._by_app[key]
+            while rows and rows[-1] >= n:
+                rows.pop()
+            if not rows:
+                del self._by_app[key]
+        for rows in (self._like_rows, self._like_ok_rows):
+            while rows and rows[-1] >= n:
+                rows.pop()
+
+    def digest(self) -> str:
+        """Stable content digest over every row (export tuple format).
+
+        Two logs with the same digest hold byte-identical row sequences;
+        the crash-recovery acceptance contract compares exactly this.
+        """
+        hasher = hashlib.blake2b(digest_size=16)
+        names = self._outcome_names
+        for row in range(len(self._ts)):
+            hasher.update(repr(
+                (self._ts[row], self._action[row], self._token[row],
+                 self._user[row], self._app[row], self._target[row],
+                 self._ip[row], self._asn[row],
+                 names[self._outcome[row]])).encode("utf-8"))
+        return hasher.hexdigest()
 
     # ------------------------------------------------------------------
     # Row access

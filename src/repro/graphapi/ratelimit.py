@@ -406,6 +406,62 @@ class PolicyEnforcer:
         if self._ip_week_limiter is not None and "ip_week" in windows:
             self._ip_week_limiter.install_windows(windows["ip_week"])
 
+    # ------------------------------------------------------------------
+    # Checkpoint transfer (see repro.countermeasures.recovery)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _dump_limiter(limiter: Optional[SlidingWindowLimiter]):
+        if limiter is None:
+            return None
+        return {"events": {key: tuple(events)
+                           for key, events in limiter._events.items()
+                           if events},
+                "saturated": dict(limiter._saturated_until)}
+
+    @staticmethod
+    def _load_limiter(limiter: Optional[SlidingWindowLimiter],
+                      state) -> None:
+        if limiter is None or state is None:
+            return
+        limiter._events = {key: deque(events)
+                           for key, events in state["events"].items()}
+        limiter._saturated_until = dict(state["saturated"])
+        limiter._evict_now = -1
+        limiter._evicted.clear()
+
+    def export_state(self) -> Dict:
+        """Full policy + window state for a campaign checkpoint."""
+        self._sync()
+        policy = self.policy
+        return {
+            "policy": {
+                "token_actions_per_day": policy.token_actions_per_day,
+                "ip_likes_per_day": policy.ip_likes_per_day,
+                "ip_likes_per_week": policy.ip_likes_per_week,
+                "blocked_asns_by_app": {
+                    app: set(asns) for app, asns
+                    in policy.blocked_asns_by_app.items()},
+            },
+            "token": self._dump_limiter(self._token_limiter),
+            "ip_day": self._dump_limiter(self._ip_day_limiter),
+            "ip_week": self._dump_limiter(self._ip_week_limiter),
+        }
+
+    def install_state(self, state: Dict) -> None:
+        """Restore an :meth:`export_state` snapshot wholesale."""
+        policy = self.policy
+        fields = state["policy"]
+        policy.token_actions_per_day = fields["token_actions_per_day"]
+        policy.ip_likes_per_day = fields["ip_likes_per_day"]
+        policy.ip_likes_per_week = fields["ip_likes_per_week"]
+        policy.blocked_asns_by_app = {
+            app: set(asns)
+            for app, asns in fields["blocked_asns_by_app"].items()}
+        self._sync()
+        self._load_limiter(self._token_limiter, state["token"])
+        self._load_limiter(self._ip_day_limiter, state["ip_day"])
+        self._load_limiter(self._ip_week_limiter, state["ip_week"])
+
     def admit_ip_like(self, source_ip: Optional[str], now: int) -> Optional[str]:
         """Check-and-record one like from ``source_ip``.
 

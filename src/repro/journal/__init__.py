@@ -1,0 +1,15 @@
+"""Durable write-ahead event journal (see :mod:`repro.journal.wal`)."""
+
+from repro.journal.wal import (
+    EventJournal,
+    JournalCorruption,
+    JournalRecovery,
+    SimulatedCrash,
+)
+
+__all__ = [
+    "EventJournal",
+    "JournalCorruption",
+    "JournalRecovery",
+    "SimulatedCrash",
+]

@@ -144,6 +144,55 @@ class TokenStore:
         """Invalidate a batch; returns how many were live before the call."""
         return sum(1 for t in token_strings if self.invalidate(t, reason))
 
+    def export_state(self) -> Dict:
+        """Full store snapshot for a campaign checkpoint.
+
+        Token strings and attributes are copied into plain picklable
+        rows; :meth:`install_state` rebuilds identical
+        :class:`AccessToken` objects (scope objects are shared — they
+        are immutable by convention).
+        """
+        return {
+            "counter": self._counter,
+            "tokens": [
+                (t.token, t.user_id, t.app_id, t.scope, t.issued_at,
+                 t.expires_at, t.invalidated, t.invalidation_reason)
+                for t in self._tokens.values()],
+            "by_user_app": dict(self._by_user_app),
+        }
+
+    def install_state(self, state: Dict) -> None:
+        """Restore an :meth:`export_state` snapshot.
+
+        Tokens already present keep their *object identity* and are
+        updated in place — callers across the simulation (API caches,
+        network token books) hold references to the live objects, and a
+        resume restores state onto the same world those holders see.
+        """
+        self._counter = state["counter"]
+        existing = self._tokens
+        rebuilt: Dict[str, AccessToken] = {}
+        for (token, user_id, app_id, scope, issued_at, expires_at,
+             invalidated, reason) in state["tokens"]:
+            live = existing.get(token)
+            if live is None:
+                live = AccessToken(
+                    token=token, user_id=user_id, app_id=app_id,
+                    scope=scope, issued_at=issued_at,
+                    expires_at=expires_at, invalidated=invalidated,
+                    invalidation_reason=reason)
+            else:
+                live.user_id = user_id
+                live.app_id = app_id
+                live.scope = scope
+                live.issued_at = issued_at
+                live.expires_at = expires_at
+                live.invalidated = invalidated
+                live.invalidation_reason = reason
+            rebuilt[token] = live
+        self._tokens = rebuilt
+        self._by_user_app = dict(state["by_user_app"])
+
     def live_tokens_for_app(self, app_id: str) -> List[AccessToken]:
         now = self._clock.now()
         return [t for t in self._tokens.values()

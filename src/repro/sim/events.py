@@ -95,6 +95,22 @@ class EventScheduler:
             self._clock.advance_to(timestamp)
         return executed
 
+    def discard_until(self, timestamp: int) -> int:
+        """Drop (without running) every event scheduled before
+        ``timestamp``; returns how many were dropped.
+
+        Used by crash-recovery resume: the skipped days' events — e.g.
+        milking follow-ups scheduled into the campaign window — already
+        had their effects restored from the checkpoint, so replaying
+        them would double-apply.
+        """
+        dropped = 0
+        while self._queue and self._queue[0].when < timestamp:
+            event = heapq.heappop(self._queue)
+            if not event.cancelled:
+                dropped += 1
+        return dropped
+
     def drain(self) -> int:
         """Run every pending event regardless of how far time must move."""
         executed = 0

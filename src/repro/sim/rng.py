@@ -52,3 +52,19 @@ class RngFactory:
     def child(self, name: str) -> "RngFactory":
         """Return a new factory whose streams are independent of this one."""
         return RngFactory(derive_seed(self._master_seed, f"child:{name}"))
+
+    def export_states(self) -> Dict[str, tuple]:
+        """Snapshot every live stream's generator state (checkpoints)."""
+        return {name: stream.getstate()
+                for name, stream in self._streams.items()}
+
+    def install_states(self, states: Dict[str, tuple]) -> None:
+        """Restore a :meth:`export_states` snapshot.
+
+        Streams named in ``states`` are (re)created and wound to the
+        recorded position; streams created since the snapshot are left
+        alone (their first draw after a resume re-derives from the seed
+        exactly as the original run's first draw did).
+        """
+        for name, state in states.items():
+            self.stream(name).setstate(state)

@@ -54,6 +54,25 @@ class ActivityLog:
     def stop_journal(self) -> None:
         self._journal = None
 
+    def rollback(self, journal: List[ActivityRecord]) -> None:
+        """Un-append every record in ``journal`` (newest last).
+
+        Shard-worker supervision re-executes a quarantined component
+        inline, then rolls its activity back so the day merge can
+        re-interleave it with the other components' records in global
+        event order.  Each record must be its actor's current tail.
+        """
+        for record in reversed(journal):
+            records = self._by_actor[record.actor_id]
+            popped = records.pop()
+            if popped is not record:  # pragma: no cover - misuse guard
+                records.append(popped)
+                raise ValueError(
+                    "rollback journal does not match the log tail")
+            if not records:
+                del self._by_actor[record.actor_id]
+            self._total -= 1
+
     def for_actor(self, actor_id: str) -> List[ActivityRecord]:
         """All activity by ``actor_id``, oldest first."""
         return list(self._by_actor.get(actor_id, ()))

@@ -93,3 +93,38 @@ def test_fig4_csv(mini_report):
     assert rows[0] == ["network", "post_index", "cumulative_likes",
                        "cumulative_unique_accounts"]
     assert len(rows) > 1
+
+
+def test_cli_run_journal_summary_and_noop_resume(tmp_path, capsys):
+    """`repro run --journal` prints the durability summary (checkpoint
+    hits/misses, shard fallback reasons, journal state, log digest) and
+    a --resume over a completed journal restores instead of re-running."""
+    import json as _json
+
+    journal = str(tmp_path / "journal")
+    args = ["run", "--scale", "0.002", "--seed", "5",
+            "--milking-days", "2", "--campaign-days", "10",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+            "--journal", journal]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "run summary:" in out
+    assert "experiment checkpoints:" in out
+    assert "hit(s)" in out and "miss(es)" in out
+    assert "sealed through day 10" in out
+    assert "request log:" in out and "digest" in out
+    digest = out.split("digest ")[-1].strip()
+
+    assert main(args + ["--resume", "--json"]) == 0
+    payload = _json.loads(capsys.readouterr().out)
+    run = payload["run"]
+    # Every campaign day was already sealed + checkpointed: the resumed
+    # run restores the final day's state and re-executes nothing.
+    assert run["resumed_from_day"] == 11
+    assert run["checkpoint_hits"] > 0
+    # The full-log digest legitimately differs here: experiment jobs
+    # were checkpoint hits, so their API rows were never re-logged.
+    # Byte-identical campaign convergence is test_campaign_resume.py's.
+    assert len(run["log_digest"]) == 32
+    assert run["log_digest"] != digest
+    assert run["shard_blockers"] == []

@@ -143,3 +143,56 @@ def test_breaker_endpoints_independent():
     assert policy.breaker.state_of("like") == OPEN
     assert policy.breaker.state_of("comment") == CLOSED
     assert policy.allow("comment", 0)
+
+
+# ----------------------------------------------------------------------
+# Elapsed-time budget (deadline vs attempts exhaustion)
+# ----------------------------------------------------------------------
+def test_attempt_exhaustion_is_recorded_as_attempts():
+    policy = RetryPolicy(max_retries=2)
+    policy.retry("like", "k", 0, lambda: "timeout", "transient")
+    assert policy.last_giveup_reason == "attempts"
+    assert policy.counters["giveups"] == 1
+    assert policy.counters["giveups_attempts"] == 1
+    assert policy.counters["giveups_deadline"] == 0
+
+
+def test_deadline_budget_stops_before_attempts_run_out():
+    # With jitter off, delays are 2, 4, 8...: a 5-second elapsed budget
+    # admits attempts 1 (2s) but not attempt 2 (2+4 > 5).
+    policy = RetryPolicy(max_retries=10, base_delay=2, jitter=0.0,
+                         max_elapsed=5)
+    result = policy.retry("like", "k", 0, lambda: "timeout", "transient")
+    assert result == "timeout"
+    assert policy.counters["retries"] == 1
+    assert policy.counters["backoff_seconds"] == 2
+    assert policy.last_giveup_reason == "deadline"
+    assert policy.counters["giveups"] == 1
+    assert policy.counters["giveups_deadline"] == 1
+    assert policy.counters["giveups_attempts"] == 0
+
+
+def test_deadline_budget_tighter_than_first_delay_fails_immediately():
+    policy = RetryPolicy(max_retries=3, base_delay=2, jitter=0.0,
+                         max_elapsed=1)
+    result = policy.retry("like", "k", 0, lambda: "timeout", "transient")
+    # call() never ran: the initial code passes through unchanged.
+    assert result == "transient"
+    assert policy.counters["retries"] == 0
+    assert policy.last_giveup_reason == "deadline"
+
+
+def test_generous_deadline_budget_changes_nothing():
+    tight = RetryPolicy(max_retries=3, jitter=0.0)
+    roomy = RetryPolicy(max_retries=3, jitter=0.0, max_elapsed=10**6)
+    for policy in (tight, roomy):
+        policy.retry("like", "k", 0, lambda: "timeout", "transient")
+    assert tight.counters == roomy.counters
+    assert roomy.last_giveup_reason == "attempts"
+
+
+def test_max_elapsed_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_elapsed=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(max_elapsed=-5)

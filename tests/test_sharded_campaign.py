@@ -140,8 +140,8 @@ def test_default_ecosystem_is_ineligible_and_reports_why():
     ecosystem = build_ecosystem(world, network_limit=2)
     networks = {d: ecosystem.network(d)
                 for d in ("hublaa.me", "official-liker.net")}
-    plan = plan_shards(networks, faults_active=False,
-                       outgoing_per_hour=0.0, requested_shards=2)
+    plan = plan_shards(networks, outgoing_per_hour=0.0,
+                       requested_shards=2)
     assert not plan.eligible
     assert plan.effective_shards == 1
     assert len(plan.components) == 1
@@ -159,16 +159,18 @@ def test_outgoing_traffic_blocks_sharding():
     ecosystem = build_ecosystem(world, build_membership=False,
                                 network_limit=13)
     networks = {d: ecosystem.network(d) for d in DISJOINT}
-    plan = plan_shards(networks, faults_active=False,
-                       outgoing_per_hour=7.0, requested_shards=2)
+    plan = plan_shards(networks, outgoing_per_hour=7.0,
+                       requested_shards=2)
     assert len(plan.components) == 2
     assert not plan.eligible
     assert any("outgoing" in blocker for blocker in plan.blockers)
 
 
-def test_fault_plan_forces_certified_serial_fallback():
-    """shards=2 under an active fault plan must refuse to fork and stay
-    byte-identical to shards=1 on the very same fault stream."""
+def test_fault_plan_shards_and_stays_byte_identical():
+    """An active fault plan no longer blocks sharding: fault decisions
+    are keyed per-subject hashes, so forked components reproduce
+    exactly the draws their own tokens would have seen serially and the
+    merged day stays byte-identical to the serial oracle."""
     plan = FaultPlan((
         FaultRule(kind="transient", probability=0.02,
                   actions=frozenset({"LIKE_POST", "CHARGE_LIKE"})),
@@ -180,9 +182,63 @@ def test_fault_plan_forces_certified_serial_fallback():
     sharded = _run(shards=2, fault_plan=plan, seed=47)
     shard_plan = sharded[2].shard_plan
     assert shard_plan is not None
-    assert not shard_plan.eligible
-    assert any("fault" in blocker for blocker in shard_plan.blockers)
+    assert shard_plan.eligible
+    assert shard_plan.effective_shards == 2
+    assert not any("fault" in blocker for blocker in shard_plan.blockers)
     _assert_byte_identical(serial, sharded)
-    # The fault stream actually fired (the fallback test is not vacuous).
+    # The fault stream actually fired in both runs, with the same tally
+    # (the equivalence is not vacuous).
     assert serial[0].faults is not None
     assert serial[0].faults.total_injected() > 0
+    assert (serial[0].faults.counters
+            == sharded[0].faults.counters)
+    # Invalidation decision order interleaves globally in the serial run
+    # but per-component in the merge; the *set* must match exactly.
+    assert (sorted(serial[0].faults.invalidations)
+            == sorted(sharded[0].faults.invalidations))
+
+
+def test_shard_plan_describe_lists_components_conflicts_and_blockers():
+    """ShardPlan.describe() is the operator's fallback explanation: it
+    must name every component, conflict, and blocker verbatim."""
+    from repro.countermeasures.sharding import ShardConflict, ShardPlan
+
+    plan = ShardPlan(
+        components=[("a.com",), ("b.com",)],
+        conflicts=[ShardConflict(a="a.com", b="b.com",
+                                 shared_app="app-1", shared_tokens=3)],
+        blockers=["outgoing background traffic active"])
+    assert not plan.eligible
+    assert plan.effective_shards == 1
+    text = plan.describe()
+    assert "serial fallback" in text
+    assert "a.com" in text and "b.com" in text
+    assert "app app-1" in text and "3 tokens" in text
+    assert "blocked: outgoing background traffic active" in text
+
+    eligible = ShardPlan(components=[("a.com",), ("b.com",)])
+    assert eligible.eligible
+    assert eligible.effective_shards == 2
+    assert "eligible" in eligible.describe()
+    assert "blocked" not in eligible.describe()
+
+
+def test_sigkilled_shard_child_is_quarantined_and_reexecuted():
+    """A child_crash fault SIGKILLs forked workers partway through their
+    day; the supervisor must detect the deaths, quarantine the deltas,
+    re-execute the components serially, and still merge every day
+    byte-identical to the serial oracle."""
+    plan = FaultPlan((
+        FaultRule(kind="child_crash", probability=0.2),
+    ))
+    serial = _run(shards=1, fault_plan=plan, seed=31)
+    sharded = _run(shards=2, fault_plan=plan, seed=31)
+    # Non-vacuous: at least one child actually died on SIGKILL and was
+    # recorded; the serial oracle never consults the crash rules.
+    failures = sharded[2].shard_failures
+    assert failures
+    assert any("signal 9" in failure for failure in failures)
+    assert all("re-executed serially" in failure for failure in failures)
+    assert serial[2].shard_failures == []
+    assert sharded[0].faults.counters.get("child_crash", 0) > 0
+    _assert_byte_identical(serial, sharded)
