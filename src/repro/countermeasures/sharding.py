@@ -372,7 +372,7 @@ class ShardSupervisor:
                                            request_posts,
                                            crash_after=crash_after)
                 with os.fdopen(write_fd, "wb") as sink:
-                    pickle.dump(delta, sink,
+                    pickle.dump(delta, sink,  # reprolint: disable=RL402 — the inherited fd pipe is the delta's one sanctioned channel home
                                 protocol=pickle.HIGHEST_PROTOCOL)
                 status = 0
             finally:
@@ -537,6 +537,15 @@ def run_sharded_day(campaign, plan: ShardPlan, events, day_start: int,
         delta = supervisor.run_component(
             campaign, component, component_events, component_posts, day,
             crash_after=crash_after)
+        if delta is not None and tuple(delta.domains) != tuple(component):
+            # A delta for the wrong component means the pipe carried a
+            # stale or crossed payload; quarantine it like an
+            # unreadable one rather than merging foreign state.
+            supervisor.failures.append(ShardWorkerFailure(
+                day=day, component=tuple(component),
+                reason=f"shipped a delta for component "
+                       f"{tuple(delta.domains)!r}"))
+            delta = None
         if delta is None:
             delta = _reexecute_inline(campaign, component,
                                       component_events, component_posts)

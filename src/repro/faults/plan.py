@@ -169,7 +169,11 @@ class FaultPlan:
             handle.write(self.to_json() + "\n")
 
 
-class FaultInjector:
+# The per-day rule caches (_cached_day/_scalar_rules/_chunk_rules/
+# _crash_rules/_torn_rules) are pure functions of the immutable plan
+# and the queried day, rebuilt on first use after any resume — they
+# carry no state a snapshot could lose.
+class FaultInjector:  # reprolint: disable=RL401 — *_rules/_cached_day are derived per-day caches rebuilt from the immutable plan
     """Binds a :class:`FaultPlan` to a clock, an RNG stream and the
     token store, and answers the Graph API's "does this request fail?"
     questions.

@@ -21,7 +21,11 @@ DEFAULT_TOKEN_ACTIONS_PER_DAY = 600
 REDUCED_TOKEN_ACTIONS_PER_DAY = 40
 
 
-class SlidingWindowLimiter:
+# The eviction memo (_evict_now/_evicted) is a process-transient
+# same-timestamp cache: it is only meaningful while this process sits
+# at one `now`, so snapshots deliberately omit it and installs reset
+# it (a forced re-eviction is an idempotent no-op).
+class SlidingWindowLimiter:  # reprolint: disable=RL401 — _evict_now/_evicted are a transient same-timestamp eviction memo, reset on install
     """Counts events per key within a sliding time window.
 
     ``allow(key, now)`` answers whether one more event fits under
@@ -137,6 +141,10 @@ class SlidingWindowLimiter:
                 self._saturated_until.pop(key, None)
             else:
                 self._saturated_until[key] = until
+        # The adopted deques may be shorter than what the memo saw, so
+        # force a fresh eviction pass on the next touch of any key.
+        self._evict_now = -1
+        self._evicted.clear()
 
 
 @dataclass

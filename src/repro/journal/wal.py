@@ -22,7 +22,7 @@ or reordered without breaking verification.  Payloads are tagged by
 their first byte:
 
 ``H``  segment header (JSON: segment day + expected previous chain)
-``R``  one request-log row, ``repr()`` of its exported 9-tuple
+``R``  one request-log row, encoded by :mod:`repro.journal.codec`
 ``S``  day seal (JSON: day + cumulative row-record count)
 
 Recovery
@@ -43,9 +43,10 @@ import json
 import os
 import re
 import struct
-from ast import literal_eval
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple
+
+from repro.journal.codec import decode_row, encode_row
 
 _GENESIS = b"repro-journal-v1"
 _LEN = struct.Struct(">I")
@@ -185,8 +186,7 @@ class EventJournal:
         """
         if self._handle is None:
             raise RuntimeError("no open day segment")
-        payload = b"R" + repr(row).encode("utf-8")  # reprolint: disable=RL103 — durable WAL image of the request log; resume replay requires the raw row
-        self._write_frame(payload)
+        self._write_frame(encode_row(row))
         self._current.rows += 1
 
     def seal_day(self) -> None:
@@ -362,7 +362,7 @@ class EventJournal:
                     segment.path, chain):
                 chain = chain_after
                 if payload[:1] == b"R":
-                    yield literal_eval(payload[1:].decode("utf-8"))
+                    yield decode_row(payload)
 
     def records_through_day(self, day: int) -> int:
         return sum(segment.rows for segment in self._segments

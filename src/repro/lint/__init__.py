@@ -8,8 +8,9 @@ come from the sim clock, randomness from named RNG streams, iteration
 from ordered sources — and, per the paper's own findings, access-token
 values must never escape into telemetry.  ``reprolint`` turns those
 conventions into a static gate built on a project graph (symbol table,
-import/call graph, one-level function summaries) and an
-intraprocedural taint engine.
+import/call graph) with function summaries computed to interprocedural
+convergence (SCC-ordered fixpoint over the call graph, including a
+mutation-effect lattice) and a flow-sensitive taint engine.
 
 Rules
 -----
@@ -38,6 +39,14 @@ RL203  no raw ``%``/``//``/``/`` arithmetic on sim-clock readings
        outside ``repro/sim/``
 RL301  collusion/honeypot code must not mutate the platform directly
 RL302  …nor launder the mutation through a helper outside graphapi
+RL401  snapshot-protocol classes (export_*/install_*), capture/install
+       pairs and *Checkpoint dataclasses must cover every mutable
+       attribute / captured key / field
+RL402  *Delta dataclasses must pass and consume every field, and
+       forked shard children must not write parent-visible state
+       outside the delta
+RL403  journal frame payloads must round-trip through the approved
+       codec (encode_*/decode_* or json), never inline repr/pickle
 
 Token taint is cleared by the registered redactor
 ``repro.oauth.redact.redact_token`` — log/raise/persist the stable

@@ -92,18 +92,28 @@ def _changed_pairs(ref: str, targets: List[Path],
     """(display path, file) pairs for files modified vs. ``ref`` that
     fall under one of the lint targets.  Raises CalledProcessError /
     FileNotFoundError when git is unusable."""
-    names = _git_lines(["git", "diff", "--name-only", "-z", ref, "--"])
-    names += _git_lines(["git", "ls-files", "--others",
-                         "--exclude-standard", "-z"])
+    # Anchor everything at the repo toplevel: ``git diff`` reports
+    # toplevel-relative names while ``git ls-files`` is cwd-relative,
+    # so both listings run from the toplevel to agree.
+    toplevel = Path(subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"], capture_output=True,
+        text=True, check=True).stdout.strip())
+    git = ["git", "-C", str(toplevel)]
+    # --diff-filter=d drops deletions at the source (a rename's old
+    # name counts as one), so they never surface as RL000 noise.
+    names = _git_lines(git + ["diff", "--name-only", "--diff-filter=d",
+                              "-z", ref, "--"])
+    names += _git_lines(git + ["ls-files", "--others",
+                               "--exclude-standard", "-z"])
     resolved_targets = [target.resolve() for target in targets]
     pairs: List[Tuple[str, Path]] = []
     seen = set()
     for name in sorted(set(names)):
         if not name.endswith(".py"):
             continue
-        source = Path(name)
+        source = toplevel / name
         if not source.is_file():
-            continue        # deleted or renamed away
+            continue        # renamed away mid-scan, or a racing delete
         absolute = source.resolve()
         in_scope = any(
             target == absolute or target in absolute.parents

@@ -96,6 +96,12 @@ class LintReport:
     #: subset of the baseline; --prune-baseline rewrites from this)
     baseline_matched: Dict[Tuple[str, str, str], int] = field(
         default_factory=dict)
+    #: this run's parse-cache counters (stat_hits / content_hits /
+    #: misses), surfaced in ``--json`` output
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+    #: findings silenced by an in-source ``reprolint: disable`` pragma;
+    #: never failing, but carried into SARIF as inSource suppressions
+    suppressed: List[Finding] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     def failing(self, fail_on: Severity) -> List[Finding]:
@@ -140,6 +146,7 @@ class LintReport:
                 {"path": path, "rule": rule, "snippet": snippet}
                 for path, rule, snippet in self.stale_baseline],
             "summary": self.summary(fail_on),
+            "parse_cache": dict(self.cache_stats),
             "fail_on": str(fail_on) if fail_on is not None else "never",
         }
         return json.dumps(payload, indent=2, sort_keys=True)
@@ -169,8 +176,13 @@ class LintEngine:
     # Core: contexts -> findings
     # ------------------------------------------------------------------
     def _run_contexts(self, contexts: Sequence[ModuleContext],
-                      pragma_map: Dict[str, Pragmas]) -> List[Finding]:
-        """Build the project graph, run every rule, filter and sort."""
+                      pragma_map: Dict[str, Pragmas]
+                      ) -> Tuple[List[Finding], List[Finding]]:
+        """Build the project graph, run every rule, filter and sort.
+
+        Returns ``(kept, suppressed)`` — pragma-silenced findings are
+        kept aside so SARIF can record them as inSource suppressions.
+        """
         from repro.lint.graph import ProjectGraph
 
         graph = ProjectGraph.build(contexts)
@@ -185,16 +197,20 @@ class LintEngine:
         for rule in project_rules:
             raw.extend(rule.run_project(graph))
         kept: List[Finding] = []
+        suppressed: List[Finding] = []
         for finding in raw:
             if self._allowlisted(finding.rule, finding.path):
                 continue
             pragmas = pragma_map.get(finding.path)
             if pragmas is not None and _suppressed(
                     finding.rule, finding.line, *pragmas):
+                suppressed.append(finding)
                 continue
             kept.append(finding)
-        kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-        return kept
+        order = lambda f: (f.path, f.line, f.col, f.rule)  # noqa: E731
+        kept.sort(key=order)
+        suppressed.sort(key=order)
+        return kept, suppressed
 
     def lint_module(self, path: str, source: str) -> List[Finding]:
         """All findings for one module (pragmas applied, no baseline)."""
@@ -203,7 +219,9 @@ class LintEngine:
         except SyntaxError as error:
             return [_parse_error_finding(path, error)]
         pragmas = parse_pragmas(ctx.lines)
-        return self._run_contexts([ctx], {path: pragmas})
+        kept, _suppressed_findings = self._run_contexts(
+            [ctx], {path: pragmas})
+        return kept
 
     # ------------------------------------------------------------------
     # File collection
@@ -243,9 +261,10 @@ class LintEngine:
     def run_files(self, pairs: Sequence[Tuple[str, Path]],
                   baseline: Optional[Baseline] = None) -> LintReport:
         """Lint explicit (display path, file) pairs as one project."""
-        from repro.lint.graph import cached_parse
+        from repro.lint.graph import CACHE_STATS, cached_parse
 
         report = LintReport()
+        stats_before = dict(CACHE_STATS)
         baseline = baseline if baseline is not None else Baseline()
         budget = baseline.budget()
         contexts: List[ModuleContext] = []
@@ -268,7 +287,12 @@ class LintEngine:
                 continue
             contexts.append(ctx)
             pragma_map[path] = pragmas
-        findings.extend(self._run_contexts(contexts, pragma_map))
+        report.cache_stats = {
+            key: CACHE_STATS[key] - stats_before[key]
+            for key in CACHE_STATS}
+        kept, report.suppressed = self._run_contexts(contexts,
+                                                     pragma_map)
+        findings.extend(kept)
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         for finding in findings:
             key = finding.fingerprint()

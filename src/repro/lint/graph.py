@@ -9,9 +9,11 @@ run over every module that parsed, and each :class:`ModuleContext`
 gets a back-reference so per-module rules can consult it.
 
 Parsing is the dominant cost of a full-tree run, so modules are cached
-process-wide keyed by ``(path, mtime_ns, size)`` — repeated engine
-runs in one process (the test suite, ``--write-baseline`` after a
-check run) rebuild the graph from cached ASTs in microseconds.
+process-wide keyed by ``(path, mtime_ns, size)``, with a blake2b
+content-digest fallback for files whose mtime moved but whose bytes
+did not (touched files, fresh clones) — repeated engine runs in one
+process (the test suite, ``--write-baseline`` after a check run)
+rebuild the graph from cached ASTs in microseconds.
 """
 
 from __future__ import annotations
@@ -118,13 +120,14 @@ class ProjectGraph:
             graph._index_module(ctx)
         for info in graph.modules.values():
             graph._link_calls(info)
-        # Summaries are built lazily to avoid an import cycle at module
-        # load; build_summaries is idempotent.
+        # The fixpoint resolves calls through ctx.project while it
+        # iterates, so the back-reference must be live before
+        # build_summaries runs (lazy import avoids a cycle at load).
+        for ctx in contexts:
+            ctx.project = graph
         from repro.lint.summaries import build_summaries
 
         build_summaries(graph)
-        for ctx in contexts:
-            ctx.project = graph
         return graph
 
     def _index_module(self, ctx: ModuleContext) -> None:
@@ -224,6 +227,19 @@ class ProjectGraph:
             return info.functions.get(f"{caller.cls}.{func.attr}")
         return None
 
+    def resolve_class(self, info: ModuleInfo,
+                      call: ast.Call) -> Optional[ClassInfo]:
+        """The project class a call constructs, if any."""
+        func = call.func
+        dotted = info.ctx.resolve(func)
+        if dotted is not None:
+            ci = self.classes.get(dotted)
+            if ci is not None:
+                return ci
+        if isinstance(func, ast.Name):
+            return info.classes.get(func.id)
+        return None
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -253,16 +269,35 @@ class ProjectGraph:
 # ----------------------------------------------------------------------
 # Process-wide parse cache
 # ----------------------------------------------------------------------
-#: (absolute path) -> (mtime_ns, size, ModuleContext, pragma maps)
-_PARSE_CACHE: Dict[str, Tuple[int, int, ModuleContext, object]] = {}
+#: (absolute path) -> (mtime_ns, size, content digest, ModuleContext,
+#: pragma maps)
+_PARSE_CACHE: Dict[str, Tuple[int, int, str, ModuleContext, object]] = {}
+
+#: Process-wide counters; engines snapshot deltas per run and surface
+#: them in ``--json`` output.  ``stat_hits`` reused on an unchanged
+#: stat signature; ``content_hits`` rescued by the digest fallback
+#: after the mtime moved (touch, fresh checkout); ``misses`` parsed.
+CACHE_STATS: Dict[str, int] = {
+    "stat_hits": 0, "content_hits": 0, "misses": 0,
+}
+
+
+def _content_digest(source: str) -> str:
+    import hashlib
+
+    return hashlib.blake2b(source.encode("utf-8"),
+                           digest_size=16).hexdigest()
 
 
 def cached_parse(path: str, source_path: Path,
                  source: str) -> Optional[Tuple[ModuleContext, object]]:
     """Parsed context + pragmas for a file, reusing the process cache.
 
-    Returns ``None`` on a syntax error (callers emit RL000).  The cache
-    key is the file's stat signature, so an edited file re-parses.
+    Returns ``None`` on a syntax error (callers emit RL000).  The fast
+    key is the file's stat signature; when the mtime moved but the
+    bytes did not (touched files, freshly cloned trees), a blake2b
+    content digest rescues the hit and the signature is refreshed.
+    An edited file re-parses.
     """
     from repro.lint.engine import parse_pragmas
 
@@ -272,14 +307,21 @@ def cached_parse(path: str, source_path: Path,
         signature = (stat.st_mtime_ns, stat.st_size)
     except OSError:
         signature = None
-    if signature is not None:
-        hit = _PARSE_CACHE.get(key)
-        if hit is not None and (hit[0], hit[1]) == signature:
-            ctx, pragmas = hit[2], hit[3]
-            if ctx.path == path:
-                return ctx, pragmas
+    hit = _PARSE_CACHE.get(key)
+    if (signature is not None and hit is not None
+            and hit[3].path == path):
+        if (hit[0], hit[1]) == signature:
+            CACHE_STATS["stat_hits"] += 1
+            return hit[3], hit[4]
+        if hit[2] == _content_digest(source):
+            CACHE_STATS["content_hits"] += 1
+            _PARSE_CACHE[key] = (signature[0], signature[1], hit[2],
+                                 hit[3], hit[4])
+            return hit[3], hit[4]
+    CACHE_STATS["misses"] += 1
     ctx = ModuleContext.build(path, source)       # may raise SyntaxError
     pragmas = parse_pragmas(ctx.lines)
     if signature is not None:
-        _PARSE_CACHE[key] = (signature[0], signature[1], ctx, pragmas)
+        _PARSE_CACHE[key] = (signature[0], signature[1],
+                             _content_digest(source), ctx, pragmas)
     return ctx, pragmas

@@ -441,10 +441,16 @@ def default_rules() -> List[Rule]:
         ModuleScopeRngRule,
         StreamSharingRule,
     )
+    from repro.lint.stateflow import (
+        JournalCodecRule,
+        ShardDeltaRule,
+        SnapshotCoverageRule,
+    )
     from repro.lint.taint import SimClockArithmeticRule, TokenTaintRule
 
     return [WallClockRule(), GlobalRandomRule(), OrderingRule(),
             EntropyRule(), ExceptionRule(),
             TokenTaintRule(), ModuleScopeRngRule(), StreamSharingRule(),
             SimClockArithmeticRule(), ApiContractRule(),
-            IndirectMutationRule()]
+            IndirectMutationRule(), SnapshotCoverageRule(),
+            ShardDeltaRule(), JournalCodecRule()]

@@ -3,8 +3,11 @@
 Emits the minimal static-analysis interchange document GitHub code
 scanning and most SARIF viewers accept: one run, one driver, rule
 descriptors for every rule id that produced a finding, and one result
-per finding.  Baselined findings are kept in the document but carry a
-``suppressions`` entry so viewers show them as accepted.
+per finding.  Baselined findings are kept in the document but carry an
+``external`` suppression so viewers show them as accepted; findings
+silenced by an in-source ``reprolint: disable`` pragma are appended
+with an ``inSource`` suppression, so the justified exceptions stay
+visible to code-scanning dashboards instead of vanishing.
 """
 
 from __future__ import annotations
@@ -39,6 +42,9 @@ RULE_DESCRIPTIONS: Dict[str, str] = {
     "RL203": "raw arithmetic on sim-clock values outside sim/",
     "RL301": "direct platform mutation bypassing the Graph API",
     "RL302": "platform mutation reached through an outside helper",
+    "RL401": "mutable state missing from a snapshot capture/install",
+    "RL402": "shard delta field dropped or impure forked child",
+    "RL403": "journal frame bypasses the approved codec",
 }
 
 
@@ -48,7 +54,7 @@ def _fingerprint(finding: Finding) -> str:
                            digest_size=8).hexdigest()
 
 
-def _result(finding: Finding) -> dict:
+def _result(finding: Finding, in_source: bool = False) -> dict:
     text = finding.message
     if finding.hint:
         text = f"{text}. {finding.hint}"
@@ -69,7 +75,11 @@ def _result(finding: Finding) -> dict:
             "reprolintFingerprint/v1": _fingerprint(finding),
         },
     }
-    if finding.baselined:
+    if in_source:
+        result["suppressions"] = [{
+            "kind": "inSource",
+            "justification": "reprolint: disable pragma"}]
+    elif finding.baselined:
         result["suppressions"] = [{"kind": "external",
                                    "justification": "baselined"}]
     return result
@@ -77,8 +87,9 @@ def _result(finding: Finding) -> dict:
 
 def render_sarif(report) -> str:
     """Serialise a :class:`~repro.lint.engine.LintReport` as SARIF."""
+    suppressed = list(getattr(report, "suppressed", ()))
     seen_rules: List[str] = []
-    for finding in report.findings:
+    for finding in [*report.findings, *suppressed]:
         if finding.rule not in seen_rules:
             seen_rules.append(finding.rule)
     rules = [{
@@ -99,8 +110,10 @@ def render_sarif(report) -> str:
                     "rules": rules,
                 },
             },
-            "results": [_result(finding)
-                        for finding in report.findings],
+            "results": ([_result(finding)
+                         for finding in report.findings]
+                        + [_result(finding, in_source=True)
+                           for finding in suppressed]),
         }],
     }
     return json.dumps(document, indent=2, sort_keys=True)

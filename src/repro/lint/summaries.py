@@ -1,6 +1,6 @@
-"""One-level function summaries for the project graph.
+"""Function summaries for the project graph.
 
-For every function in the tree we record three facts the cross-module
+For every function in the tree we record the facts the cross-module
 rules need:
 
 * ``param_sink_flows`` — parameters whose value reaches a token sink
@@ -11,15 +11,22 @@ rules need:
   bodies are flagged directly at the definition site.
 * ``taint_through`` — parameters whose taint survives into the return
   value, so ``digest = fmt(token)`` keeps ``digest`` tainted.
+* ``returns_taint`` — the return value carries taint sourced *inside*
+  the body (a token-store read, a minted token), independent of any
+  parameter.
 * ``mutates_platform`` — platform mutation methods the body invokes
-  directly (``*.platform.create_post(...)``), which RL302 uses to flag
+  (``*.platform.create_post(...)``), which RL302 uses to flag
   collusion/honeypot code that launders a platform write through a
   helper outside the Graph API.
+* ``self_writes`` / ``global_writes`` — the mutation-effect lattice:
+  which ``self.X`` attributes and module-level names the function
+  writes.  The RL4xx state-coverage rules are built on these.
 
-Summaries are strictly intraprocedural (one level): they are computed
-with an empty summary table, so a helper-of-a-helper does not
-propagate.  That trade keeps the analysis deterministic, order
-independent and surprise free.
+Summaries are computed to interprocedural convergence by
+:mod:`repro.lint.fixpoint` (SCC-ordered, callees first), so all five
+facts see through arbitrarily deep helper chains.  The historical
+one-level builder is kept as :func:`build_summaries_one_level`
+because the tests pin exactly what depth buys.
 """
 
 from __future__ import annotations
@@ -68,7 +75,7 @@ def platform_mutation_calls(node: ast.AST) -> Iterator[ast.Call]:
 
 @dataclass
 class FunctionSummary:
-    """What one function does with its parameters."""
+    """What one function does with its parameters and its state."""
 
     qname: str
     params: List[str]
@@ -76,16 +83,27 @@ class FunctionSummary:
     param_sink_flows: Dict[str, Set[str]] = field(default_factory=dict)
     #: params whose taint reaches the return value
     taint_through: Set[str] = field(default_factory=set)
-    #: platform mutation methods invoked directly in the body
+    #: platform mutation methods invoked in the body or any callee
     mutates_platform: Set[str] = field(default_factory=set)
+    #: ``self.X`` attributes written, directly or via self.method()
+    self_writes: Set[str] = field(default_factory=set)
+    #: module-level names written, directly or via any callee
+    global_writes: Set[str] = field(default_factory=set)
+    #: return value carries taint sourced inside the body
+    returns_taint: bool = False
 
 
 def build_summaries(graph) -> None:
-    """Populate ``graph.summaries`` for every indexed function.
+    """Populate ``graph.summaries`` to interprocedural convergence."""
+    from repro.lint.fixpoint import build_summaries as _fixpoint
 
-    Runs with an empty summary table (see module docstring), then
-    installs the finished table atomically.
-    """
+    _fixpoint(graph)
+
+
+def build_summaries_one_level(graph) -> None:
+    """The pre-fixpoint builder: every function summarised against an
+    empty table, so helper-of-a-helper flows are invisible.  Kept so
+    tests can pin the flows only the fixpoint catches."""
     table: Dict[str, FunctionSummary] = {}
     for qname, fn in graph.functions.items():
         info = graph.by_path.get(fn.path)

@@ -47,6 +47,7 @@ _TOKEN_STORE_BASES = frozenset({
 #: AccessToken object — an object's repr embeds the raw string).
 _TOKEN_STORE_GETTERS = frozenset({
     "validate", "peek", "issue", "live_token_for", "get",
+    "export_state",
 })
 
 #: Calls that mint or extract a token string wherever they appear.
@@ -347,12 +348,21 @@ class TaintWalker:
         if isinstance(func, ast.Attribute):
             if func.attr in _STR_PASSTHROUGH:
                 return self.origins(func.value) | arg_origins
+        constructed = self._constructed_class(call)
+        if constructed is not None:
+            # A dataclass-style constructor (no explicit __init__)
+            # embeds its arguments in the object: CampaignCheckpoint(
+            # tokens=export) is as tainted as the export itself.
+            return arg_origins
         summary = self._summary_for(call)
-        if summary is not None and summary.taint_through:
+        if summary is not None:
             out: Set[str] = set()
-            for param, value in self._map_args(summary.params, call):
-                if param in summary.taint_through:
-                    out |= self.origins(value)
+            if summary.taint_through:
+                for param, value in self._map_args(summary.params, call):
+                    if param in summary.taint_through:
+                        out |= self.origins(value)
+            if getattr(summary, "returns_taint", False):
+                out.add(self.GENERIC)
             return out
         return set()
 
@@ -371,6 +381,22 @@ class TaintWalker:
         if fn is None:
             return None
         return project.summaries.get(fn.qname)
+
+    def _constructed_class(self, call: ast.Call):
+        """The project class constructed by ``call``, when the class
+        has no explicit ``__init__`` (dataclass-generated one)."""
+        project = getattr(self.ctx, "project", None)
+        if project is None:
+            return None
+        info = project.by_path.get(self.ctx.path)
+        if info is None:
+            return None
+        ci = project.resolve_class(info, call)
+        if ci is None:
+            return None
+        if f"{ci.qname}.__init__" in project.functions:
+            return None
+        return ci
 
     @staticmethod
     def _map_args(params: Sequence[str], call: ast.Call

@@ -1,0 +1,22 @@
+"""RL401 clean twin: every checkpoint field is passed explicitly at
+construction and read back on restore."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class WidgetCheckpoint:
+    day: int
+    cursor: int
+    spool: tuple
+
+
+def capture(widget):
+    return WidgetCheckpoint(day=widget.day, cursor=widget.cursor,
+                            spool=tuple(widget.pending))
+
+
+def restore(widget, checkpoint):
+    widget.day = checkpoint.day
+    widget.cursor = checkpoint.cursor
+    widget.pending = list(checkpoint.spool)

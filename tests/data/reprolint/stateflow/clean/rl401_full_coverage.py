@@ -1,0 +1,20 @@
+"""RL401 clean twin: every mutated attribute crosses the snapshot
+boundary — ``_peak`` is exported and installed alongside ``total``."""
+
+
+class PeakTracker:
+    def __init__(self):
+        self.total = 0
+        self._peak = 0
+
+    def record(self, value):
+        self.total += value
+        if self.total > self._peak:
+            self._peak = self.total
+
+    def export_state(self):
+        return {"total": self.total, "peak": self._peak}
+
+    def install_state(self, state):
+        self.total = state["total"]
+        self._peak = state["peak"]

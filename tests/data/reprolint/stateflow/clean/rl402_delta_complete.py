@@ -1,0 +1,22 @@
+"""RL402 clean twin: every delta field is explicit at construction and
+consumed by the merge."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class WorkDelta:
+    domains: tuple
+    likes: int
+    failures: tuple
+
+
+def child_export(shard):
+    return WorkDelta(domains=shard.owned, likes=shard.admitted,
+                     failures=tuple(shard.trouble))
+
+
+def merge(parent, delta):
+    parent.adopt(delta.domains)
+    parent.likes += delta.likes
+    parent.failures.extend(delta.failures)

@@ -1,0 +1,19 @@
+"""RL402 clean twin: the child's only output channel is the inherited
+pipe fd (``os.fdopen`` is the sanctioned channel home)."""
+
+import os
+import pickle
+
+
+def run_shard(delta):
+    read_fd, write_fd = os.pipe()
+    pid = os.fork()
+    if pid == 0:
+        with os.fdopen(write_fd, "wb") as sink:
+            sink.write(pickle.dumps(delta))
+        os._exit(0)
+    os.close(write_fd)
+    with os.fdopen(read_fd, "rb") as source:
+        payload = source.read()
+    os.waitpid(pid, 0)
+    return payload

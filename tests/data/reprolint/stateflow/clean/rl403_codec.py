@@ -1,0 +1,23 @@
+"""RL403 clean twin: the repr/literal_eval round-trip lives inside the
+named codec pair; call sites only touch encode_row/decode_row."""
+
+from ast import literal_eval
+
+ROW_TAG = b"R"
+
+
+def encode_row(row):
+    return ROW_TAG + repr(row).encode("utf-8")
+
+
+def decode_row(payload):
+    return literal_eval(payload[len(ROW_TAG):].decode("utf-8"))
+
+
+def append_row(wal, row):
+    wal._write_frame(encode_row(row))
+
+
+def replay_rows(wal):
+    for payload in wal.frames():
+        yield decode_row(payload)

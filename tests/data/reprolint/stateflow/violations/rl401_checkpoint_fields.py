@@ -1,0 +1,21 @@
+"""RL401 violations on a ``*Checkpoint`` record: ``spool`` is silently
+defaulted at the construction site AND never consumed by the restore
+path — two distinct ways the same state gets dropped."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WidgetCheckpoint:
+    day: int
+    cursor: int
+    spool: tuple = field(default_factory=tuple)
+
+
+def capture(widget):
+    return WidgetCheckpoint(day=widget.day, cursor=widget.cursor)
+
+
+def restore(widget, checkpoint):
+    widget.day = checkpoint.day
+    widget.cursor = checkpoint.cursor

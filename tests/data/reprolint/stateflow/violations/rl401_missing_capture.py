@@ -1,0 +1,20 @@
+"""RL401 violation: ``_peak`` is mutated by record() but neither read
+by export_state() nor written back by install_state() — a resume would
+silently reset the high-water mark."""
+
+
+class PeakTracker:
+    def __init__(self):
+        self.total = 0
+        self._peak = 0
+
+    def record(self, value):
+        self.total += value
+        if self.total > self._peak:
+            self._peak = self.total
+
+    def export_state(self):
+        return {"total": self.total}
+
+    def install_state(self, state):
+        self.total = state["total"]

@@ -1,0 +1,22 @@
+"""RL402 violation: the merge never reads ``failures`` back out of the
+delta — child-side failures are captured, shipped, and then silently
+dropped by the parent."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class WorkDelta:
+    domains: tuple
+    likes: int
+    failures: tuple
+
+
+def child_export(shard):
+    return WorkDelta(domains=shard.owned, likes=shard.admitted,
+                     failures=tuple(shard.trouble))
+
+
+def merge(parent, delta):
+    parent.adopt(delta.domains)
+    parent.likes += delta.likes

@@ -1,0 +1,16 @@
+"""RL402 purity violations: the forked child writes a named file and
+serialises through ``json.dump`` — parent-visible state escaping
+outside the delta channel."""
+
+import json
+import os
+
+
+def run_shard(delta, path):
+    pid = os.fork()
+    if pid == 0:
+        with open(path, "w") as sink:
+            json.dump(delta, sink)
+        os._exit(0)
+    os.waitpid(pid, 0)
+    return None

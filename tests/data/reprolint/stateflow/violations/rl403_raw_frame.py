@@ -1,0 +1,15 @@
+"""RL403 violations: frame payload built with inline ``repr()`` and
+decoded with a stray ``literal_eval`` — the round-trip is smeared
+across call sites instead of living in the codec."""
+
+from ast import literal_eval
+
+
+def append_row(wal, row):
+    payload = b"R" + repr(row).encode("utf-8")
+    wal._write_frame(payload)
+
+
+def replay_rows(wal):
+    for payload in wal.frames():
+        yield literal_eval(payload[1:].decode("utf-8"))

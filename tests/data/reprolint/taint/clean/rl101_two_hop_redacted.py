@@ -1,0 +1,20 @@
+"""Two-hop clean twin: the chain routes through redact_token() first,
+so the fixpoint's deep summaries carry no taint to the sink."""
+
+import logging
+
+from repro.oauth.redact import redact_token
+
+log = logging.getLogger("campaign")
+
+
+def describe(value):
+    return fmt(redact_token(value))
+
+
+def fmt(value):
+    return "token " + value
+
+
+def emit(access_token):
+    log.warning(describe(access_token))

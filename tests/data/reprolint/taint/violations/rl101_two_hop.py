@@ -1,0 +1,20 @@
+"""Two-hop interprocedural leak: the token flows through describe()
+*and* fmt() before reaching the log sink.  One-level summaries stop at
+describe() (fmt() has no summary yet when describe() is summarised);
+the fixpoint converges and flags the call site in emit()."""
+
+import logging
+
+log = logging.getLogger("campaign")
+
+
+def describe(value):
+    return fmt(value)
+
+
+def fmt(value):
+    return "token " + value
+
+
+def emit(access_token):
+    log.warning(describe(access_token))

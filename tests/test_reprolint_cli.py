@@ -112,6 +112,41 @@ def test_changed_sees_tracked_modifications(git_repo, capsys):
     assert "committed.py" in out
 
 
+def test_changed_skips_deleted_files(git_repo, capsys):
+    (git_repo / "pkg" / "committed.py").unlink()
+    rc = main(["pkg", "--changed", "--no-baseline"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "RL000" not in out
+    assert "0 files" in out
+
+
+def test_changed_follows_renames_without_rl000_noise(git_repo, capsys):
+    _git(git_repo, "mv", "pkg/committed.py", "pkg/renamed.py")
+    (git_repo / "pkg" / "renamed.py").write_text(WALL_CLOCK,
+                                                 encoding="utf-8")
+    rc = main(["pkg", "--changed", "--no-baseline"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "RL000" not in out
+    assert "renamed.py" in out
+    assert "committed.py" not in out
+
+
+def test_changed_works_from_a_subdirectory(git_repo, monkeypatch,
+                                           capsys):
+    # git reports paths relative to the toplevel; the scan must anchor
+    # them there even when invoked from inside the tree.
+    (git_repo / "pkg" / "fresh.py").write_text(WALL_CLOCK,
+                                               encoding="utf-8")
+    monkeypatch.chdir(git_repo / "pkg")
+    rc = main([str(git_repo / "pkg"), "--changed", "--no-baseline"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "fresh.py" in out
+    assert "RL000" not in out
+
+
 def test_changed_outside_git_is_a_usage_error(tmp_path, monkeypatch,
                                               capsys):
     target = tmp_path / "ok.py"

@@ -171,3 +171,49 @@ def test_syntax_error_is_reported_not_crashed(tmp_path, capsys):
     (tree / "mod.py").write_text("def f(:\n")
     assert lint_main([str(tree), "--no-baseline"]) == 1
     assert "RL000" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Parse cache: stat fast path, content-digest fallback, --json stats
+# ----------------------------------------------------------------------
+def test_parse_cache_content_hash_rescues_touched_files(tmp_path):
+    import os
+
+    engine = LintEngine(allowlist={})
+    target = tmp_path / "mod.py"
+    target.write_text("x = 1\n", encoding="utf-8")
+    pairs = [("repro/mod.py", target)]
+
+    engine.run_files(pairs)                      # prime the cache
+    second = engine.run_files(pairs)
+    assert second.cache_stats["stat_hits"] == 1
+    assert second.cache_stats["misses"] == 0
+
+    # Same bytes, new mtime (a touch / fresh checkout): the digest
+    # fallback rescues the hit instead of re-parsing.
+    stat = target.stat()
+    os.utime(target, ns=(stat.st_atime_ns + 10_000_000_000,
+                         stat.st_mtime_ns + 10_000_000_000))
+    third = engine.run_files(pairs)
+    assert third.cache_stats["content_hits"] == 1
+    assert third.cache_stats["misses"] == 0
+
+    # And the refreshed signature serves the next run via stat alone.
+    fourth = engine.run_files(pairs)
+    assert fourth.cache_stats["stat_hits"] == 1
+    assert fourth.cache_stats["content_hits"] == 0
+
+    # An actual edit re-parses.
+    target.write_text("y = 2\n", encoding="utf-8")
+    fifth = engine.run_files(pairs)
+    assert fifth.cache_stats["misses"] == 1
+
+
+def test_json_output_reports_parse_cache_counts(tmp_path, capsys):
+    target = tmp_path / "ok.py"
+    target.write_text("x = 1\n", encoding="utf-8")
+    assert lint_main([str(target), "--no-baseline", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    cache = payload["parse_cache"]
+    assert set(cache) == {"stat_hits", "content_hits", "misses"}
+    assert sum(cache.values()) == 1

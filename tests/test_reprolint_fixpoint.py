@@ -1,0 +1,160 @@
+"""Fixpoint engine: deep-chain taint the one-level pass misses, SCC
+convergence, and the mutation-effect lattice RL4xx builds on."""
+
+import textwrap
+from pathlib import Path
+
+from repro.lint import lint_source
+from repro.lint.graph import ProjectGraph
+from repro.lint.rules import ModuleContext
+from repro.lint.summaries import build_summaries_one_level
+
+DATA = (Path(__file__).resolve().parent / "data" / "reprolint" /
+        "taint")
+
+
+def fixture_source(name, kind="violations"):
+    return (DATA / kind / name).read_text(encoding="utf-8")
+
+
+def graph_of(source, path="repro/oauth/helpers.py"):
+    ctx = ModuleContext.build(path, textwrap.dedent(source))
+    return ProjectGraph.build([ctx])
+
+
+def summary(graph, suffix):
+    for qname, fn_summary in graph.summaries.items():
+        if qname.endswith(suffix):
+            return fn_summary
+    raise AssertionError(f"no summary for *{suffix}")
+
+
+# ----------------------------------------------------------------------
+# The acceptance chain: a 2-hop flow one-level summaries cannot see.
+# ----------------------------------------------------------------------
+def test_two_hop_fixture_pair():
+    findings = lint_source(fixture_source("rl101_two_hop.py"),
+                           path="repro/oauth/helpers.py")
+    assert [f.rule for f in findings] == ["RL101"]
+    # The call site in emit(), not the helpers.
+    assert findings[0].line == 20
+    assert lint_source(
+        fixture_source("rl101_two_hop_redacted.py", kind="clean"),
+        path="repro/oauth/helpers.py") == []
+
+
+def test_fixpoint_beats_one_level_on_the_two_hop_chain():
+    """Pinned: the old single pass leaves describe() summaryless about
+    fmt() (defined later in the file), so the chain is invisible; the
+    fixpoint iterates to convergence and carries it."""
+    source = fixture_source("rl101_two_hop.py")
+    deep = graph_of(source)
+    assert summary(deep, ".describe").taint_through == {"value"}
+
+    shallow = graph_of(source)
+    shallow.summaries = {}
+    build_summaries_one_level(shallow)
+    assert summary(shallow, ".describe").taint_through == set()
+
+
+# ----------------------------------------------------------------------
+# Convergence
+# ----------------------------------------------------------------------
+def test_mutual_recursion_converges_and_propagates():
+    # a <-> b form one SCC; the param-to-sink fact in a() must reach
+    # callers of b() without the solver spinning forever.
+    findings = lint_source(textwrap.dedent("""
+        def a(value, log, n):
+            if n == 0:
+                log.warning("token %s", value)
+                return
+            b(value, log, n - 1)
+
+        def b(value, log, n):
+            a(value, log, n)
+
+        def emit(access_token, log):
+            b(access_token, log, 3)
+    """), path="repro/oauth/helpers.py")
+    assert [f.rule for f in findings] == ["RL101"]
+    assert findings[0].line == 12
+
+
+def test_self_recursion_terminates():
+    graph = graph_of("""
+        def spin(value, n):
+            if n == 0:
+                return value
+            return spin(value, n - 1)
+    """)
+    assert summary(graph, ".spin").taint_through == {"value"}
+
+
+# ----------------------------------------------------------------------
+# Mutation-effect lattice
+# ----------------------------------------------------------------------
+def test_self_writes_inherit_through_self_calls():
+    graph = graph_of("""
+        class Counter:
+            def __init__(self):
+                self.count = 0
+
+            def _bump(self):
+                self.count += 1
+
+            def record(self):
+                self._bump()
+    """)
+    assert "count" in summary(graph, ".Counter.record").self_writes
+
+
+def test_constructing_the_same_class_does_not_donate_writes():
+    # Regression: Factory.child() builds a *new* instance; __init__'s
+    # writes land on that object, not on self, so child() must not be
+    # treated as mutating self.seed.
+    graph = graph_of("""
+        class Factory:
+            def __init__(self, seed):
+                self.seed = seed
+
+            def child(self):
+                return Factory(self.seed + 1)
+    """)
+    assert summary(graph, ".Factory.child").self_writes == set()
+
+
+def test_global_writes_are_transitive():
+    graph = graph_of("""
+        REGISTRY = {}
+
+        def _note(key):
+            REGISTRY[key] = True
+
+        def outer(key):
+            _note(key)
+    """)
+    assert "REGISTRY" in summary(graph, ".outer").global_writes
+
+
+def test_returns_taint_flows_through_implicit_dataclass_ctor():
+    # The recovery.py shape: a token-table export is wrapped in a
+    # record dataclass (no explicit __init__) and only then persisted.
+    findings = lint_source(textwrap.dedent("""
+        from dataclasses import dataclass
+
+
+        @dataclass
+        class DayImage:
+            payload: dict
+            day: int
+
+
+        def capture(tokens, day):
+            return DayImage(payload=tokens.export_state(), day=day)
+
+
+        def persist(store, tokens, day):
+            store.save("day", capture(tokens, day))
+    """), path="repro/oauth/helpers.py")
+    assert [f.rule for f in findings] == ["RL103"]
+    assert findings[0].line == 16

@@ -44,7 +44,8 @@ def test_default_rules_cover_all_shipped_families():
     ids = {rule.rule_id for rule in rules}
     assert {"RL001", "RL002", "RL003", "RL004", "RL005",
             "RL101", "RL201", "RL202", "RL203",
-            "RL301", "RL302"} <= ids
+            "RL301", "RL302",
+            "RL401", "RL402", "RL403"} <= ids
     assert any(isinstance(rule, ProjectRule) for rule in rules)
 
 
