@@ -7,7 +7,8 @@ milk       run the §4 milking campaign (Tables 4/6, Fig. 4)
 campaign   run the §6 countermeasure campaign (Figs. 5-8)
 full       run everything and print the complete report
 run        crash-tolerant full study (fault injection, checkpoints,
-           --resume)
+           --resume, --telemetry)
+metrics    render a metrics.json written by ``run --telemetry``
 lint       reprolint: determinism & discipline static analysis
 bench      benchmark the pipeline stages (BENCH_PIPELINE.json)
 """
@@ -96,6 +97,21 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--job-timeout", type=float, default=None,
                      help="seconds before a hung experiment worker is "
                           "killed and its job re-run serially")
+    run.add_argument("--telemetry", type=str, default=None,
+                     metavar="DIR",
+                     help="enable the telemetry plane and write "
+                          "metrics.prom / metrics.json / trace.json / "
+                          "spans.txt to DIR")
+
+    metrics = sub.add_parser(
+        "metrics", help="render a metrics.json written by "
+                        "'repro run --telemetry DIR'")
+    metrics.add_argument("path",
+                         help="telemetry directory or metrics.json file")
+    metrics.add_argument("--json", action="store_true",
+                         help="re-emit the raw JSON document")
+    metrics.add_argument("--out", type=str, default=None,
+                         help="also write output to this file")
 
     score = sub.add_parser(
         "score", help="run everything and print the paper-vs-measured "
@@ -269,11 +285,23 @@ def cmd_run(args) -> int:
     recovery = None
     if args.journal:
         recovery = CampaignRecovery(args.journal, resume=args.resume)
+    timer = None
+    if args.telemetry:
+        from repro.telemetry import TELEMETRY, TRACER
+
+        TELEMETRY.reset()
+        TELEMETRY.enable()
+        TRACER.reset()
+        TRACER.enable()
+        # Accumulate stage timings into the registry's stage view so
+        # metrics.json carries the full wall-clock sidecar.
+        timer = TELEMETRY.stages
+        timer.reset()
     try:
         artifacts, report = run_full_study(
             config, parallel_experiments=args.parallel_experiments,
             checkpoint=store, job_timeout=args.job_timeout,
-            campaign_recovery=recovery)
+            campaign_recovery=recovery, timer=timer)
     except SimulatedCrash as crash:
         # A fault-plan crash (torn_tail etc.) ended the process the way
         # kill -9 would; the journal survives, so the same invocation
@@ -281,7 +309,16 @@ def cmd_run(args) -> int:
         # chaos harnesses able to tell "injected crash" from success.
         print(f"simulated crash: {crash}", file=sys.stderr)
         return 70
+    telemetry_files = None
+    if args.telemetry:
+        from repro.telemetry import TELEMETRY, TRACER, write_telemetry
+
+        telemetry_files = write_telemetry(args.telemetry, TELEMETRY,
+                                          TRACER)
     summary = _run_summary(artifacts, store, recovery)
+    if args.telemetry:
+        summary += (f"\n  telemetry: {len(telemetry_files)} file(s) in "
+                    f"{args.telemetry}")
     if args.json:
         campaign = artifacts.campaign
         log = artifacts.world.api.log
@@ -300,6 +337,15 @@ def cmd_run(args) -> int:
             "log_rows": len(log),
             "log_digest": log.digest(),
         }
+        if args.telemetry:
+            from repro.telemetry import TELEMETRY
+
+            payload["telemetry"] = {
+                "fingerprint": TELEMETRY.fingerprint(),
+                "files": telemetry_files,
+                "counters": {name: TELEMETRY.counter_total(name)
+                             for name in TELEMETRY.counter_families()},
+            }
         _emit(json.dumps(payload, indent=2), args.out)
     else:
         _emit(report.render() + "\n\n" + summary, args.out)
@@ -322,6 +368,26 @@ def cmd_score(args) -> int:
     else:
         _emit(card.render(), args.out)
     return 0 if card.failed == 0 else 1
+
+
+def cmd_metrics(args) -> int:
+    from repro.telemetry.export import render_metrics
+
+    path = args.path
+    if os.path.isdir(path):
+        path = os.path.join(path, "metrics.json")
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read metrics document {path}: {error}",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        _emit(json.dumps(payload, indent=2, sort_keys=True), args.out)
+    else:
+        _emit(render_metrics(payload).rstrip("\n"), args.out)
+    return 0
 
 
 def cmd_lint(args) -> int:
@@ -384,6 +450,7 @@ COMMANDS = {
     "campaign": cmd_campaign,
     "full": cmd_full,
     "run": cmd_run,
+    "metrics": cmd_metrics,
     "score": cmd_score,
     "lint": cmd_lint,
     "bench": cmd_bench,

@@ -36,6 +36,7 @@ from repro.netsim.pools import IpPool
 from repro.oauth.errors import InvalidTokenError, OAuthError
 from repro.oauth.server import AuthorizationRequest
 from repro.socialnet.errors import SocialNetworkError
+from repro.telemetry.registry import TELEMETRY
 
 #: try_* result codes that mark a retryable (injected) failure.
 _TRANSIENT_CODES = ("transient", "timeout")
@@ -589,7 +590,11 @@ class CollusionNetwork:  # reprolint: disable=RL401 — dead_members/_shard_drop
         if self.world.faults is not None:
             self._batch_fail_streak += 1
             if self._batch_fail_streak >= self._BATCH_DEGRADE_STREAK:
-                self._batch_degraded_day = self.world.clock.day()
+                day = self.world.clock.day()
+                if self._batch_degraded_day != day and TELEMETRY.enabled:
+                    TELEMETRY.count("wave_degradations_total",
+                                    network=self.domain)
+                self._batch_degraded_day = day
 
     def _batching_active(self) -> bool:
         """Whether the all-or-nothing fast path should be probed."""
@@ -606,7 +611,32 @@ class CollusionNetwork:  # reprolint: disable=RL401 — dead_members/_shard_drop
         else:
             self._deliver_likes_scalar(post_id, quota, budget, used, report)
         self.total_likes_delivered += report.delivered
+        if TELEMETRY.enabled:
+            self._report_delivery_telemetry(report)
         return report
+
+    def _report_delivery_telemetry(self, report: DeliveryReport) -> None:
+        """Mirror the report's retry/breaker tallies into the metrics
+        registry so ``repro run --json`` and the Prometheus export agree
+        with the DeliveryReport the caller sees."""
+        domain = self.domain
+        TELEMETRY.count("delivery_requested_total", report.requested,
+                        network=domain)
+        TELEMETRY.count("delivery_delivered_total", report.delivered,
+                        network=domain)
+        TELEMETRY.count("delivery_attempts_total", report.attempts,
+                        network=domain)
+        if report.retries:
+            TELEMETRY.count("delivery_retries_total", report.retries,
+                            network=domain)
+        if report.giveups_attempts:
+            TELEMETRY.count("delivery_giveups_total",
+                            report.giveups_attempts,
+                            network=domain, reason="attempts")
+        if report.giveups_deadline:
+            TELEMETRY.count("delivery_giveups_total",
+                            report.giveups_deadline,
+                            network=domain, reason="deadline")
 
     def _deliver_likes_scalar(self, post_id: str, quota: int, budget: int,
                               used: Set[str],

@@ -54,6 +54,8 @@ from repro.honeypot.crawler import TimelineCrawler
 from repro.honeypot.ledger import MilkedTokenLedger
 from repro.perf import PERF
 from repro.sim.clock import DAY, HOUR
+from repro.telemetry.registry import TELEMETRY
+from repro.telemetry.tracing import TRACER
 
 
 @dataclass
@@ -274,6 +276,7 @@ class CountermeasureCampaign:
     def _run_day(self, campaign_day: int) -> None:
         world = self.world
         day_start = world.clock.now()
+        day_span = TRACER.begin("campaign_day", day=campaign_day)
         likes_today = {domain: 0 for domain in self.networks}
         posts_today = {domain: 0 for domain in self.networks}
 
@@ -295,6 +298,21 @@ class CountermeasureCampaign:
             self.series[domain].posts_per_day.append(posts_today[domain])
             self.series[domain].likes_per_day.append(likes_today[domain])
         world.clock.advance_to(day_start + DAY)
+        if TELEMETRY.enabled:
+            self._sample_window_occupancy()
+        TRACER.end(day_span)
+
+    def _sample_window_occupancy(self) -> None:
+        """Day-end gauges over the limiter windows (parent only; the
+        sharded path has already merged the children's window state, so
+        serial and sharded runs sample identical occupancy)."""
+        occupancy = self.world.api.enforcer.window_occupancy()
+        for window in sorted(occupancy):
+            keys, events = occupancy[window]
+            TELEMETRY.gauge_set("ratelimit_window_keys", keys,
+                                window=window)
+            TELEMETRY.gauge_set("ratelimit_window_events", events,
+                                window=window)
 
     def _plan_day_events(self, day_start: int) -> List[DayEvent]:
         """Array-plan one day's workload before any of it executes.

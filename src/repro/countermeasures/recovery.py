@@ -55,6 +55,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.checkpoint import MISSING, CheckpointStore
 from repro.journal.wal import EventJournal, JournalRecovery, SimulatedCrash
+from repro.telemetry.registry import TELEMETRY
 
 #: Subdirectory of the journal holding the per-day checkpoint pickles.
 _CHECKPOINT_DIR = "checkpoints"
@@ -126,6 +127,10 @@ class CampaignCheckpoint:
     platform: dict
     shortener: dict
     campaign: dict
+    #: ``TELEMETRY.export_state()`` payload; installed wholesale on
+    #: resume so the recovered run's metrics converge on the
+    #: uninterrupted reference.  None when telemetry is disabled.
+    telemetry: Optional[dict]
 
 
 def _capture_platform(platform, base: _PlatformMarks) -> dict:
@@ -273,6 +278,8 @@ def capture_checkpoint(campaign, day: int, base: _PlatformMarks,
         platform=_capture_platform(world.platform, base),
         shortener=_capture_shortener(world.shortener),
         campaign=_capture_campaign(campaign),
+        telemetry=(TELEMETRY.export_state()
+                   if TELEMETRY.enabled else None),
     )
 
 
@@ -307,6 +314,8 @@ def install_checkpoint(campaign, checkpoint: CampaignCheckpoint) -> None:
         network._member_op_journal = ops
     _install_shortener(world.shortener, checkpoint.shortener)
     _install_campaign(campaign, checkpoint.campaign)
+    if checkpoint.telemetry is not None:
+        TELEMETRY.install_state(checkpoint.telemetry)
     # Events the restored days already executed (e.g. milking follow-ups
     # scheduled into the campaign window) must not run twice.
     world.scheduler.discard_until(checkpoint.clock)

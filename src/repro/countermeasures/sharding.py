@@ -76,6 +76,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.clock import DAY
+from repro.telemetry.delta import TelemetryDelta, capture_delta, merge_delta
+from repro.telemetry.registry import TELEMETRY
+from repro.telemetry.tracing import TRACER
 
 
 @dataclass(frozen=True)
@@ -238,6 +241,10 @@ class ShardDayDelta:
     #: FaultInjector.export_delta output (draw counters, fault tallies,
     #: token invalidations to replay) — ``None`` when no plan is active.
     fault_state: Optional[dict] = None
+    #: Metric increments the child recorded during the component —
+    #: ``None`` when telemetry is disabled or the component was
+    #: re-executed inline (the parent's registry already has them).
+    telemetry: Optional[TelemetryDelta] = None
 
 
 def _execute_component(campaign, component: Sequence[str], events,
@@ -255,6 +262,8 @@ def _execute_component(campaign, component: Sequence[str], events,
     platform = world.platform
     row0 = len(log)
     charge_before = dict(api.charge_counters)
+    telemetry_before = (TELEMETRY.export_state()
+                        if TELEMETRY.enabled else None)
     injector = api.faults
     fault_snapshot = injector.snapshot() if injector is not None else None
     journal = platform.activity_log.start_journal()
@@ -321,6 +330,8 @@ def _execute_component(campaign, component: Sequence[str], events,
         likes_delivered=likes_delivered,
         fault_state=(injector.export_delta(fault_snapshot)
                      if injector is not None else None),
+        telemetry=(capture_delta(TELEMETRY, telemetry_before)
+                   if telemetry_before is not None else None),
     )
 
 
@@ -476,6 +487,7 @@ def _reexecute_inline(campaign, component, events,
         charge_delta={},
         likes_delivered=likes_delivered,
         fault_state=None,
+        telemetry=None,
     )
 
 
@@ -534,6 +546,10 @@ def run_sharded_day(campaign, plan: ShardPlan, events, day_start: int,
         if injector is not None:
             crash_after = injector.decide_child_crash(
                 day, component[0], len(component_events))
+        span = TRACER.begin("shard_component", domains="+".join(component),
+                            events=len(component_events))
+        if TELEMETRY.enabled:
+            TELEMETRY.count("shard_components_total")
         delta = supervisor.run_component(
             campaign, component, component_events, component_posts, day,
             crash_after=crash_after)
@@ -547,8 +563,11 @@ def run_sharded_day(campaign, plan: ShardPlan, events, day_start: int,
                        f"{tuple(delta.domains)!r}"))
             delta = None
         if delta is None:
+            if TELEMETRY.enabled:
+                TELEMETRY.count("shard_quarantines_total")
             delta = _reexecute_inline(campaign, component,
                                       component_events, component_posts)
+        TRACER.end(span)
         deltas.append(delta)
 
     # Merge: interleave every child's log/activity segments by global
@@ -588,4 +607,6 @@ def run_sharded_day(campaign, plan: ShardPlan, events, day_start: int,
             likes_today[domain] += delivered
         if delta.fault_state is not None and injector is not None:
             injector.apply_delta(delta.fault_state)
+        if delta.telemetry is not None:
+            merge_delta(TELEMETRY, delta.telemetry)
     world.clock.advance_to(day_start + DAY - 1)

@@ -29,6 +29,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.detection.actions import Action
 from repro.detection.unionfind import UnionFind
+from repro.telemetry.registry import TELEMETRY
 
 
 @dataclass
@@ -135,6 +136,12 @@ class SynchroTrap:
         flagged: Set[str] = set()
         for cluster in clusters:
             flagged.update(cluster)
+        if TELEMETRY.enabled:
+            TELEMETRY.count("detection_pairs_scored_total", len(matches))
+            TELEMETRY.count("detection_edges_total", edges)
+            TELEMETRY.count("detection_clusters_total", len(clusters))
+            TELEMETRY.count("detection_flagged_accounts_total",
+                            len(flagged))
         return DetectionResult(
             flagged_accounts=flagged,
             clusters=sorted(clusters, key=len, reverse=True),

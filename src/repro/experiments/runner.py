@@ -36,6 +36,7 @@ from repro.experiments import (
 from repro.experiments.checkpoint import MISSING, CheckpointStore
 from repro.honeypot.milker import MilkingCampaign, MilkingResults
 from repro.perf import StageTimer, paused_gc
+from repro.telemetry.tracing import TRACER
 
 
 @dataclass
@@ -431,6 +432,9 @@ def run_full_study(config: Optional[StudyConfig] = None,
     with timer.stage("build"):
         artifacts = build_world(config)
     artifacts.timings = timer
+    if TRACER.enabled:
+        # Give spans the sim clock so traces carry both time axes.
+        TRACER.bind_clock(artifacts.world.clock)
     log = artifacts.world.api.log
     faults = artifacts.world.faults
     timer.count("build.log_rows", len(log.all()))

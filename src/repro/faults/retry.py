@@ -28,6 +28,8 @@ import hashlib
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.telemetry.registry import TELEMETRY
+
 #: Breaker states (string enums keep reprs/debugging simple).
 CLOSED = "closed"
 OPEN = "open"
@@ -78,12 +80,18 @@ class CircuitBreaker:
             if now < state.open_until:
                 return False
             state.state = HALF_OPEN
+            if TELEMETRY.enabled:
+                TELEMETRY.count("breaker_transitions_total",
+                                endpoint=endpoint, state=HALF_OPEN)
         return True  # half-open: let one probe through
 
     def record_success(self, endpoint: str) -> None:
         state = self._endpoints.get(endpoint)
         if state is not None:
             state.consecutive_failures = 0
+            if state.state != CLOSED and TELEMETRY.enabled:
+                TELEMETRY.count("breaker_transitions_total",
+                                endpoint=endpoint, state=CLOSED)
             state.state = CLOSED
 
     def record_failure(self, endpoint: str, now: int) -> None:
@@ -94,6 +102,9 @@ class CircuitBreaker:
             state.state = OPEN
             state.open_until = now + self.cooldown
             self.opens += 1
+            if TELEMETRY.enabled:
+                TELEMETRY.count("breaker_transitions_total",
+                                endpoint=endpoint, state=OPEN)
 
     def state_of(self, endpoint: str) -> str:
         state = self._endpoints.get(endpoint)
@@ -168,6 +179,8 @@ class RetryPolicy:
         if self.breaker.allow(endpoint, now):
             return True
         self.counters["fast_fails"] += 1
+        if TELEMETRY.enabled:
+            TELEMETRY.count("retry_fast_fails_total", endpoint=endpoint)
         return False
 
     def retry(self, endpoint: str, key: str, now: int, call, code: str,
@@ -199,15 +212,25 @@ class RetryPolicy:
             elapsed += delay
             counters["retries"] += 1
             counters["backoff_seconds"] += delay
+            if TELEMETRY.enabled:
+                TELEMETRY.count("retry_attempts_total", endpoint=endpoint)
+                TELEMETRY.count("retry_backoff_seconds_total", delay,
+                                endpoint=endpoint)
             code = call()
             if code not in transient:
                 self.breaker.record_success(endpoint)
                 counters["recoveries"] += 1
+                if TELEMETRY.enabled:
+                    TELEMETRY.count("retry_recoveries_total",
+                                    endpoint=endpoint)
                 return code
         counters["giveups"] += 1
         counters["giveups_" + reason] += 1
         self.last_giveup_reason = reason
         self.breaker.record_failure(endpoint, now)
+        if TELEMETRY.enabled:
+            TELEMETRY.count("retry_giveups_total",
+                            endpoint=endpoint, reason=reason)
         return code
 
     def run(self, endpoint: str, key: str, now: int, call,

@@ -15,7 +15,7 @@ Every request — successful or not — lands in the :class:`RequestLog`.
 
 from __future__ import annotations
 
-from collections import deque
+from collections import Counter, deque
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.graphapi.errors import (
@@ -48,6 +48,8 @@ from repro.sim.clock import SimClock
 from repro.socialnet.account import AccountStatus
 from repro.socialnet.errors import SocialNetworkError
 from repro.socialnet.platform import SocialPlatform
+from repro.telemetry.registry import TELEMETRY
+from repro.telemetry.tracing import TRACER
 
 
 class GraphApi:
@@ -137,6 +139,12 @@ class GraphApi:
                 token.user_id if token else None,
                 token.app_id if token else None,
                 self._target_of(request), request.source_ip, asn, outcome)
+            if TELEMETRY.enabled:
+                action = request.action.name
+                TELEMETRY.count("graphapi_requests_total",
+                                action=action, outcome=outcome)
+                if outcome != "ok":
+                    TELEMETRY.count("graphapi_errors_total", code=outcome)
 
     @staticmethod
     def _raise_fault(fault: str, access_token: str) -> None:
@@ -745,6 +753,7 @@ class DeliveryWave:
         "_peek", "_apps_get", "_policy", "_resolve", "_like_post",
         "_tokens", "_users", "_apps", "_ips", "_asns", "_outcomes",
         "_charged", "_finished", "_last_app", "_proof_skip",
+        "_attempts", "_denied_token", "_denied_ip", "_span",
     )
 
     def __init__(self, api: GraphApi, post_id: Optional[str]) -> None:
@@ -768,6 +777,12 @@ class DeliveryWave:
         self._outcomes: List[str] = []
         self._charged = 0
         self._finished = False
+        # Wave-shape tallies (plain ints, maintained unconditionally so
+        # telemetry enablement cannot perturb the execution path).
+        self._attempts = 0
+        self._denied_token = 0
+        self._denied_ip = 0
+        self._span = TRACER.begin("wave")
         # Waves span one network whose members share an app, so the
         # proof-requirement lookup memoizes on app identity.
         self._last_app = None
@@ -803,6 +818,7 @@ class DeliveryWave:
         background charges per simulated day, most of them rejected once
         the §6.1 budget saturates), so the lookup and the token-only
         admission are fully inlined."""
+        self._attempts += 1
         inj = self._inj
         if inj is not None:
             fault = inj.decide("CHARGE_LIKE", access_token)
@@ -811,6 +827,7 @@ class DeliveryWave:
             if fault == "timeout":
                 return "timeout"
             if fault == "rate_limit":
+                self._denied_token += 1
                 return "token_limit"
         now = self.now
         cached = self._token_cache.get(access_token)
@@ -850,6 +867,7 @@ class DeliveryWave:
                 if until is not None:
                     if now < until:
                         rooms[access_token] = -1
+                        self._denied_token += 1
                         return "token_limit"
                     del limiter._saturated_until[access_token]
                 events = limiter._events.get(access_token)
@@ -864,11 +882,13 @@ class DeliveryWave:
                 if room <= 0:
                     limiter.mark_saturated(access_token, events)
                     rooms[access_token] = -1
+                    self._denied_token += 1
                     return "token_limit"
             elif room <= 0:
                 if room == 0:
                     adm._exhaust(adm._token_limiter, access_token, rooms,
                                  adm._events, adm._pending)
+                self._denied_token += 1
                 return "token_limit"
             rooms[access_token] = room - 1
             pending = adm._pending
@@ -876,7 +896,11 @@ class DeliveryWave:
         else:
             violated = adm.admit(access_token, source_ip)
             if violated is not None:
-                return "token_limit" if violated == "token" else "ip_limit"
+                if violated == "token":
+                    self._denied_token += 1
+                    return "token_limit"
+                self._denied_ip += 1
+                return "ip_limit"
         self._charged += 1
         return None
 
@@ -885,6 +909,7 @@ class DeliveryWave:
         """Wave analogue of :meth:`GraphApi.try_like_post` against the
         wave's target post: same pipeline, same log-row vocabulary (the
         rows are buffered until :meth:`finish`), same platform write."""
+        self._attempts += 1
         inj = self._inj
         push_token = self._tokens.append
         push_user = self._users.append
@@ -907,6 +932,7 @@ class DeliveryWave:
                     push_outcome(ApiTimeout.code)
                     return "timeout"
                 push_outcome(RateLimitExceededError.code)
+                self._denied_token += 1
                 return "token_limit"
         resolved = self._lookup(access_token)
         asn = self._resolve(source_ip)
@@ -938,8 +964,10 @@ class DeliveryWave:
         if violated is not None:
             if violated == "token":
                 push_outcome(RateLimitExceededError.code)
+                self._denied_token += 1
                 return "token_limit"
             push_outcome(IpRateLimitError.code)
+            self._denied_ip += 1
             return "ip_limit"
         try:
             self._like_post(user_id, self.post_id, via_app_id=app_id,
@@ -967,3 +995,31 @@ class DeliveryWave:
                 self._outcomes)
         if self._charged:
             self.api.charge_counters["likes"] += self._charged
+        if TELEMETRY.enabled:
+            self._report_telemetry()
+        span = self._span
+        if span is not None:
+            span.args["attempts"] = self._attempts
+            span.args["charged"] = self._charged
+            span.args["denied"] = self._denied_token + self._denied_ip
+        TRACER.end(span)
+
+    def _report_telemetry(self) -> None:
+        """Fold the wave's shape into the metrics registry (enabled
+        runs only; the tallies themselves are always maintained)."""
+        stage = TELEMETRY.current_stage()
+        TELEMETRY.observe("wave_size", self._attempts, stage=stage)
+        TELEMETRY.observe("wave_limiter_denials",
+                          self._denied_token + self._denied_ip,
+                          stage=stage)
+        if self._denied_token:
+            TELEMETRY.count("ratelimit_denials_total", self._denied_token,
+                            window="token")
+        if self._denied_ip:
+            TELEMETRY.count("ratelimit_denials_total", self._denied_ip,
+                            window="ip")
+        if self._charged:
+            TELEMETRY.count("wave_charges_total", self._charged,
+                            outcome="ok")
+        for outcome, events in sorted(Counter(self._outcomes).items()):
+            TELEMETRY.count("wave_likes_total", events, outcome=outcome)

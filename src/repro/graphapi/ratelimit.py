@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Optional, Set
+from typing import Deque, Dict, Optional, Set, Tuple
 
 from repro.sim.clock import DAY
 
@@ -203,6 +203,27 @@ class PolicyEnforcer:
               or self._ip_week_limiter.limit != self.policy.ip_likes_per_week):
             self._ip_week_limiter = SlidingWindowLimiter(
                 self.policy.ip_likes_per_week, 7 * DAY)
+
+    def window_occupancy(self) -> Dict[str, Tuple[int, int]]:
+        """Deterministic ``window -> (tracked keys, resident events)``.
+
+        Purely observational — no eviction pass, no saturation-memo
+        update — so sampling it (the telemetry day-end gauges) cannot
+        perturb the simulation.  Resident counts include events a lazy
+        eviction has not dropped yet; with identical admission history
+        the counts are identical, which is what the serial-vs-sharded
+        metrics identity relies on.
+        """
+        occupancy: Dict[str, Tuple[int, int]] = {}
+        for name, limiter in (("token", self._token_limiter),
+                              ("ip_daily", self._ip_day_limiter),
+                              ("ip_weekly", self._ip_week_limiter)):
+            if limiter is None:
+                continue
+            events = limiter._events
+            occupancy[name] = (
+                len(events), sum(len(q) for q in events.values()))
+        return occupancy
 
     def admit_token_action(self, token: str, now: int) -> bool:
         """Check-and-record one write action for ``token``."""

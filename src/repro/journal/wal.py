@@ -47,6 +47,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple
 
 from repro.journal.codec import decode_row, encode_row
+from repro.telemetry.registry import TELEMETRY
 
 _GENESIS = b"repro-journal-v1"
 _LEN = struct.Struct(">I")
@@ -188,6 +189,8 @@ class EventJournal:
             raise RuntimeError("no open day segment")
         self._write_frame(encode_row(row))
         self._current.rows += 1
+        if TELEMETRY.enabled:
+            TELEMETRY.count("journal_frames_total", kind="row")
 
     def seal_day(self) -> None:
         """Seal the open day: seal frame, flush, fsync, close."""
@@ -207,6 +210,9 @@ class EventJournal:
         self._segments.append(self._current)
         self._current = None
         self._fsync_directory()
+        if TELEMETRY.enabled:
+            TELEMETRY.count("journal_frames_total", kind="seal")
+            TELEMETRY.count("journal_seals_total")
 
     def abandon(self) -> None:
         """Close without sealing (process teardown on error paths)."""
@@ -337,6 +343,14 @@ class EventJournal:
         self._chain = chain
         recovery.records = self.records
         recovery.last_sealed_day = self.last_sealed_day
+        if TELEMETRY.enabled:
+            TELEMETRY.count("journal_recoveries_total")
+            if recovery.truncated_bytes:
+                TELEMETRY.count("journal_truncated_bytes_total",
+                                recovery.truncated_bytes)
+            if recovery.dropped_segments:
+                TELEMETRY.count("journal_dropped_segments_total",
+                                len(recovery.dropped_segments))
         return recovery
 
     @staticmethod

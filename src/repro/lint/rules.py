@@ -21,7 +21,8 @@ from repro.lint.findings import Finding, Severity
 #: environment by design; the experiment runner is the sanctioned home
 #: for wall-timing of worker processes.
 DEFAULT_ALLOWLIST: Dict[str, Tuple[str, ...]] = {
-    "RL001": ("repro/perf/", "repro/experiments/runner.py"),
+    "RL001": ("repro/perf/", "repro/experiments/runner.py",
+              "repro/telemetry/"),
     "RL004": ("repro/perf/",),
     # The sim package owns the RNG fan-out and the clock representation:
     # constructing streams and bucketing raw ticks is its job.
@@ -447,10 +448,11 @@ def default_rules() -> List[Rule]:
         SnapshotCoverageRule,
     )
     from repro.lint.taint import SimClockArithmeticRule, TokenTaintRule
+    from repro.lint.telemetry_rules import MetricLabelRule
 
     return [WallClockRule(), GlobalRandomRule(), OrderingRule(),
             EntropyRule(), ExceptionRule(),
             TokenTaintRule(), ModuleScopeRngRule(), StreamSharingRule(),
             SimClockArithmeticRule(), ApiContractRule(),
             IndirectMutationRule(), SnapshotCoverageRule(),
-            ShardDeltaRule(), JournalCodecRule()]
+            ShardDeltaRule(), JournalCodecRule(), MetricLabelRule()]

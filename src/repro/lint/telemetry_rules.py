@@ -1,0 +1,126 @@
+"""RL501 — metric label hygiene.
+
+Metric labels index the telemetry registry: every distinct label value
+is a new time series, and a label interpolated from free-form data
+(URLs, account ids, raw access tokens) is both a cardinality bomb and
+a secrets leak waiting for the first Prometheus scrape.  RL501 pins
+every label keyword at a ``TELEMETRY.count`` / ``count_many`` /
+``observe`` / ``gauge_set`` call site to a *bounded* expression:
+
+* a literal constant (``outcome="ok"``),
+* a plain name (``stage=stage`` — bind dynamic values to a local
+  first, which both documents the bounded set and keeps the call
+  site auditable),
+* a simple attribute chain (``network=self.domain``), or
+* a call to :func:`repro.oauth.redact.redact_token`, the one
+  sanctioned way to put token-derived material on a label.
+
+f-strings, concatenation, ``%``/``.format`` and arbitrary calls
+(``str(...)`` included) are flagged: they manufacture unbounded label
+values inline, where no reviewer can see the value set.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import ModuleContext, Rule
+
+#: Registry methods whose keyword arguments are metric labels.
+_LABEL_METHODS = frozenset({"count", "count_many", "observe", "gauge_set"})
+
+#: Keywords that are part of the method signature, not labels.
+_NON_LABEL_KWARGS = frozenset({"value", "prefix"})
+
+#: Import origins that identify the process-global registry.
+_REGISTRY_ORIGINS = (
+    "repro.telemetry.registry.TELEMETRY",
+    "repro.telemetry.TELEMETRY",
+)
+
+#: The sanctioned redaction helper (by import origin or bare name).
+_REDACT_ORIGINS = frozenset({
+    "repro.oauth.redact.redact_token",
+    "repro.oauth.redact_token",
+})
+
+
+def _is_simple_chain(node: ast.AST) -> bool:
+    """True for ``name`` / ``a.b`` / ``a.b.c`` — loads only."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return isinstance(node, ast.Name)
+
+
+class MetricLabelRule(Rule):
+    rule_id = "RL501"
+    severity = Severity.ERROR
+    description = "unbounded or unredacted metric label values"
+    hint = ("label values must be literals, plain names, simple "
+            "attribute chains, or redact_token(...) — bind dynamic "
+            "values to a local first; never interpolate into a label")
+
+    # ------------------------------------------------------------------
+    def _is_registry_call(self, ctx: ModuleContext,
+                          node: ast.Call) -> Optional[str]:
+        """The method name when ``node`` targets the telemetry
+        registry, else None."""
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr in _LABEL_METHODS):
+            return None
+        dotted = ctx.resolve(func.value)
+        if dotted in _REGISTRY_ORIGINS:
+            return func.attr
+        # Direct attribute on a bare TELEMETRY name covers modules that
+        # received the registry without importing it (test fixtures,
+        # exec'd snippets) — the name is the project-wide convention.
+        if (isinstance(func.value, ast.Name)
+                and func.value.id == "TELEMETRY"):
+            return func.attr
+        return None
+
+    def _is_redact_call(self, ctx: ModuleContext, node: ast.Call) -> bool:
+        dotted = ctx.resolve(node.func)
+        if dotted in _REDACT_ORIGINS:
+            return True
+        return (isinstance(node.func, ast.Name)
+                and node.func.id == "redact_token")
+
+    def _label_ok(self, ctx: ModuleContext, value: ast.AST) -> bool:
+        if isinstance(value, ast.Constant):
+            return True
+        if _is_simple_chain(value):
+            return True
+        if isinstance(value, ast.Call):
+            return self._is_redact_call(ctx, value)
+        return False
+
+    # ------------------------------------------------------------------
+    def run(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            method = self._is_registry_call(ctx, node)
+            if method is None:
+                continue
+            for keyword in node.keywords:
+                if keyword.arg is None:
+                    # **labels forwarding: the values are invisible
+                    # here, so the bounded-set audit is impossible.
+                    yield ctx.finding(
+                        self, keyword.value,
+                        f"TELEMETRY.{method}() forwards **labels; "
+                        "label values cannot be audited at this site")
+                    continue
+                if keyword.arg in _NON_LABEL_KWARGS:
+                    continue
+                if not self._label_ok(ctx, keyword.value):
+                    kind = type(keyword.value).__name__
+                    yield ctx.finding(
+                        self, keyword.value,
+                        f"label {keyword.arg}= built from {kind} in "
+                        f"TELEMETRY.{method}(); interpolated label "
+                        "values are unbounded")

@@ -98,10 +98,31 @@ STAGE_EVENTS = {
 }
 
 
+def _wave_histograms(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """Per-stage p50/p95/p99 for the delivery-wave histogram families.
+
+    Quantiles are integer bucket upper bounds (see
+    :func:`repro.telemetry.export.histogram_quantiles`), so the values
+    are deterministic and safe to bake into benchmark baselines.
+    """
+    from repro.telemetry.export import histogram_quantiles
+
+    out: Dict[str, Any] = {}
+    for name, labels, bounds, buckets, total in snapshot["histograms"]:
+        if name not in ("wave_size", "wave_limiter_denials"):
+            continue
+        stage = dict(tuple(pair) for pair in labels).get("stage", "")
+        entry = histogram_quantiles(bounds, buckets)
+        entry["sum"] = total
+        out.setdefault(name, {})[stage or "(none)"] = entry
+    return out
+
+
 def _payload(scale: float, seed: int, parallel_experiments: bool,
              stage_seconds: Dict[str, float],
              stage_events: Dict[str, int],
-             total_rows: int) -> Dict[str, Any]:
+             total_rows: int,
+             histograms: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     stages: Dict[str, Any] = {}
     for name in STAGE_ORDER:
         if name not in stage_seconds:
@@ -119,7 +140,7 @@ def _payload(scale: float, seed: int, parallel_experiments: bool,
     # only sums the four top-level stages.
     total = sum(stage_seconds.get(name, 0.0)
                 for name in ("build", "milking", "campaign", "experiments"))
-    return {
+    document: Dict[str, Any] = {
         "scale": scale,
         "seed": seed,
         "python": platform.python_version(),
@@ -131,16 +152,26 @@ def _payload(scale: float, seed: int, parallel_experiments: bool,
                             if total > 0 else 0.0),
         "stages": stages,
     }
+    if histograms:
+        document["wave_histograms"] = histograms
+    return document
 
 
 def run_benchmark(scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED,
                   parallel_experiments: bool = False,
                   milking_days: Optional[int] = None,
                   campaign_days: Optional[int] = None) -> Dict[str, Any]:
-    """Benchmark a full study in-process and return the payload."""
+    """Benchmark a full study in-process and return the payload.
+
+    Stage wall-clock comes from the telemetry registry's stage view
+    (``TELEMETRY.stages`` — the perf shell's StageTimer); the metrics
+    plane rides along so the payload can carry deterministic wave-size
+    and limiter-denial quantiles next to the timings.
+    """
     from repro.core.config import StudyConfig
     from repro.experiments.runner import run_full_study
-    from repro.perf import PERF, StageTimer
+    from repro.perf import StageTimer
+    from repro.telemetry import TELEMETRY
 
     overrides: Dict[str, Any] = {}
     if milking_days is not None:
@@ -149,10 +180,18 @@ def run_benchmark(scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED,
         overrides["campaign_days"] = campaign_days
     config = StudyConfig(scale=scale, seed=seed, **overrides)
 
-    PERF.reset()
+    stage_view = TELEMETRY.stages
+    stage_view.reset()
+    was_enabled = TELEMETRY.enabled
+    TELEMETRY.reset()
+    TELEMETRY.enable()
     timer = StageTimer()
-    artifacts, _report = run_full_study(
-        config, timer=timer, parallel_experiments=parallel_experiments)
+    try:
+        artifacts, _report = run_full_study(
+            config, timer=timer, parallel_experiments=parallel_experiments)
+    finally:
+        TELEMETRY.enabled = was_enabled
+    histograms = _wave_histograms(TELEMETRY.snapshot())
 
     counters = timer.counters
     total_rows = len(artifacts.world.api.log.all())
@@ -163,13 +202,13 @@ def run_benchmark(scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED,
         "campaign": counters.get("campaign.log_rows", 0),
         "experiments": counters.get("experiments.log_rows", 0),
     }
-    detection_seconds = PERF.seconds("detection")
+    detection_seconds = stage_view.seconds("detection")
     if detection_seconds > 0:
         stage_seconds["detection"] = detection_seconds
-        stage_events["detection"] = PERF.counters.get(
+        stage_events["detection"] = stage_view.counters.get(
             "detection.pairs_scored", 0)
     return _payload(scale, seed, parallel_experiments, stage_seconds,
-                    stage_events, total_rows)
+                    stage_events, total_rows, histograms=histograms)
 
 
 # ----------------------------------------------------------------------
@@ -189,31 +228,58 @@ for key in ("milking_days", "campaign_days"):
         kwargs[key] = options[key]
 config = StudyConfig(**kwargs)
 
+try:
+    from repro.telemetry import TELEMETRY
+except ImportError:  # baseline tree predates the telemetry plane
+    TELEMETRY = None
+if TELEMETRY is not None:
+    TELEMETRY.reset()
+    TELEMETRY.enable()
+
+# Stage scoping: StageTimer's class-level listeners feed the telemetry
+# registry's stage stack, so wave histograms recorded inside a stage
+# carry its name as the ``stage`` label.  Baseline trees that predate
+# the perf module just skip the scoping (no telemetry there anyway).
+import contextlib
+try:
+    from repro.perf import StageTimer as _StageTimer
+    _stage_timer = _StageTimer()
+except ImportError:
+    _stage_timer = None
+def _stage(name):
+    if _stage_timer is None:
+        return contextlib.nullcontext()
+    return _stage_timer.stage(name)
+
 seconds, events = {}, {}
 start = time.perf_counter()
-artifacts = runner.build_world(config)
+with _stage("build"):
+    artifacts = runner.build_world(config)
 seconds["build"] = time.perf_counter() - start
 events["build"] = len(artifacts.world.platform.accounts)
 log = artifacts.world.api.log
 
 rows0 = len(log.all())
 start = time.perf_counter()
-runner.run_milking(artifacts)
+with _stage("milking"):
+    runner.run_milking(artifacts)
 seconds["milking"] = time.perf_counter() - start
 rows1 = len(log.all())
 events["milking"] = rows1 - rows0
 
 start = time.perf_counter()
-runner.run_campaign(artifacts)
+with _stage("campaign"):
+    runner.run_campaign(artifacts)
 seconds["campaign"] = time.perf_counter() - start
 rows2 = len(log.all())
 events["campaign"] = rows2 - rows1
 
 start = time.perf_counter()
-if options.get("parallel_experiments"):
-    runner.run_experiments(artifacts, parallel=True)
-else:
-    runner.run_experiments(artifacts)
+with _stage("experiments"):
+    if options.get("parallel_experiments"):
+        runner.run_experiments(artifacts, parallel=True)
+    else:
+        runner.run_experiments(artifacts)
 seconds["experiments"] = time.perf_counter() - start
 events["experiments"] = rows2
 
@@ -225,8 +291,21 @@ if PERF is not None and PERF.seconds("detection") > 0:
     seconds["detection"] = PERF.seconds("detection")
     events["detection"] = PERF.counters.get("detection.pairs_scored", 0)
 
+histograms = {}
+if TELEMETRY is not None:
+    from repro.telemetry.export import histogram_quantiles
+    for name, labels, bounds, buckets, total in (
+            TELEMETRY.snapshot()["histograms"]):
+        if name not in ("wave_size", "wave_limiter_denials"):
+            continue
+        stage = dict(tuple(pair) for pair in labels).get("stage", "")
+        entry = histogram_quantiles(bounds, buckets)
+        entry["sum"] = total
+        histograms.setdefault(name, {})[stage or "(none)"] = entry
+
 print("BENCH_JSON " + json.dumps(
-    {"seconds": seconds, "events": events, "total_rows": rows2}))
+    {"seconds": seconds, "events": events, "total_rows": rows2,
+     "histograms": histograms}))
 """
 
 
@@ -265,7 +344,8 @@ def bench_tree(src_dir: str, scale: float = DEFAULT_SCALE,
             f"benchmark subprocess for {src_dir} produced no payload")
     raw = json.loads(marker[-1][len("BENCH_JSON "):])
     payload = _payload(scale, seed, parallel_experiments,
-                       raw["seconds"], raw["events"], raw["total_rows"])
+                       raw["seconds"], raw["events"], raw["total_rows"],
+                       histograms=raw.get("histograms") or None)
     payload["pythonhashseed"] = hashseed
     payload["src_dir"] = src_dir
     return payload
@@ -439,6 +519,15 @@ def render(document: Dict[str, Any]) -> str:
                 f"  {name:<12} {stage['seconds']:>8.2f}s  "
                 f"{stage['events']:>9,} {stage['event_unit']}  "
                 f"({stage['events_per_second']:,.0f}/s)")
+        for family, by_stage in payload.get("wave_histograms",
+                                            {}).items():
+            for stage_name, entry in by_stage.items():
+                quantiles = " ".join(
+                    f"{k}={'inf' if entry[k] is None else entry[k]}"
+                    for k in ("p50", "p95", "p99"))
+                lines.append(
+                    f"  {family:<20} [{stage_name}] "
+                    f"count={entry['count']} {quantiles}")
     if "speedup" in document:
         lines.append(f"speedup: {document['speedup']:.2f}x")
     sweep = document.get("sweep")

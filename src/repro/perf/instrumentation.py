@@ -5,7 +5,7 @@ from __future__ import annotations
 import gc
 from contextlib import contextmanager
 from time import perf_counter
-from typing import Dict, Iterator
+from typing import Callable, Dict, Iterator, List
 
 
 @contextmanager
@@ -39,18 +39,28 @@ class StageTimer:
 
     __slots__ = ("stages", "counters")
 
+    #: Stage-boundary observers shared by every timer instance —
+    #: called as ``listener(name, entering)``.  The telemetry registry
+    #: hooks in here to know the current stage, so the hook must fire
+    #: for ad-hoc bench timers as well as the global PERF.
+    listeners: List[Callable[[str, bool], None]] = []
+
     def __init__(self) -> None:
         self.stages: Dict[str, float] = {}
         self.counters: Dict[str, int] = {}
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
+        for listener in StageTimer.listeners:
+            listener(name, True)
         start = perf_counter()
         try:
             yield
         finally:
             elapsed = perf_counter() - start
             self.stages[name] = self.stages.get(name, 0.0) + elapsed
+            for listener in StageTimer.listeners:
+                listener(name, False)
 
     def add(self, name: str, seconds: float) -> None:
         self.stages[name] = self.stages.get(name, 0.0) + seconds

@@ -1,0 +1,13 @@
+"""Fixture: RL501 — bounded labels and sanctioned redaction."""
+
+from repro.oauth.redact import redact_token
+from repro.telemetry.registry import TELEMETRY
+
+
+def record(report, token):
+    outcome = report.outcome
+    TELEMETRY.count("requests_total", outcome=outcome)
+    TELEMETRY.count("errors_total", code="rate_limited")
+    TELEMETRY.observe("wave_size", report.attempts, stage=report.stage)
+    TELEMETRY.gauge_set("window_keys", 3, window="token")
+    TELEMETRY.count("token_events_total", token=redact_token(token))

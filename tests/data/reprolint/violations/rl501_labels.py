@@ -1,0 +1,10 @@
+"""Fixture: RL501 — interpolated / unbounded metric label values."""
+
+from repro.telemetry.registry import TELEMETRY
+
+
+def record(endpoint, token, labels):
+    TELEMETRY.count("requests_total", endpoint=f"api:{endpoint}")
+    TELEMETRY.observe("latency_seconds", 3, route="/v2/" + endpoint)
+    TELEMETRY.gauge_set("tokens_live", 1, token=str(token))
+    TELEMETRY.count("requests_total", **labels)

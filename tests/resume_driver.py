@@ -28,6 +28,14 @@ from repro.countermeasures.campaign import (
 from repro.countermeasures.recovery import CampaignRecovery
 from repro.faults.plan import FaultPlan, FaultRule
 from repro.sim.clock import DAY
+from repro.telemetry.registry import TELEMETRY
+
+#: Families excluded from the printed fingerprint: ``shard_`` describes
+#: the execution strategy, ``journal_`` counts WAL frames/recoveries —
+#: both legitimately differ between a journal-less reference, a
+#: journaled run and a crash-resumed run, while every workload-derived
+#: series must match exactly.
+FINGERPRINT_EXCLUDES = ("shard_", "journal_")
 
 NETWORKS = ("fb-autolikers.com", "autolike.vn")
 SCALE = 0.004
@@ -88,10 +96,14 @@ def main() -> int:
 
             recovery.begin_day = begin_day
 
+    TELEMETRY.reset()
+    TELEMETRY.enable()
     results = campaign.run(recovery=recovery)
     print("digest", world.api.log.digest())
     print("rows", len(world.api.log))
     print("resumed_from", results.resumed_from_day)
+    print("telemetry_fingerprint",
+          TELEMETRY.fingerprint(exclude_prefixes=FINGERPRINT_EXCLUDES))
     if recovery is not None:
         print("report", recovery.describe().replace("\n", " | "))
     return 0

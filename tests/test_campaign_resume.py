@@ -59,6 +59,10 @@ def test_journaled_run_matches_journal_less_reference(tmp_path,
     assert parsed["rows"] == reference["rows"]
     assert parsed["resumed_from"] == "None"
     assert "sealed through day 12" in parsed["report"]
+    # Workload-derived metrics (journal_/shard_ families excluded)
+    # must not notice the journal either.
+    assert (parsed["telemetry_fingerprint"]
+            == reference["telemetry_fingerprint"])
 
 
 def test_sigkill_mid_day_then_resume_is_byte_identical(tmp_path,
@@ -78,6 +82,11 @@ def test_sigkill_mid_day_then_resume_is_byte_identical(tmp_path,
     assert parsed["digest"] == reference["digest"]
     assert parsed["rows"] == reference["rows"]
     assert "resumed from day 6" in parsed["report"]
+    # The day-5 checkpoint restored the metrics registry wholesale, so
+    # the recovered run's telemetry converges on the uninterrupted
+    # reference too.
+    assert (parsed["telemetry_fingerprint"]
+            == reference["telemetry_fingerprint"])
 
 
 def test_torn_tail_is_detected_truncated_and_converges(tmp_path):
@@ -102,6 +111,8 @@ def test_torn_tail_is_detected_truncated_and_converges(tmp_path):
     assert "torn tail truncated" in parsed["report"]
     assert parsed["digest"] == ref["digest"]
     assert parsed["rows"] == ref["rows"]
+    assert (parsed["telemetry_fingerprint"]
+            == ref["telemetry_fingerprint"])
 
 
 def test_fresh_run_over_existing_journal_starts_from_day_one(tmp_path,

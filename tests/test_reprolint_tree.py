@@ -91,9 +91,10 @@ def test_allowlisted_shells_are_the_only_wall_clock_users():
     wall_clock_paths = {f.path for f in report.findings
                         if f.rule == "RL001"}
     # bench.py's perf_counter calls live inside its subprocess-script
-    # template string, so the only AST-level wall-clock user is the
-    # StageTimer.
-    assert wall_clock_paths == {"repro/perf/instrumentation.py"}
+    # template string, so the only AST-level wall-clock users are the
+    # StageTimer and the span tracer's wall-time axis.
+    assert wall_clock_paths == {"repro/perf/instrumentation.py",
+                                "repro/telemetry/tracing.py"}
     environ_paths = {f.path for f in report.findings
                      if f.rule == "RL004"}
     assert environ_paths == {"repro/perf/bench.py"}

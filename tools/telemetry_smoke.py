@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Validate the artifacts of a ``repro run --telemetry DIR`` run.
+
+Checks, in order:
+
+1. ``trace.json`` is structurally valid Chrome trace-event JSON
+   (``traceEvents`` list, ``X`` events with integer ``ts``/``dur``,
+   the ``M`` process-name metadata event).
+2. ``metrics.prom`` parses as Prometheus text exposition: every
+   non-comment line is ``name{labels} value`` with an integer value,
+   every series is preceded by a ``# TYPE`` for its family, and
+   histogram families carry ``_bucket``/``_sum``/``_count`` series.
+3. No raw token material leaked into any export: the token mint
+   pattern ``EAAB[0-9a-f]{40}`` must not appear anywhere — only
+   ``redact_token`` digests are allowed on labels.
+4. The run covered the pipeline: the required metric families
+   (graphapi, ratelimit, retry/breaker or delivery, wave, journal,
+   detection) are all present.
+
+Usage::
+
+    python -m repro run --scale 0.002 ... --telemetry /tmp/tele
+    python tools/telemetry_smoke.py /tmp/tele [--require-journal]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+
+#: name{labels} value — value must be an integer (the registry is
+#: integer-valued by contract).
+_SERIES_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>-?\d+)$")
+_TYPE_RE = re.compile(
+    r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) "
+    r"(?P<kind>counter|gauge|histogram)$")
+#: Raw minted token: EAAB + 40 hex chars (redact_token digests are 8).
+_RAW_TOKEN_RE = re.compile(r"EAAB[0-9a-f]{40}")
+
+#: At least one family per instrumented subsystem must appear.
+REQUIRED_FAMILIES = {
+    "graphapi": ("graphapi_requests_total",),
+    "ratelimit": ("ratelimit_denials_total", "ratelimit_window_keys"),
+    "retry/delivery": ("retry_attempts_total", "delivery_attempts_total"),
+    "wave": ("wave_size", "wave_likes_total"),
+    "detection": ("detection_pairs_scored_total",),
+}
+#: Journal families only exist on --journal runs; required via flag.
+JOURNAL_FAMILIES = ("journal_frames_total",)
+
+
+def fail(message: str) -> None:
+    print(f"telemetry-smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path: str) -> int:
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    events = document.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents missing or empty")
+    if not any(e.get("ph") == "M" and e.get("name") == "process_name"
+               for e in events):
+        fail(f"{path}: no process_name metadata event")
+    complete = [e for e in events if e.get("ph") == "X"]
+    if not complete:
+        fail(f"{path}: no complete ('X') span events")
+    for event in complete:
+        if not (isinstance(event.get("ts"), int)
+                and isinstance(event.get("dur"), int)):
+            fail(f"{path}: span {event.get('name')!r} has non-integer "
+                 "ts/dur")
+        if not event.get("name"):
+            fail(f"{path}: span event without a name")
+    return len(complete)
+
+
+def check_prometheus(path: str) -> dict:
+    families: dict = {}
+    typed: dict = {}
+    hist_suffixes: dict = {}
+    suffix_re = re.compile(r"^(.*)_(bucket|sum|count)$")
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("#"):
+                match = _TYPE_RE.match(line)
+                if match is None:
+                    fail(f"{path}:{lineno}: malformed comment {line!r}")
+                typed[match.group("name")] = match.group("kind")
+                continue
+            match = _SERIES_RE.match(line)
+            if match is None:
+                fail(f"{path}:{lineno}: malformed series line {line!r}")
+            name = match.group("name")
+            base = name
+            suffixed = suffix_re.match(name)
+            if (suffixed is not None
+                    and typed.get(suffixed.group(1)) == "histogram"):
+                base = suffixed.group(1)
+                hist_suffixes.setdefault(base, set()).add(
+                    suffixed.group(2))
+            if base not in typed:
+                fail(f"{path}:{lineno}: series {name} has no # TYPE")
+            families[base] = families.get(base, 0) + 1
+    for name, kind in typed.items():
+        if kind != "histogram":
+            continue
+        missing = {"bucket", "sum", "count"} - hist_suffixes.get(
+            name, set())
+        if missing:
+            fail(f"{path}: histogram {name} missing "
+                 f"{'/'.join(sorted(missing))} series")
+    if not families:
+        fail(f"{path}: no series at all")
+    return families
+
+
+def check_no_raw_tokens(paths) -> None:
+    for path in paths:
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
+            content = handle.read()
+        match = _RAW_TOKEN_RE.search(content)
+        if match:
+            fail(f"{path}: raw token material leaked into export "
+                 f"({match.group()[:12]}…)")
+
+
+def check_families(families: dict, require_journal: bool) -> None:
+    required = dict(REQUIRED_FAMILIES)
+    if require_journal:
+        required["journal"] = JOURNAL_FAMILIES
+    for subsystem, candidates in required.items():
+        if not any(name in families for name in candidates):
+            fail(f"metrics cover no {subsystem} family (looked for "
+                 f"{', '.join(candidates)})")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("directory",
+                        help="telemetry dir written by --telemetry")
+    parser.add_argument("--require-journal", action="store_true",
+                        help="also require journal_* families (the run "
+                             "used --journal)")
+    args = parser.parse_args(argv)
+
+    for name in ("metrics.prom", "metrics.json", "trace.json",
+                 "spans.txt"):
+        if not os.path.isfile(os.path.join(args.directory, name)):
+            fail(f"missing artifact {name} in {args.directory}")
+
+    spans = check_trace(os.path.join(args.directory, "trace.json"))
+    families = check_prometheus(
+        os.path.join(args.directory, "metrics.prom"))
+    check_no_raw_tokens(
+        os.path.join(args.directory, name)
+        for name in ("metrics.prom", "metrics.json", "trace.json",
+                     "spans.txt"))
+    check_families(families, args.require_journal)
+
+    with open(os.path.join(args.directory, "metrics.json"),
+              encoding="utf-8") as handle:
+        fingerprint = json.load(handle)["fingerprint"]
+    print(f"telemetry-smoke: OK — {len(families)} metric families, "
+          f"{spans} spans, fingerprint {fingerprint}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
