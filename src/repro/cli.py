@@ -7,7 +7,8 @@ milk       run the §4 milking campaign (Tables 4/6, Fig. 4)
 campaign   run the §6 countermeasure campaign (Figs. 5-8)
 full       run everything and print the complete report
 run        crash-tolerant full study (fault injection, checkpoints,
-           --resume, --telemetry)
+           --resume, --telemetry, --sanitize)
+san        diff two determinism shadow traces (``run --sanitize``)
 metrics    render a metrics.json written by ``run --telemetry``
 lint       reprolint: determinism & discipline static analysis
 bench      benchmark the pipeline stages (BENCH_PIPELINE.json)
@@ -102,6 +103,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="enable the telemetry plane and write "
                           "metrics.prom / metrics.json / trace.json / "
                           "spans.txt to DIR")
+    run.add_argument("--sanitize", type=str, default=None,
+                     metavar="DIR",
+                     help="enable the determinism sanitizer (reprosan) "
+                          "and write its shadow-trace manifest to "
+                          "DIR/sanitizer.json; compare two runs with "
+                          "'repro san diff A B'")
 
     metrics = sub.add_parser(
         "metrics", help="render a metrics.json written by "
@@ -119,6 +126,27 @@ def build_parser() -> argparse.ArgumentParser:
     _common_flags(score)
     score.add_argument("--milking-days", type=int, default=30)
     score.add_argument("--campaign-days", type=int, default=75)
+
+    san = sub.add_parser(
+        "san", help="reprosan: diff two determinism shadow traces")
+    san_sub = san.add_subparsers(dest="san_command", required=True)
+    san_diff = san_sub.add_parser(
+        "diff", help="compare two --sanitize manifests and name the "
+                     "first divergent event")
+    san_diff.add_argument("trace_a",
+                          help="first sanitizer.json (or --sanitize dir)")
+    san_diff.add_argument("trace_b",
+                          help="second sanitizer.json (or --sanitize dir)")
+    san_diff.add_argument("--ignore", action="append", default=[],
+                          metavar="PREFIX",
+                          help="exclude streams with this name prefix "
+                               "(repeatable); use '--ignore shard "
+                               "--ignore clock' when comparing a "
+                               "sharded against a serial run")
+    san_diff.add_argument("--json", action="store_true",
+                          help="emit the divergence report as JSON")
+    san_diff.add_argument("--out", type=str, default=None,
+                          help="also write output to this file")
 
     lint = sub.add_parser(
         "lint", help="reprolint: determinism & discipline static "
@@ -141,6 +169,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=1,
                        help="with --baseline, benchmark each tree this "
                             "many times (interleaved) and keep the best")
+    bench.add_argument("--sanitize", action="store_true",
+                       help="record the reprosan shadow trace during "
+                            "the benchmarked study (measures the "
+                            "sanitizer's overhead on this workload)")
     return parser
 
 
@@ -297,6 +329,13 @@ def cmd_run(args) -> int:
         # metrics.json carries the full wall-clock sidecar.
         timer = TELEMETRY.stages
         timer.reset()
+    if args.sanitize:
+        from repro.sanitizer import SANITIZER
+
+        # Enable before the world is built so RngFactory hands out
+        # instrumented streams from the first draw.
+        SANITIZER.reset()
+        SANITIZER.enable()
     try:
         artifacts, report = run_full_study(
             config, parallel_experiments=args.parallel_experiments,
@@ -315,10 +354,19 @@ def cmd_run(args) -> int:
 
         telemetry_files = write_telemetry(args.telemetry, TELEMETRY,
                                           TRACER)
+    sanitizer_path = None
+    if args.sanitize:
+        from repro.sanitizer import SANITIZER, write_sanitizer
+
+        sanitizer_path = write_sanitizer(args.sanitize)
     summary = _run_summary(artifacts, store, recovery)
     if args.telemetry:
         summary += (f"\n  telemetry: {len(telemetry_files)} file(s) in "
                     f"{args.telemetry}")
+    if args.sanitize:
+        summary += (f"\n  sanitizer: {SANITIZER.event_total()} event(s) "
+                    f"over {len(SANITIZER.stream_names())} stream(s), "
+                    f"manifest {sanitizer_path}")
     if args.json:
         campaign = artifacts.campaign
         log = artifacts.world.api.log
@@ -345,6 +393,13 @@ def cmd_run(args) -> int:
                 "files": telemetry_files,
                 "counters": {name: TELEMETRY.counter_total(name)
                              for name in TELEMETRY.counter_families()},
+            }
+        if args.sanitize:
+            payload["sanitizer"] = {
+                "fingerprint": SANITIZER.fingerprint(),
+                "events": SANITIZER.event_total(),
+                "streams": len(SANITIZER.stream_names()),
+                "manifest": sanitizer_path,
             }
         _emit(json.dumps(payload, indent=2), args.out)
     else:
@@ -390,6 +445,35 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def cmd_san(args) -> int:
+    from repro.sanitizer import diff_manifests, load_manifest
+
+    try:
+        manifest_a = load_manifest(args.trace_a)
+        manifest_b = load_manifest(args.trace_b)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    result = diff_manifests(manifest_a, manifest_b,
+                            ignore=tuple(args.ignore))
+    if args.json:
+        payload = {
+            "equal": result.equal,
+            "streams_compared": result.streams_compared,
+            "events": [result.events_a, result.events_b],
+            "ignored": list(result.ignored),
+            "divergences": [{
+                "stream": d.stream, "kind": d.kind, "day": d.day,
+                "seq": d.seq, "seq_lo": d.seq_lo, "seq_hi": d.seq_hi,
+                "a": d.detail_a, "b": d.detail_b,
+            } for d in result.divergences],
+        }
+        _emit(json.dumps(payload, indent=2), args.out)
+    else:
+        _emit(result.render(), args.out)
+    return 0 if result.equal else 1
+
+
 def cmd_lint(args) -> int:
     from repro.lint.cli import run as run_lint
 
@@ -407,7 +491,7 @@ def cmd_bench(args) -> int:
                 parallel_experiments=args.parallel_experiments,
                 milking_days=args.milking_days,
                 campaign_days=args.campaign_days,
-                repeats=args.repeats)
+                repeats=args.repeats, sanitize=args.sanitize)
         except bench.BaselineError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
@@ -416,7 +500,8 @@ def cmd_bench(args) -> int:
             scale=args.scale, seed=args.seed,
             parallel_experiments=args.parallel_experiments,
             milking_days=args.milking_days,
-            campaign_days=args.campaign_days)
+            campaign_days=args.campaign_days,
+            sanitize=args.sanitize)
         document = {
             "benchmark": "run_full_study",
             "meta": {"scale": args.scale, "seed": args.seed,
@@ -450,6 +535,7 @@ COMMANDS = {
     "campaign": cmd_campaign,
     "full": cmd_full,
     "run": cmd_run,
+    "san": cmd_san,
     "metrics": cmd_metrics,
     "score": cmd_score,
     "lint": cmd_lint,

@@ -35,6 +35,7 @@ from repro.graphapi.errors import GraphApiError, TransientApiError
 from repro.netsim.pools import IpPool
 from repro.oauth.errors import InvalidTokenError, OAuthError
 from repro.oauth.server import AuthorizationRequest
+from repro.sanitizer.streams import hot_draw_bindings
 from repro.socialnet.errors import SocialNetworkError
 from repro.telemetry.registry import TELEMETRY
 
@@ -133,9 +134,11 @@ class CollusionNetwork:  # reprolint: disable=RL401 — dead_members/_shard_drop
         self.rng = world.rng.stream(f"network:{profile.domain}")
         # Bound-method caches for the sampling hot path; the rng instance
         # never changes (setstate mutates it in place) and the profile is
-        # static, so these stay valid for the network's lifetime.
-        self._rng_random = self.rng.random
-        self._getrandbits = self.rng.getrandbits
+        # static, so these stay valid for the network's lifetime.  Bound
+        # through the sanitizer shell so the inlined rejection loops
+        # draw raw (byte-identical, unhooked) even while tracing — see
+        # hot_draw_bindings on the per-draw overhead budget.
+        self._rng_random, self._getrandbits = hot_draw_bindings(self.rng)
         self._reuse_bias = profile.token_reuse_bias
 
         # Token database: member account id -> token string, plus a list
@@ -390,8 +393,7 @@ class CollusionNetwork:  # reprolint: disable=RL401 — dead_members/_shard_drop
         ``dropped`` replays the shard's member drops, in order, onto
         this process's own ``dead_members`` set."""
         self.__dict__.update(state)
-        self._rng_random = self.rng.random
-        self._getrandbits = self.rng.getrandbits
+        self._rng_random, self._getrandbits = hot_draw_bindings(self.rng)
         for account_id in dropped:
             self.dead_members.add(account_id)
             if self._member_op_journal is not None:

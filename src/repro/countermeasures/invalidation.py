@@ -23,7 +23,7 @@ class TokenInvalidator:
                  rng: Optional[random.Random] = None) -> None:
         self._tokens = tokens
         self._ledger = ledger
-        self._rng = rng or random.Random(0)
+        self._rng = rng or random.Random(0)  # reprolint: disable=RL601 — defender-side fallback sampler for direct construction in tests; campaign runs inject the "invalidation" stream
         self.total_invalidated = 0
 
     # ------------------------------------------------------------------

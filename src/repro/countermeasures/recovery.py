@@ -55,6 +55,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.checkpoint import MISSING, CheckpointStore
 from repro.journal.wal import EventJournal, JournalRecovery, SimulatedCrash
+from repro.sanitizer.trace import SANITIZER
 from repro.telemetry.registry import TELEMETRY
 
 #: Subdirectory of the journal holding the per-day checkpoint pickles.
@@ -131,6 +132,13 @@ class CampaignCheckpoint:
     #: resume so the recovered run's metrics converge on the
     #: uninterrupted reference.  None when telemetry is disabled.
     telemetry: Optional[dict]
+    #: ``SANITIZER.export_state()`` payload; installed wholesale on
+    #: resume (replacing the rebuild's re-recorded trace) so a resumed
+    #: run's shadow trace converges on the uninterrupted reference.
+    #: The export's chain fold is digest-neutral here because the
+    #: checkpoint sits at a day boundary (see SanitizerTrace._fold).
+    #: None when the sanitizer is disabled.
+    sanitizer: Optional[dict] = None
 
 
 def _capture_platform(platform, base: _PlatformMarks) -> dict:
@@ -280,6 +288,8 @@ def capture_checkpoint(campaign, day: int, base: _PlatformMarks,
         campaign=_capture_campaign(campaign),
         telemetry=(TELEMETRY.export_state()
                    if TELEMETRY.enabled else None),
+        sanitizer=(SANITIZER.export_state()
+                   if SANITIZER.enabled else None),
     )
 
 
@@ -316,6 +326,8 @@ def install_checkpoint(campaign, checkpoint: CampaignCheckpoint) -> None:
     _install_campaign(campaign, checkpoint.campaign)
     if checkpoint.telemetry is not None:
         TELEMETRY.install_state(checkpoint.telemetry)
+    if checkpoint.sanitizer is not None and SANITIZER.enabled:
+        SANITIZER.install_state(checkpoint.sanitizer)
     # Events the restored days already executed (e.g. milking follow-ups
     # scheduled into the campaign window) must not run twice.
     world.scheduler.discard_until(checkpoint.clock)

@@ -75,6 +75,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.sanitizer.delta import (
+    SanitizerDelta,
+    capture_delta as capture_san_delta,
+    delta_pieces as san_delta_pieces,
+    merge_pieces as san_merge_pieces,
+)
+from repro.sanitizer.trace import SANITIZER
 from repro.sim.clock import DAY
 from repro.telemetry.delta import TelemetryDelta, capture_delta, merge_delta
 from repro.telemetry.registry import TELEMETRY
@@ -245,6 +252,14 @@ class ShardDayDelta:
     #: ``None`` when telemetry is disabled or the component was
     #: re-executed inline (the parent's registry already has them).
     telemetry: Optional[TelemetryDelta] = None
+    #: Shadow-trace events the component's execution captured, sliced
+    #: per event so the parent can replay all components' slices in
+    #: global ``(when, seq)`` order — ``None`` when the sanitizer is
+    #: disabled.  Unlike ``telemetry``, an inline re-execution ships
+    #: this too: the parent records in capture mode for the whole
+    #: sharded day, so even its own executions must be replayed in
+    #: merged order rather than applied at execution order.
+    sanitizer: Optional[SanitizerDelta] = None
 
 
 def _execute_component(campaign, component: Sequence[str], events,
@@ -266,6 +281,13 @@ def _execute_component(campaign, component: Sequence[str], events,
                         if TELEMETRY.enabled else None)
     injector = api.faults
     fault_snapshot = injector.snapshot() if injector is not None else None
+    sanitizing = SANITIZER.enabled
+    # The parent began capture before the pre-pass, so the fork
+    # inherited an active capture list; the child's own events start at
+    # this mark.
+    san_base = SANITIZER.begin_capture() if sanitizing else 0
+    san_segments: List[Tuple[int, int, int, int]] = []
+    san_lo = san_base
     journal = platform.activity_log.start_journal()
     likes_delivered = {domain: 0 for domain in component}
     # Limiter keys this component owns: its networks' token strings
@@ -286,8 +308,13 @@ def _execute_component(campaign, component: Sequence[str], events,
             os.kill(os.getpid(), signal.SIGKILL)
         # Children replay their slice of the day from its start, which
         # may sit before the parent's post-creation pre-pass clock;
-        # within the slice timestamps are non-decreasing.
+        # within the slice timestamps are non-decreasing.  The direct
+        # assignment bypasses advance_to, so the sanitizer's epoch day
+        # is pinned explicitly.
         clock._now = event.when
+        if sanitizing:
+            SANITIZER.set_day(event.when // DAY)
+            san_lo = SANITIZER.capture_mark()
         row_lo = len(log) - row0
         act_lo = len(journal)
         network = campaign.networks[event.domain]
@@ -302,6 +329,9 @@ def _execute_component(campaign, component: Sequence[str], events,
             raise RuntimeError(f"unshardable event kind {event.kind!r}")
         segments.append((event.seq, event.when, row_lo, len(log) - row0,
                          act_lo, len(journal)))
+        if sanitizing:
+            san_segments.append((event.seq, event.when, san_lo,
+                                 SANITIZER.capture_mark()))
         executed += 1
     platform.activity_log.stop_journal()
     for domain in component:
@@ -332,6 +362,7 @@ def _execute_component(campaign, component: Sequence[str], events,
                      if injector is not None else None),
         telemetry=(capture_delta(TELEMETRY, telemetry_before)
                    if telemetry_before is not None else None),
+        sanitizer=capture_san_delta(SANITIZER, san_base, san_segments),
     )
 
 
@@ -451,12 +482,23 @@ def _reexecute_inline(campaign, component, events,
     log = api.log
     platform = world.platform
     row0 = len(log)
+    sanitizing = SANITIZER.enabled
+    # The parent is still in the sharded day's capture mode, so the
+    # re-execution's trace events land on the capture list exactly like
+    # a child's would; slicing them per event lets the merge replay
+    # them in global order alongside the surviving children's.
+    san_base = SANITIZER.capture_mark() if sanitizing else 0
+    san_segments: List[Tuple[int, int, int, int]] = []
+    san_lo = san_base
     journal = platform.activity_log.start_journal()
     likes_delivered = {domain: 0 for domain in component}
     segments: List[Tuple[int, int, int, int, int, int]] = []
     clock = world.clock
     for event in events:
         clock._now = event.when
+        if sanitizing:
+            SANITIZER.set_day(event.when // DAY)
+            san_lo = SANITIZER.capture_mark()
         row_lo = len(log) - row0
         act_lo = len(journal)
         network = campaign.networks[event.domain]
@@ -471,6 +513,9 @@ def _reexecute_inline(campaign, component, events,
             raise RuntimeError(f"unshardable event kind {event.kind!r}")
         segments.append((event.seq, event.when, row_lo, len(log) - row0,
                          act_lo, len(journal)))
+        if sanitizing:
+            san_segments.append((event.seq, event.when, san_lo,
+                                 SANITIZER.capture_mark()))
     platform.activity_log.stop_journal()
     rows = log.export_rows(row0)
     log.truncate(row0)
@@ -488,6 +533,7 @@ def _reexecute_inline(campaign, component, events,
         likes_delivered=likes_delivered,
         fault_state=None,
         telemetry=None,
+        sanitizer=capture_san_delta(SANITIZER, san_base, san_segments),
     )
 
 
@@ -510,6 +556,19 @@ def run_sharded_day(campaign, plan: ShardPlan, events, day_start: int,
     # serial path would have appended them.
     wal = api.log.detach_journal()
 
+    # The sanitizer records the whole sharded day in capture mode: the
+    # pre-pass and every component's execution append replayable event
+    # slices instead of advancing stream chains, and the merge below
+    # replays all slices in global (when, seq) order — reproducing the
+    # per-stream sequences a serial day applies directly.
+    sanitizing = SANITIZER.enabled
+    pre_segments: List[Tuple[int, int, int, int]] = []
+    san_lo = 0
+    if sanitizing:
+        SANITIZER.record_shard(
+            f"fork day={day} components={len(plan.components)}")
+        san_base = SANITIZER.begin_capture()
+
     # Pre-pass: create the day's honeypot posts in global event order so
     # the id-allocator sequence matches the serial run exactly.  Request
     # posts are the only in-day allocations (plan eligibility excludes
@@ -518,9 +577,16 @@ def run_sharded_day(campaign, plan: ShardPlan, events, day_start: int,
     for event in sorted((e for e in events if e.kind == "request"),
                         key=lambda e: (e.when, e.seq)):
         world.clock.advance_to(event.when)
+        if sanitizing:
+            san_lo = SANITIZER.capture_mark()
         request_posts[event.seq] = campaign._create_request_post(
             campaign.honeypots[event.domain])
         posts_today[event.domain] += 1
+        if sanitizing:
+            pre_segments.append((event.seq, event.when, san_lo,
+                                 SANITIZER.capture_mark()))
+    pre_delta = (capture_san_delta(SANITIZER, san_base, pre_segments)
+                 if sanitizing else None)
 
     component_of = {domain: index
                     for index, component in enumerate(plan.components)
@@ -569,6 +635,22 @@ def run_sharded_day(campaign, plan: ShardPlan, events, day_start: int,
                                       component_events, component_posts)
         TRACER.end(span)
         deltas.append(delta)
+
+    if sanitizing:
+        # Leave capture mode before the WAL reattaches: the merge-time
+        # journal appends below must record directly (the serial day's
+        # journal stream is exactly this frame sequence).  Events the
+        # sharded path captured outside any segment (supervision,
+        # tracing, clock reads between components) are discarded with
+        # the capture list — a serial day never records them.  Stable
+        # sort: a pre-pass piece precedes its event's execution piece,
+        # matching the serial create-then-submit order.
+        SANITIZER.end_capture()
+        pieces = list(san_delta_pieces(pre_delta))
+        for delta in deltas:
+            pieces.extend(san_delta_pieces(delta.sanitizer))
+        san_merge_pieces(SANITIZER, pieces)
+        SANITIZER.record_shard(f"merge day={day} deltas={len(deltas)}")
 
     # Merge: interleave every child's log/activity segments by global
     # event order, then install the disjoint state deltas.

@@ -28,7 +28,7 @@ class LockstepDetector:
         self.min_common_targets = min_common_targets
         self.min_cluster_size = min_cluster_size
         self.max_target_actors = max_target_actors
-        self._rng = random.Random(sample_seed)
+        self._rng = random.Random(sample_seed)  # reprolint: disable=RL601 — detector-side target down-sampler over an exported action log; off the campaign divergence surface
 
     def detect(self, actions: Iterable[Action]) -> DetectionResult:
         by_target: Dict[str, Set[str]] = defaultdict(set)

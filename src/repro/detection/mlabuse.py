@@ -209,7 +209,7 @@ def train_test_split(samples: List[TokenFeatures], labels: List[int],
     if not 0 < test_fraction < 1:
         raise ValueError("test_fraction must be in (0, 1)")
     order = list(range(len(samples)))
-    random.Random(seed).shuffle(order)
+    random.Random(seed).shuffle(order)  # reprolint: disable=RL601 — offline train/test split on exported features; never touches the campaign stream surface
     cut = int(len(order) * (1 - test_fraction))
     train_idx, test_idx = order[:cut], order[cut:]
     return ([samples[i] for i in train_idx],

@@ -67,7 +67,7 @@ class SynchroTrap:
         #: original shards this step across a cluster; sampling keeps the
         #: single-process run tractable with the same verdicts).
         self.max_bucket_actors = max_bucket_actors
-        self._rng = random.Random(sample_seed)
+        self._rng = random.Random(sample_seed)  # reprolint: disable=RL601 — detector-side bucket down-sampler over an exported action log; off the campaign divergence surface
 
     # ------------------------------------------------------------------
     def detect(self, actions: Iterable[Action]) -> DetectionResult:

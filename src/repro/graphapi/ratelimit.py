@@ -11,6 +11,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Optional, Set, Tuple
 
+from repro.oauth.redact import redact_token
+from repro.sanitizer.trace import SANITIZER as _SANITIZER
 from repro.sim.clock import DAY
 
 #: Facebook's baseline per-token write budget.  Generous enough that the
@@ -85,6 +87,8 @@ class SlidingWindowLimiter:  # reprolint: disable=RL401 — _evict_now/_evicted 
         ``len(events) - limit + 1`` oldest events have expired."""
         self._saturated_until[key] = (events[len(events) - self.limit]
                                       + self.window_seconds)
+        if _SANITIZER.enabled:
+            _SANITIZER.record_limiter("saturate", redact_token(key))
 
     def usage(self, key: str, now: int) -> int:
         """Events currently counted against ``key``."""
@@ -604,6 +608,8 @@ class LikeWaveAdmitter:
         base = events[idx] if idx < len(events) else self.now
         limiter._saturated_until[key] = base + limiter.window_seconds
         rooms[key] = -1
+        if _SANITIZER.enabled:
+            _SANITIZER.record_limiter("exhaust", redact_token(key))
 
     def admit(self, token: str, source_ip: Optional[str]) -> Optional[str]:
         """Per-entry verdict: ``None`` admitted, else ``"daily"`` /

@@ -47,6 +47,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple
 
 from repro.journal.codec import decode_row, encode_row
+from repro.sanitizer.trace import SANITIZER as _SANITIZER
 from repro.telemetry.registry import TELEMETRY
 
 _GENESIS = b"repro-journal-v1"
@@ -227,6 +228,14 @@ class EventJournal:
     def _write_frame(self, payload: bytes) -> None:
         self._chain = _chain(self._chain, payload)
         self._handle.write(_LEN.pack(len(payload)) + payload + self._chain)
+        if _SANITIZER.enabled:
+            # Keyed by the WAL's own day, not the sim clock: under a
+            # sharded campaign the frames are appended at merge time,
+            # and they must land in the same epoch a serial day's
+            # appends do.
+            _SANITIZER.record_journal(
+                self._current.day, payload[:1].decode("ascii"),
+                self._chain)
 
     def _fsync_directory(self) -> None:
         try:

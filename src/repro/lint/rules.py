@@ -28,6 +28,10 @@ DEFAULT_ALLOWLIST: Dict[str, Tuple[str, ...]] = {
     # constructing streams and bucketing raw ticks is its job.
     "RL201": ("repro/sim/",),
     "RL203": ("repro/sim/",),
+    # The factory is where streams are born and wound; the sanitizer
+    # package is the instrumentation itself.
+    "RL601": ("repro/sim/rng.py", "repro/sanitizer/"),
+    "RL602": ("repro/sim/rng.py", "repro/sanitizer/"),
 }
 
 
@@ -442,6 +446,7 @@ def default_rules() -> List[Rule]:
         ModuleScopeRngRule,
         StreamSharingRule,
     )
+    from repro.lint.sanitizer_rules import sanitizer_rules
     from repro.lint.stateflow import (
         JournalCodecRule,
         ShardDeltaRule,
@@ -455,4 +460,5 @@ def default_rules() -> List[Rule]:
             TokenTaintRule(), ModuleScopeRngRule(), StreamSharingRule(),
             SimClockArithmeticRule(), ApiContractRule(),
             IndirectMutationRule(), SnapshotCoverageRule(),
-            ShardDeltaRule(), JournalCodecRule(), MetricLabelRule()]
+            ShardDeltaRule(), JournalCodecRule(), MetricLabelRule(),
+            *sanitizer_rules()]

@@ -160,7 +160,8 @@ def _payload(scale: float, seed: int, parallel_experiments: bool,
 def run_benchmark(scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED,
                   parallel_experiments: bool = False,
                   milking_days: Optional[int] = None,
-                  campaign_days: Optional[int] = None) -> Dict[str, Any]:
+                  campaign_days: Optional[int] = None,
+                  sanitize: bool = False) -> Dict[str, Any]:
     """Benchmark a full study in-process and return the payload.
 
     Stage wall-clock comes from the telemetry registry's stage view
@@ -185,12 +186,22 @@ def run_benchmark(scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED,
     was_enabled = TELEMETRY.enabled
     TELEMETRY.reset()
     TELEMETRY.enable()
+    sanitizer_events = None
+    if sanitize:
+        from repro.sanitizer import SANITIZER
+
+        SANITIZER.reset()
+        SANITIZER.enable()
     timer = StageTimer()
     try:
         artifacts, _report = run_full_study(
             config, timer=timer, parallel_experiments=parallel_experiments)
     finally:
         TELEMETRY.enabled = was_enabled
+        if sanitize:
+            sanitizer_events = SANITIZER.event_total()
+            SANITIZER.reset()
+            SANITIZER.disable()
     histograms = _wave_histograms(TELEMETRY.snapshot())
 
     counters = timer.counters
@@ -207,8 +218,12 @@ def run_benchmark(scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED,
         stage_seconds["detection"] = detection_seconds
         stage_events["detection"] = stage_view.counters.get(
             "detection.pairs_scored", 0)
-    return _payload(scale, seed, parallel_experiments, stage_seconds,
-                    stage_events, total_rows, histograms=histograms)
+    payload = _payload(scale, seed, parallel_experiments, stage_seconds,
+                       stage_events, total_rows, histograms=histograms)
+    payload["sanitize"] = sanitize
+    if sanitizer_events is not None:
+        payload["sanitizer_events"] = sanitizer_events
+    return payload
 
 
 # ----------------------------------------------------------------------
@@ -227,6 +242,14 @@ for key in ("milking_days", "campaign_days"):
     if options.get(key) is not None:
         kwargs[key] = options[key]
 config = StudyConfig(**kwargs)
+
+try:
+    from repro.sanitizer import SANITIZER
+except ImportError:  # baseline tree predates the sanitizer
+    SANITIZER = None
+if SANITIZER is not None and options.get("sanitize"):
+    SANITIZER.reset()
+    SANITIZER.enable()
 
 try:
     from repro.telemetry import TELEMETRY
@@ -303,9 +326,13 @@ if TELEMETRY is not None:
         entry["sum"] = total
         histograms.setdefault(name, {})[stage or "(none)"] = entry
 
+sanitizer_events = None
+if SANITIZER is not None and options.get("sanitize"):
+    sanitizer_events = SANITIZER.event_total()
+
 print("BENCH_JSON " + json.dumps(
     {"seconds": seconds, "events": events, "total_rows": rows2,
-     "histograms": histograms}))
+     "histograms": histograms, "sanitizer_events": sanitizer_events}))
 """
 
 
@@ -314,12 +341,15 @@ def bench_tree(src_dir: str, scale: float = DEFAULT_SCALE,
                parallel_experiments: bool = False,
                milking_days: Optional[int] = None,
                campaign_days: Optional[int] = None,
+               sanitize: bool = False,
                timeout: int = 3600) -> Dict[str, Any]:
     """Benchmark the tree rooted at ``src_dir`` in a fresh interpreter.
 
     ``src_dir`` is the directory that contains the ``repro`` package
     (usually ``<checkout>/src``).  ``PYTHONHASHSEED`` is pinned so two
-    trees see identical simulated workloads.
+    trees see identical simulated workloads.  With ``sanitize`` the
+    reprosan shadow trace records throughout (trees that predate the
+    sanitizer silently skip it).
     """
     options = {
         "scale": scale,
@@ -327,6 +357,7 @@ def bench_tree(src_dir: str, scale: float = DEFAULT_SCALE,
         "parallel_experiments": parallel_experiments,
         "milking_days": milking_days,
         "campaign_days": campaign_days,
+        "sanitize": sanitize,
     }
     env = dict(os.environ)
     env["PYTHONPATH"] = src_dir
@@ -348,6 +379,9 @@ def bench_tree(src_dir: str, scale: float = DEFAULT_SCALE,
                        histograms=raw.get("histograms") or None)
     payload["pythonhashseed"] = hashseed
     payload["src_dir"] = src_dir
+    payload["sanitize"] = sanitize
+    if raw.get("sanitizer_events") is not None:
+        payload["sanitizer_events"] = raw["sanitizer_events"]
     return payload
 
 
@@ -368,7 +402,8 @@ def compare_trees(current_src: str, baseline_src: Optional[str],
                   hashseed: str = "0", parallel_experiments: bool = False,
                   milking_days: Optional[int] = None,
                   campaign_days: Optional[int] = None,
-                  repeats: int = 1) -> Dict[str, Any]:
+                  repeats: int = 1,
+                  sanitize: bool = False) -> Dict[str, Any]:
     """Build the full ``BENCH_PIPELINE.json`` document.
 
     With ``repeats > 1`` each tree is benchmarked that many times —
@@ -380,7 +415,8 @@ def compare_trees(current_src: str, baseline_src: Optional[str],
         validate_baseline(baseline_src)
     kwargs = dict(scale=scale, seed=seed, hashseed=hashseed,
                   parallel_experiments=parallel_experiments,
-                  milking_days=milking_days, campaign_days=campaign_days)
+                  milking_days=milking_days, campaign_days=campaign_days,
+                  sanitize=sanitize)
     repeats = max(1, repeats)
     current_runs, baseline_runs = [], []
     for _ in range(repeats):
@@ -435,6 +471,52 @@ def sweep_tree(src_dir: str, scales, seed: int = DEFAULT_SEED,
         payload["campaign_days"] = campaign_days
         entries.append(payload)
     return entries
+
+
+def bench_sanitizer(src_dir: str, current: Dict[str, Any],
+                    repeats: int = 1, **kwargs) -> Dict[str, Any]:
+    """The document's ``sanitizer`` section: the same workload as
+    ``current`` re-benchmarked with the reprosan trace recording, plus
+    the per-stage wall-clock overhead fraction vs the untraced run.
+
+    The shadow trace is supposed to be a cheap observer — bounded
+    rolling digests, no I/O until export — so the overhead column is
+    what keeps hook creep honest (see
+    :func:`check_sanitizer_overhead`).
+    """
+    runs = [bench_tree(src_dir, sanitize=True, **kwargs)
+            for _ in range(max(1, repeats))]
+    traced = _best_of(runs)
+    overhead = {}
+    for name, stage in traced["stages"].items():
+        base = current["stages"].get(name, {}).get("seconds", 0.0)
+        if base > 0:
+            overhead[name] = round(stage["seconds"] / base - 1.0, 4)
+    return {"run": traced, "overhead": overhead}
+
+
+def check_sanitizer_overhead(document: Dict[str, Any],
+                             limit: float = 0.10) -> str:
+    """Guard the sanitizer's campaign-stage overhead.
+
+    Raises :class:`GuardError` when the traced campaign stage ran more
+    than ``limit`` (fraction, default 0.10 = 10%) slower than the
+    untraced one.  Wall-clock based, so widen ``limit`` on noisy shared
+    runners rather than deleting the check.
+    """
+    section = document.get("sanitizer")
+    if not section:
+        raise GuardError(
+            "document has no sanitizer section; re-run with --sanitize")
+    overhead = section.get("overhead", {}).get("campaign")
+    if overhead is None:
+        raise GuardError(
+            "sanitizer section has no campaign-stage overhead entry")
+    verdict = (f"sanitizer campaign-stage overhead {overhead:+.1%} "
+               f"(limit {limit:.0%})")
+    if overhead > limit:
+        raise GuardError(f"sanitizer overhead regression: {verdict}")
+    return f"guard ok: {verdict}"
 
 
 def _matching_reference(reference: Dict[str, Any], scale: float,
@@ -530,6 +612,18 @@ def render(document: Dict[str, Any]) -> str:
                     f"count={entry['count']} {quantiles}")
     if "speedup" in document:
         lines.append(f"speedup: {document['speedup']:.2f}x")
+    sanitizer = document.get("sanitizer")
+    if sanitizer:
+        run = sanitizer["run"]
+        events = run.get("sanitizer_events")
+        traced = (f"sanitized run ({run['total_seconds']:.2f}s total"
+                  + (f", {events:,} trace events" if events else "")
+                  + "):")
+        lines.append(traced)
+        for name, fraction in sanitizer["overhead"].items():
+            seconds = run["stages"][name]["seconds"]
+            lines.append(f"  {name:<12} {seconds:>8.2f}s  "
+                         f"overhead {fraction:+.1%}")
     sweep = document.get("sweep")
     if sweep:
         lines.append("scale sweep (current tree):")

@@ -1,0 +1,79 @@
+"""Shard transfer of sanitizer trace events.
+
+During a sharded campaign day the determinism-relevant events happen
+in three places: the parent's pre-pass (honeypot posts, pinned in
+global ``(when, seq)`` order), the forked children (delivery and
+upkeep for their certified component), and the parent again at merge
+time (journal frames).  Per-stream chains must come out equal to the
+serial day's, so — exactly like the request-log rows — captured
+events are sliced per :class:`~repro.countermeasures.sharding.DayEvent`
+and the parent replays every slice globally sorted by ``(when, seq)``.
+
+While capture mode is active (``SANITIZER.begin_capture()``), hooks
+append replayable tuples instead of advancing stream states; a child
+ships its slice table beside ``ShardDayDelta``/``TelemetryDelta`` as
+a :class:`SanitizerDelta`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.sanitizer.trace import SanitizerTrace
+
+
+@dataclass(frozen=True)
+class SanitizerDelta:
+    """Captured trace events for one shard component (or the pre-pass).
+
+    ``events`` holds the replayable tuples in recording order;
+    ``segments`` maps each executed day event to its slice:
+    ``(seq, when, lo, hi)`` — identical in shape to the row segments
+    on ``ShardDayDelta``.
+    """
+
+    events: Tuple[tuple, ...]
+    segments: Tuple[Tuple[int, int, int, int], ...]
+
+
+def capture_delta(trace: SanitizerTrace, base: int,
+                  segments: List[Tuple[int, int, int, int]]
+                  ) -> Optional[SanitizerDelta]:
+    """Build the delta for events captured since ``base``.
+
+    ``segments`` carries absolute capture indices; they are rebased so
+    the delta is self-contained.  Returns None when the sanitizer is
+    disabled (nothing was captured).
+    """
+    if not trace.enabled:
+        return None
+    events = trace.capture_slice(base, trace.capture_mark())
+    rebased = tuple((seq, when, lo - base, hi - base)
+                    for seq, when, lo, hi in segments)
+    return SanitizerDelta(events=events, segments=rebased)
+
+
+def delta_pieces(delta: Optional[SanitizerDelta]
+                 ) -> Iterable[Tuple[int, int, Tuple[tuple, ...]]]:
+    """Yield ``(when, seq, events)`` replay pieces from a delta."""
+    if delta is None:
+        return
+    events = delta.events
+    for seq, when, lo, hi in delta.segments:
+        yield (when, seq, events[lo:hi])
+
+
+def merge_pieces(trace: SanitizerTrace,
+                 pieces: List[Tuple[int, int, Tuple[tuple, ...]]]) -> None:
+    """Replay capture pieces in global ``(when, seq)`` order.
+
+    Per-stream chains are invariant to cross-stream interleaving, so
+    replaying the same per-event slices a serial day would have
+    executed — in the serial day's order — reproduces its trace
+    exactly.
+    """
+    if not trace.enabled:
+        return
+    for _when, _seq, events in sorted(pieces, key=lambda p: (p[0], p[1])):
+        trace.replay(events)

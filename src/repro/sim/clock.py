@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import datetime as _dt
 
+from repro.sanitizer.trace import SANITIZER as _SANITIZER
+
 Duration = int  # seconds
 
 SECOND: Duration = 1
@@ -43,6 +45,8 @@ class SimClock:
 
     def now(self) -> int:
         """Current simulation time in seconds since the epoch."""
+        if _SANITIZER.enabled:
+            _SANITIZER.record_clock(self._now)
         return self._now
 
     def now_datetime(self) -> _dt.datetime:
@@ -62,6 +66,8 @@ class SimClock:
         if seconds < 0:
             raise ValueError(f"cannot move time backwards by {seconds}s")
         self._now += int(seconds)
+        if _SANITIZER.enabled:
+            _SANITIZER.note_time(self._now)
         return self._now
 
     def advance_to(self, timestamp: int) -> int:
@@ -71,6 +77,8 @@ class SimClock:
                 f"cannot rewind clock from {self._now} to {timestamp}"
             )
         self._now = int(timestamp)
+        if _SANITIZER.enabled:
+            _SANITIZER.note_time(self._now)
         return self._now
 
     def advance_days(self, days: float) -> int:

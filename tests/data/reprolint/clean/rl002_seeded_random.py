@@ -4,5 +4,5 @@ import random
 
 
 def pick(members, rng, master_seed):
-    fallback = random.Random(master_seed)
+    fallback = random.Random(master_seed)  # reprolint: disable=RL601 — fixture demonstrates RL002's explicit-seed counterexample
     return (rng or fallback).choice(members)

@@ -1,0 +1,6 @@
+"""Fixture: clean counterpart of RL601 — draws via the factory."""
+
+
+def pick(world, members):
+    rng = world.rng.stream("sampling")
+    return rng.choice(members)

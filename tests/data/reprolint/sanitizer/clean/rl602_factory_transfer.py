@@ -1,0 +1,5 @@
+"""Fixture: clean counterpart of RL602 — factory-level state transfer."""
+
+
+def move_streams(source_factory, target_factory):
+    target_factory.install_states(source_factory.export_states())

@@ -1,0 +1,31 @@
+"""Fixture: clean counterpart of RL603 — capture_delta feeds the field."""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sanitizer.delta import capture_delta
+from repro.sanitizer.trace import SANITIZER
+
+
+@dataclass(frozen=True)
+class WorkDayDelta:
+    rows: tuple
+    sanitizer: Optional[object]
+
+
+def export_day(rows, base, segments):
+    return WorkDayDelta(rows=tuple(rows),
+                        sanitizer=capture_delta(SANITIZER, base, segments))
+
+
+def export_day_via_local(rows, base, segments):
+    captured = capture_delta(SANITIZER, base, segments)
+    return WorkDayDelta(rows=tuple(rows), sanitizer=captured)
+
+
+def rewrap(delta):
+    return WorkDayDelta(rows=delta.rows, sanitizer=delta.sanitizer)
+
+
+def merge(delta):
+    return delta.rows, delta.sanitizer

@@ -1,0 +1,8 @@
+"""Fixture: RL601 — a hand-rolled generator the sanitizer cannot see."""
+
+import random
+
+
+def pick(members, seed):
+    rogue = random.Random(seed)
+    return rogue.choice(members)

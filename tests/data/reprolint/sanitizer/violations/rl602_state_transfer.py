@@ -1,0 +1,7 @@
+"""Fixture: RL602 — winding a generator behind the trace's back."""
+
+
+def clone_position(source_rng, target_rng):
+    snapshot = source_rng.getstate()
+    target_rng.setstate(snapshot)
+    return target_rng

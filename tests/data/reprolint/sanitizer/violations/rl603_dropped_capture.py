@@ -1,0 +1,22 @@
+"""Fixture: RL603 — a fork point that drops the sanitizer capture."""
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class WorkDayDelta:
+    rows: tuple
+    sanitizer: Optional[object]
+
+
+def export_day(rows, helper):
+    return WorkDayDelta(rows=tuple(rows), sanitizer=helper(rows))
+
+
+def drop_day(rows):
+    return WorkDayDelta(rows=tuple(rows), sanitizer=None)
+
+
+def merge(delta):
+    return delta.rows, delta.sanitizer

@@ -1,0 +1,18 @@
+"""Fixture: RL604 — hook internals reached directly and via a helper."""
+
+
+def grab(factory):
+    return factory._streams["organic"]
+
+
+def helper(factory):
+    return grab(factory)
+
+
+def use(factory):
+    rng = helper(factory)
+    return rng.random()
+
+
+def dynamic(stream):
+    return getattr(stream, "_raw")

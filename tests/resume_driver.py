@@ -27,6 +27,7 @@ from repro.countermeasures.campaign import (
 )
 from repro.countermeasures.recovery import CampaignRecovery
 from repro.faults.plan import FaultPlan, FaultRule
+from repro.sanitizer import SANITIZER, write_sanitizer
 from repro.sim.clock import DAY
 from repro.telemetry.registry import TELEMETRY
 
@@ -69,7 +70,14 @@ def main() -> int:
                         help="fault plan: tear the journal tail while "
                              "sealing this campaign day")
     parser.add_argument("--no-resume", action="store_true")
+    parser.add_argument("--sanitize", default=None,
+                        help="record a reprosan trace and write its "
+                             "manifest to this directory")
     args = parser.parse_args()
+
+    if args.sanitize:
+        SANITIZER.reset()
+        SANITIZER.enable()
 
     plan = None
     if args.torn_day is not None:
@@ -106,6 +114,9 @@ def main() -> int:
           TELEMETRY.fingerprint(exclude_prefixes=FINGERPRINT_EXCLUDES))
     if recovery is not None:
         print("report", recovery.describe().replace("\n", " | "))
+    if args.sanitize:
+        write_sanitizer(args.sanitize)
+        print("sanitizer_fingerprint", SANITIZER.fingerprint())
     return 0
 
 

@@ -50,6 +50,19 @@ def reference():
     return _parse(result.stdout)
 
 
+@pytest.fixture(scope="module")
+def sanitized_reference(tmp_path_factory):
+    """Uninterrupted journaled run with the reprosan trace recording:
+    the shadow trace every crash-resumed run must reproduce exactly."""
+    root = tmp_path_factory.mktemp("sanitized-ref")
+    result = _run_driver("--journal", root / "journal",
+                         "--sanitize", root / "trace")
+    assert result.returncode == 0, result.stderr[-2000:]
+    parsed = _parse(result.stdout)
+    parsed["trace_dir"] = root / "trace"
+    return parsed
+
+
 def test_journaled_run_matches_journal_less_reference(tmp_path,
                                                       reference):
     result = _run_driver("--journal", tmp_path / "journal")
@@ -65,15 +78,27 @@ def test_journaled_run_matches_journal_less_reference(tmp_path,
             == reference["telemetry_fingerprint"])
 
 
-def test_sigkill_mid_day_then_resume_is_byte_identical(tmp_path,
-                                                       reference):
+def test_sanitized_journaled_run_is_byte_identical(reference,
+                                                   sanitized_reference):
+    """The identity contract across process boundaries: turning the
+    sanitizer (and the journal) on changes nothing observable."""
+    assert sanitized_reference["digest"] == reference["digest"]
+    assert sanitized_reference["rows"] == reference["rows"]
+    assert (sanitized_reference["telemetry_fingerprint"]
+            == reference["telemetry_fingerprint"])
+
+
+def test_sigkill_mid_day_then_resume_is_byte_identical(
+        tmp_path, reference, sanitized_reference):
     journal = tmp_path / "journal"
-    crashed = _run_driver("--journal", journal, "--kill-day", 6)
+    crashed = _run_driver("--journal", journal, "--kill-day", 6,
+                          "--sanitize", tmp_path / "crashed-trace")
     assert crashed.returncode == -signal.SIGKILL, (
         f"expected SIGKILL death, got rc={crashed.returncode}: "
         f"{crashed.stderr[-2000:]}")
 
-    resumed = _run_driver("--journal", journal)
+    resumed = _run_driver("--journal", journal,
+                          "--sanitize", tmp_path / "resumed-trace")
     assert resumed.returncode == 0, resumed.stderr[-2000:]
     parsed = _parse(resumed.stdout)
     # Days 1-5 were sealed + checkpointed; the half-written day-6
@@ -87,6 +112,17 @@ def test_sigkill_mid_day_then_resume_is_byte_identical(tmp_path,
     # reference too.
     assert (parsed["telemetry_fingerprint"]
             == reference["telemetry_fingerprint"])
+    # The checkpoint also carried the shadow trace: the resumed run's
+    # sanitizer trace equals the uninterrupted journaled run's with NO
+    # streams ignored — clock reads, journal frames and all.
+    assert (parsed["sanitizer_fingerprint"]
+            == sanitized_reference["sanitizer_fingerprint"])
+    from repro.sanitizer import diff_manifests, load_manifest
+
+    diff = diff_manifests(
+        load_manifest(str(sanitized_reference["trace_dir"])),
+        load_manifest(str(tmp_path / "resumed-trace")))
+    assert diff.equal, diff.render()
 
 
 def test_torn_tail_is_detected_truncated_and_converges(tmp_path):

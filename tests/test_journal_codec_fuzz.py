@@ -1,0 +1,151 @@
+"""Property/fuzz tests for the journal frame codec and frame scanner.
+
+``encode_row``/``decode_row`` must round-trip any request-log row of
+JSON-safe scalars — including strings full of newlines, quotes, NULs
+and non-ASCII — and the WAL frame scanner must treat every possible
+truncation or garbage tail as a clean stop, never an exception
+(that is exactly the torn-tail recovery contract).
+"""
+
+import os
+import tempfile
+
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.journal.codec import ROW_TAG, decode_row, encode_row
+from repro.journal.wal import _DIGEST_SIZE, _LEN, EventJournal, _chain
+
+# Anything the request log exports: JSON-safe scalars.  Text excludes
+# lone surrogates (not encodable to UTF-8, which the log never
+# produces) but deliberately includes newlines, quotes and NULs.
+_scalar = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 70), max_value=2 ** 70),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(alphabet=st.characters(exclude_categories=("Cs",)),
+            max_size=40),
+)
+_row = st.tuples(*([_scalar] * 3)) | st.tuples(_scalar) | \
+    st.lists(_scalar, min_size=0, max_size=8).map(tuple)
+
+
+@given(_row)
+@example(("line\nbreak", "cr\r\nlf", 1))
+@example(("quote'\"triple\"\"\"", None, -0.0))
+@example(("nul\x00byte", "\x1b[31mansi", True))
+@settings(max_examples=300)
+def test_encode_decode_round_trip(row):
+    payload = encode_row(row)
+    assert payload.startswith(ROW_TAG)
+    assert b"\n" not in payload or decode_row(payload) == row
+    assert decode_row(payload) == row
+
+
+@given(st.binary(min_size=1, max_size=64))
+def test_decode_rejects_garbage_instead_of_guessing(blob):
+    """Arbitrary bytes after the tag either literal-eval back to a
+    value or raise a clean parse/decode error — never something
+    outside the ValueError/SyntaxError/UnicodeDecodeError family."""
+    try:
+        decode_row(ROW_TAG + blob)
+    except (ValueError, SyntaxError, UnicodeDecodeError,
+            MemoryError, RecursionError):
+        pass
+
+
+def test_decode_rejects_non_utf8_payload():
+    import pytest
+
+    with pytest.raises(UnicodeDecodeError):
+        decode_row(ROW_TAG + b"\xff\xfe\x00broken")
+
+
+def _write_frames(path, payloads, genesis):
+    chain = genesis
+    with open(path, "wb") as handle:
+        for payload in payloads:
+            chain = _chain(chain, payload)
+            handle.write(_LEN.pack(len(payload)) + payload + chain)
+
+
+@given(payloads=st.lists(st.binary(max_size=48), min_size=0,
+                         max_size=5),
+       drop=st.integers(min_value=0, max_value=200))
+@settings(max_examples=150)
+def test_truncated_frame_stream_yields_verified_prefix(payloads, drop):
+    """Chopping any number of bytes off the tail loses at most the
+    frames the chop touched; everything before scans verbatim and the
+    scanner never raises."""
+    genesis = b"\x00" * _DIGEST_SIZE
+    fd, path = tempfile.mkstemp(suffix=".wal")
+    os.close(fd)
+    try:
+        _write_frames(path, payloads, genesis)
+        full = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(max(0, full - drop))
+        scanned = [payload for _offset, payload, _chain
+                   in EventJournal._scan_frames(path, genesis)]
+    finally:
+        os.unlink(path)
+    survivors = len(payloads) if drop == 0 else 0
+    if drop:
+        # Count how many whole frames fit in the truncated size.
+        remaining = full - drop
+        offset = 0
+        for payload in payloads:
+            end = offset + _LEN.size + len(payload) + _DIGEST_SIZE
+            if end > remaining:
+                break
+            survivors += 1
+            offset = end
+    assert scanned == list(payloads)[:survivors]
+
+
+@given(length=st.integers(min_value=0, max_value=2 ** 32 - 1),
+       tail=st.binary(max_size=32))
+@settings(max_examples=150)
+def test_length_prefix_never_reads_past_the_file(length, tail):
+    """A hostile length prefix (larger than the file, larger than the
+    payload cap, or zero) stops the scan instead of raising."""
+    genesis = b"\x00" * _DIGEST_SIZE
+    fd, path = tempfile.mkstemp(suffix=".wal")
+    os.close(fd)
+    try:
+        with open(path, "wb") as handle:
+            handle.write(_LEN.pack(length) + tail)
+        scanned = list(EventJournal._scan_frames(path, genesis))
+    finally:
+        os.unlink(path)
+    for _offset, payload, _chain_after in scanned:
+        assert len(payload) == length
+
+
+@given(payloads=st.lists(st.binary(max_size=32), min_size=1,
+                         max_size=4),
+       flip=st.integers(min_value=0, max_value=10 ** 6))
+@settings(max_examples=150)
+def test_bitflip_breaks_the_chain_cleanly(payloads, flip):
+    """Corrupting any byte invalidates that frame's chain digest (and
+    everything after), but never produces an exception or a frame the
+    chain did not verify."""
+    genesis = b"\x00" * _DIGEST_SIZE
+    fd, path = tempfile.mkstemp(suffix=".wal")
+    os.close(fd)
+    try:
+        _write_frames(path, payloads, genesis)
+        size = os.path.getsize(path)
+        position = flip % size
+        with open(path, "r+b") as handle:
+            handle.seek(position)
+            byte = handle.read(1)
+            handle.seek(position)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        scanned = [payload for _offset, payload, _chain
+                   in EventJournal._scan_frames(path, genesis)]
+    finally:
+        os.unlink(path)
+    # The scan is a verified prefix of the original payload list.
+    assert scanned == list(payloads)[:len(scanned)]

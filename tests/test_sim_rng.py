@@ -48,3 +48,33 @@ def test_same_seed_reproduces_sequences():
     rng2 = RngFactory(11).stream("s")
     seq2 = [rng2.random() for _ in range(5)]
     assert seq1 == seq2
+
+
+def test_install_states_warns_on_unknown_stream_name():
+    import pytest
+
+    source = RngFactory(7)
+    source.stream("known").random()
+    snapshot = source.export_states()
+    target = RngFactory(7)
+    # A typo'd checkpoint key must not silently become a pre-wound
+    # stream: the install still happens (legitimate late-created
+    # streams keep working) but it is reported.
+    with pytest.warns(RuntimeWarning, match="'tpyo' does not exist"):
+        target.install_states({"tpyo": snapshot["known"]})
+    assert (target.stream("tpyo").random()
+            == source.stream("known").random())
+
+
+def test_install_states_known_names_do_not_warn():
+    import warnings
+
+    source = RngFactory(7)
+    source.stream("known").random()
+    target = RngFactory(7)
+    target.stream("known")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        target.install_states(source.export_states())
+    assert (target.stream("known").random()
+            == source.stream("known").random())

@@ -74,6 +74,14 @@ def main(argv=None) -> int:
     parser.add_argument("--guard-tolerance", type=float, default=0.2,
                         help="allowed fractional campaign throughput "
                              "drop before --guard fails (default 0.2)")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="also benchmark the workload with the "
+                             "reprosan shadow trace recording and "
+                             "record a 'sanitizer' overhead section")
+    parser.add_argument("--sanitize-limit", type=float, default=0.10,
+                        help="allowed fractional campaign-stage "
+                             "slowdown under --sanitize before the "
+                             "overhead guard fails (default 0.10)")
     parser.add_argument("--out", type=str,
                         default=os.path.join(REPO_ROOT,
                                              "BENCH_PIPELINE.json"))
@@ -98,6 +106,14 @@ def main(argv=None) -> int:
             milking_days=args.milking_days,
             campaign_days=args.campaign_days, repeats=args.repeats)
 
+    if args.sanitize:
+        document["sanitizer"] = bench.bench_sanitizer(
+            SRC_DIR, document["current"], repeats=args.repeats,
+            scale=args.scale, seed=args.seed, hashseed=args.hashseed,
+            parallel_experiments=args.parallel_experiments,
+            milking_days=args.milking_days,
+            campaign_days=args.campaign_days)
+
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2)
         handle.write("\n")
@@ -110,6 +126,13 @@ def main(argv=None) -> int:
         try:
             print(bench.check_campaign_regression(
                 document, reference, tolerance=args.guard_tolerance))
+        except bench.GuardError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 3
+    if args.sanitize:
+        try:
+            print(bench.check_sanitizer_overhead(
+                document, limit=args.sanitize_limit))
         except bench.GuardError as error:
             print(f"error: {error}", file=sys.stderr)
             return 3
